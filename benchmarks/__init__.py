@@ -1,0 +1,1 @@
+"""Figure-reproduction benchmarks (one module per paper figure)."""

@@ -1,0 +1,78 @@
+"""Ablation: what ProgOrder buys and what it costs (paper §VI-B claims).
+
+DESIGN.md experiment index row "§VI-B claims".  Measures, with and without
+the progressive-driven ordering:
+
+* the progressiveness curve (AUC, time to the first half of the output),
+* the total execution cost (the "ordering overhead is negligible" claim).
+
+Panels over the three distributions at the Figure 10 setting.
+"""
+
+import pytest
+
+from benchmarks.harness import banner, figure_bound, run_figure, write_result
+from repro.core.variants import progxe, progxe_no_order
+
+PANELS = ("correlated", "independent", "anticorrelated")
+
+
+def _panel(dist: str):
+    bound = figure_bound(dist, n=400, d=4, sigma=0.01)
+    return run_figure(
+        {"ProgXe": progxe, "ProgXe (No-Order)": progxe_no_order}, bound
+    )
+
+
+@pytest.fixture(scope="module")
+def panels():
+    return {dist: _panel(dist) for dist in PANELS}
+
+
+def test_ablation_ordering_report(panels, benchmark):
+    sections = [
+        banner(
+            "Ablation: ProgOrder on/off",
+            "ordering benefit (progressiveness) vs ordering cost (total time)",
+        )
+    ]
+    for dist, report in panels.items():
+        ordered = report.runs["ProgXe"].recorder
+        unordered = report.runs["ProgXe (No-Order)"].recorder
+        sections.append(
+            f"--- {dist} ---\n"
+            f"auc:        ordered={ordered.progressiveness_auc():.3f}  "
+            f"unordered={unordered.progressiveness_auc():.3f}\n"
+            f"t_50%:      ordered={ordered.time_to_fraction(0.5):.0f}  "
+            f"unordered={unordered.time_to_fraction(0.5):.0f}\n"
+            f"total cost: ordered={ordered.total_vtime:.0f}  "
+            f"unordered={unordered.total_vtime:.0f}  "
+            f"overhead={ordered.total_vtime / unordered.total_vtime - 1:+.1%}"
+        )
+    path = write_result("ablation_ordering", *sections)
+    print(f"\n[ablation:ordering] written to {path}")
+
+    benchmark.pedantic(lambda: _panel("independent"), rounds=1, iterations=1)
+
+
+def test_ablation_ordering_overhead_small(panels):
+    """The §VI-B claim: ProgOrder's bookkeeping is cheap."""
+    for dist, report in panels.items():
+        ordered = report.runs["ProgXe"].recorder.total_vtime
+        unordered = report.runs["ProgXe (No-Order)"].recorder.total_vtime
+        assert ordered <= unordered * 1.25, (
+            f"{dist}: ordering overhead {(ordered / unordered - 1):+.1%}"
+        )
+
+
+def test_ablation_ordering_helps_progressiveness_where_it_matters(panels):
+    """On at least the hostile distributions the ordered curve wins."""
+    wins = 0
+    for dist in ("independent", "anticorrelated"):
+        report = panels[dist]
+        if (
+            report.runs["ProgXe"].recorder.progressiveness_auc()
+            >= report.runs["ProgXe (No-Order)"].recorder.progressiveness_auc()
+        ):
+            wins += 1
+    assert wins >= 1

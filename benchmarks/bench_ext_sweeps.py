@@ -1,0 +1,106 @@
+"""Cardinality and dimensionality sweeps (paper §VI-A evaluation axes).
+
+The paper's evaluation-metrics paragraph varies "(1) data distributions,
+(2) cardinality N, and (3) dimensions d"; the published figures fix
+N = 500K and d ∈ {4, 5}.  These sweeps regenerate the other two axes at
+reproduction scale:
+
+* cardinality N per table over a geometric range,
+* skyline dimensionality d ∈ {2 .. 5},
+
+both for ProgXe vs SSMJ, recording total cost, time-to-first-result and
+the progressiveness AUC.
+"""
+
+import pytest
+
+from benchmarks.harness import DEFAULT_SEED, banner, write_result
+from repro.baselines.ssmj import SkylineSortMergeJoin
+from repro.core.variants import progxe
+from repro.data.workloads import SyntheticWorkload
+from repro.runtime.runner import run_algorithm
+
+NS = (100, 200, 400)
+DS = (2, 3, 4, 5)
+
+
+def _run(dist, n, d, sigma=0.05):
+    bound = SyntheticWorkload(
+        distribution=dist, n=n, d=d, sigma=sigma, seed=DEFAULT_SEED
+    ).bound()
+    px = run_algorithm(progxe, bound)
+    ssmj = run_algorithm(SkylineSortMergeJoin, bound)
+    assert px.result_keys == ssmj.result_keys
+    return px, ssmj
+
+
+@pytest.fixture(scope="module")
+def cardinality_sweep():
+    return {n: _run("independent", n, 3) for n in NS}
+
+
+@pytest.fixture(scope="module")
+def dimensionality_sweep():
+    return {d: _run("independent", 250, d) for d in DS}
+
+
+def _row(px, ssmj):
+    return (
+        f"ProgXe: total={px.recorder.total_vtime:>9.0f} "
+        f"t_first={px.recorder.time_to_first():>8.0f} "
+        f"auc={px.recorder.progressiveness_auc():.3f} | "
+        f"SSMJ: total={ssmj.recorder.total_vtime:>9.0f} "
+        f"t_first={ssmj.recorder.time_to_first():>8.0f} "
+        f"results={px.recorder.total_results}"
+    )
+
+
+def test_ext_sweeps_report(cardinality_sweep, dimensionality_sweep, benchmark):
+    sections = [
+        banner(
+            "Extension sweeps: cardinality N and dimensionality d",
+            "paper §VI-A varies both; figures fix N=500K, d in {4,5}",
+        )
+    ]
+    sections.append("--- cardinality sweep (independent, d=3, sigma=0.05) ---")
+    for n, (px, ssmj) in cardinality_sweep.items():
+        sections.append(f"N={n:>4}: {_row(px, ssmj)}")
+    sections.append("--- dimensionality sweep (independent, N=250, sigma=0.05) ---")
+    for d, (px, ssmj) in dimensionality_sweep.items():
+        sections.append(f"d={d}: {_row(px, ssmj)}")
+    path = write_result("ext_sweeps", *sections)
+    print(f"\n[ext:sweeps] written to {path}")
+
+    benchmark.pedantic(
+        lambda: _run("independent", 200, 3), rounds=1, iterations=1
+    )
+
+
+def test_ext_cost_grows_with_cardinality(cardinality_sweep):
+    px_costs = [px.recorder.total_vtime for px, _ in cardinality_sweep.values()]
+    assert px_costs == sorted(px_costs)
+    ssmj_costs = [s.recorder.total_vtime for _, s in cardinality_sweep.values()]
+    assert ssmj_costs == sorted(ssmj_costs)
+
+
+def test_ext_skyline_grows_with_dimensionality(dimensionality_sweep):
+    sizes = [px.recorder.total_results for px, _ in dimensionality_sweep.values()]
+    assert sizes == sorted(sizes)
+    assert sizes[-1] > 3 * sizes[0]
+
+
+def test_ext_progxe_always_first(dimensionality_sweep):
+    """At every dimensionality ProgXe's first result precedes SSMJ's."""
+    for d, (px, ssmj) in dimensionality_sweep.items():
+        assert px.recorder.time_to_first() < ssmj.recorder.time_to_first()
+
+
+def test_ext_ssmj_gap_widens_with_dimensionality(dimensionality_sweep):
+    """The Figure 12 mechanism as a trend: the absolute head start ProgXe
+    holds over SSMJ's first output grows with dimensionality."""
+    gaps = {
+        d: ssmj.recorder.time_to_first() - px.recorder.time_to_first()
+        for d, (px, ssmj) in dimensionality_sweep.items()
+    }
+    assert gaps[4] > gaps[2]
+    assert gaps[5] > gaps[2]

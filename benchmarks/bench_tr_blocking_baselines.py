@@ -1,0 +1,102 @@
+"""Blocking baselines: JF-SL / JF-SL+ / SAJ execution-cost comparison.
+
+The paper excludes these from its figures ("JF-SL, JF-SL+ and SAJ ... are
+blocking in nature. Hence, we ignore their comparisons here. However their
+execution time comparisons is presented in [12]" — the companion technical
+report).  This bench regenerates that companion comparison: total cost and
+the single/late emission behaviour of the JF-SL family next to ProgXe.
+"""
+
+import pytest
+
+from benchmarks.harness import (
+    banner,
+    figure_bound,
+    run_figure,
+    sweep_table,
+    write_result,
+)
+from repro.baselines.jfsl import JoinFirstSkylineLater
+from repro.baselines.jfsl_plus import JoinFirstSkylineLaterPlus
+from repro.baselines.saj import SortedAccessJoin
+from repro.core.variants import progxe
+
+ALGOS = {
+    "ProgXe": progxe,
+    "JF-SL": JoinFirstSkylineLater,
+    "JF-SL+": JoinFirstSkylineLaterPlus,
+    "SAJ": SortedAccessJoin,
+}
+SIGMAS = (0.001, 0.01, 0.1)
+PANELS = ("correlated", "independent", "anticorrelated")
+
+
+def _sweep(distribution: str):
+    rows = []
+    last_report = None
+    for sigma in SIGMAS:
+        bound = figure_bound(distribution, n=300, d=3, sigma=sigma)
+        report = run_figure(ALGOS, bound)
+        last_report = report
+        rows.append(
+            (
+                sigma,
+                {
+                    name: run.recorder.total_vtime
+                    for name, run in report.runs.items()
+                },
+            )
+        )
+    return rows, last_report
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return {dist: _sweep(dist) for dist in PANELS}
+
+
+def test_tr_blocking_tables(sweeps, benchmark):
+    sections = [
+        banner(
+            "Companion TR comparison: ProgXe vs the blocking JF-SL family",
+            "total execution cost; d=3 N=300, virtual time",
+        )
+    ]
+    for dist, (rows, report) in sweeps.items():
+        sections.append(f"--- {dist} ---")
+        sections.append(sweep_table(rows, list(ALGOS)))
+        batch_info = "  ".join(
+            f"{name}: {run.recorder.batch_count()} batch(es)"
+            for name, run in report.runs.items()
+        )
+        sections.append(f"emission batches at sigma={SIGMAS[-1]}: {batch_info}")
+    path = write_result("tr_blocking_baselines", *sections)
+    print(f"\n[tr:blocking] written to {path}")
+
+    benchmark.pedantic(lambda: _sweep("independent"), rounds=1, iterations=1)
+
+
+def test_tr_jfsl_single_batch(sweeps):
+    for dist, (_, report) in sweeps.items():
+        assert report.runs["JF-SL"].recorder.batch_count() == 1
+        assert report.runs["JF-SL+"].recorder.batch_count() == 1
+
+
+def test_tr_jfsl_first_result_at_the_very_end(sweeps):
+    for dist, (_, report) in sweeps.items():
+        rec = report.runs["JF-SL"].recorder
+        assert rec.time_to_first() == pytest.approx(rec.total_vtime, rel=0.01)
+
+
+def test_tr_progxe_first_result_earlier_than_jfsl(sweeps):
+    for dist, (_, report) in sweeps.items():
+        px = report.runs["ProgXe"].recorder
+        jf = report.runs["JF-SL"].recorder
+        assert px.time_to_first() < jf.time_to_first()
+
+
+def test_tr_pushthrough_helps_jfsl_on_friendly_data(sweeps):
+    rows, _ = sweeps["correlated"]
+    for sigma, totals in rows:
+        if sigma >= 0.01:
+            assert totals["JF-SL+"] <= totals["JF-SL"]

@@ -1,0 +1,132 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every bench module reproduces one figure of the paper's evaluation
+(§VI, Figures 10–13): it runs the figure's algorithms on a scaled-down
+version of the figure's workload, prints the series the figure plots,
+writes it to ``benchmarks/results/`` and asserts the figure's qualitative
+claims.
+
+Scaling (documented in EXPERIMENTS.md): the paper uses N = 500K tuples per
+table on a 2009 Java workstation; this pure-Python reproduction uses
+N = 300–500 and reports deterministic *virtual time* (weighted operation
+counts) instead of wall-clock seconds.  Curve shapes, orderings and
+crossovers are preserved; absolute magnitudes are not claimed.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Mapping, Sequence
+
+from repro.data.workloads import SyntheticWorkload
+from repro.query.smj import BoundQuery
+from repro.runtime.compare import ComparisonReport, compare_algorithms
+from repro.runtime.runner import AlgorithmFactory
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Scaled-down counterpart of the paper's N = 500K.
+DEFAULT_N = 400
+DEFAULT_SEED = 20100301  # ICDE 2010, nominally
+
+
+def figure_bound(
+    distribution: str,
+    *,
+    n: int = DEFAULT_N,
+    d: int = 4,
+    sigma: float = 0.01,
+    seed: int = DEFAULT_SEED,
+) -> BoundQuery:
+    """The paper's synthetic evaluation workload at bench scale."""
+    return SyntheticWorkload(
+        distribution=distribution, n=n, d=d, sigma=sigma, seed=seed
+    ).bound()
+
+
+def run_figure(
+    factories: Mapping[str, AlgorithmFactory], bound: BoundQuery
+) -> ComparisonReport:
+    """Run the figure's algorithms, verifying result-set agreement."""
+    return compare_algorithms(factories, bound, verify=True)
+
+
+def progressiveness_series(
+    report: ComparisonReport, points: int = 12
+) -> str:
+    """The figure's curve as text: cumulative results at a shared time grid."""
+    horizon = max(run.recorder.total_vtime for run in report.runs.values())
+    lines = [
+        "  ".join(
+            [f"{'vtime':>12}"] + [f"{name[:14]:>14}" for name in report.runs]
+        )
+    ]
+    for i in range(points + 1):
+        t = horizon * i / points
+        row = [f"{t:>12.0f}"]
+        for run in report.runs.values():
+            row.append(f"{run.recorder.results_by(t):>14}")
+        lines.append("  ".join(row))
+    return "\n".join(lines)
+
+
+def write_result(name: str, *sections: str) -> pathlib.Path:
+    """Persist a bench's printed output under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text("\n\n".join(sections) + "\n")
+    return path
+
+
+def write_json(name: str, reports: Mapping[str, ComparisonReport]) -> pathlib.Path:
+    """Persist panel reports as structured JSON next to the text output."""
+    import json
+
+    from repro.runtime.serialize import report_to_dict
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    payload = {label: report_to_dict(report) for label, report in reports.items()}
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def banner(title: str, subtitle: str = "") -> str:
+    """Header block used in every results file."""
+    lines = ["=" * 72, title]
+    if subtitle:
+        lines.append(subtitle)
+    lines.append("=" * 72)
+    return "\n".join(lines)
+
+
+def summary_block(report: ComparisonReport) -> str:
+    """Scalar summaries for all runs in a report."""
+    lines = []
+    for name, summary in report.summaries().items():
+        parts = [f"{name}:"]
+        for key in (
+            "results", "total_vtime", "time_to_first", "time_to_50pct",
+            "auc", "batches", "dominance_cmps",
+        ):
+            value = summary[key]
+            if isinstance(value, float):
+                value = f"{value:.3f}" if key == "auc" else f"{value:.0f}"
+            parts.append(f"{key}={value}")
+        lines.append("  ".join(parts))
+    return "\n".join(lines)
+
+
+def sweep_table(
+    rows: Sequence[tuple[float, Mapping[str, float]]], algorithms: Sequence[str]
+) -> str:
+    """Total-cost-vs-selectivity table (Figures 10d–f and 13)."""
+    lines = [
+        "  ".join([f"{'sigma':>8}"] + [f"{a[:14]:>14}" for a in algorithms])
+    ]
+    for sigma, totals in rows:
+        row = [f"{sigma:>8}"]
+        for a in algorithms:
+            row.append(f"{totals[a]:>14.0f}")
+        lines.append("  ".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Multi-way extension: a Rome + Paris + Barcelona trip.
+
+The paper's aggregator example (§I-B) books two legs; a real Kayak-style
+itinerary chains more.  This example builds a three-source SkyMapJoin —
+packages for three cities joined on the travel week — and evaluates it
+progressively through the multi-way reduction onto the binary ProgXe
+engine.  Preferences: minimise total (tolerance-weighted) walking and
+total cost; the traveller happily walks twice as much in Rome and 1.5x as
+much in Barcelona as in Paris.
+
+Run:  python examples/three_city_trip.py
+"""
+
+import numpy as np
+
+import repro
+from repro.query.multiway import ChainJoin, MultiwayQuery
+from repro.query.smj import PassThrough
+
+
+def city_table(name: str, n: int, rng) -> repro.Table:
+    rows = [
+        (
+            f"{name}-{i}",
+            int(rng.integers(0, 10)),  # travel week
+            float(rng.uniform(2, 30)),  # walking km
+            float(rng.uniform(80, 900)),  # package cost
+        )
+        for i in range(n)
+    ]
+    return repro.Table(name, ["pkg", "week", "walkKm", "cost"], rows)
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    tables = {
+        "R": city_table("rome", 150, rng),
+        "P": city_table("paris", 150, rng),
+        "B": city_table("barcelona", 150, rng),
+    }
+
+    walk = (
+        0.5 * repro.Attr("R", "walkKm")
+        + repro.Attr("P", "walkKm")
+        + (1 / 1.5) * repro.Attr("B", "walkKm")
+    )
+    cost = (
+        repro.Attr("R", "cost") + repro.Attr("P", "cost") + repro.Attr("B", "cost")
+    )
+    query = MultiwayQuery(
+        aliases=("R", "P", "B"),
+        joins=(
+            ChainJoin("R", "week", "P", "week"),
+            ChainJoin("P", "week", "B", "week"),
+        ),
+        mappings=repro.MappingSet(
+            [
+                repro.MappingFunction("effortKm", walk),
+                repro.MappingFunction("totalCost", cost),
+            ]
+        ),
+        preference=repro.ParetoPreference(
+            [repro.lowest("effortKm"), repro.lowest("totalCost")]
+        ),
+        passthrough=(
+            PassThrough("R", "pkg", "rome"),
+            PassThrough("P", "pkg", "paris"),
+            PassThrough("B", "pkg", "barcelona"),
+        ),
+    )
+
+    bound = query.bind(tables)
+    clock = repro.VirtualClock()
+
+    print("Pareto-optimal three-city itineraries, streamed as proven:\n")
+    count = 0
+    for r in bound.evaluate_progressive(clock):
+        count += 1
+        if count <= 15:
+            print(
+                f"  t={clock.now():>9.0f}  {r.outputs['rome']:>9} + "
+                f"{r.outputs['paris']:>9} + {r.outputs['barcelona']:>12}  "
+                f"effort={r.outputs['effortKm']:6.1f}km  "
+                f"cost={r.outputs['totalCost']:7.0f}"
+            )
+    print(f"\n{count} itineraries in the three-way skyline")
+
+    # Cross-check against the blocking evaluator (the JF-SL analogue).
+    blocking = bound.evaluate_blocking()
+    assert {r.key() for r in blocking} == {
+        r.key() for r in bound.evaluate_progressive()
+    }
+    print("progressive and blocking evaluations agree ✔")
+
+
+if __name__ == "__main__":
+    main()

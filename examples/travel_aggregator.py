@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Internet aggregator: the Kayak-style Rome + Paris trip (paper §I-B).
+
+The traveller books one package per city, matched on the travel week.
+Because "the user is willing to walk twice as much in Rome than in Paris",
+Rome walking distance enters the combined walking objective at half weight;
+total cost is a plain cumulative sum.  The example shows results streaming
+out while the engine is still joining — the aggregator can render options
+as they are proven optimal.
+
+Run:  python examples/travel_aggregator.py
+"""
+
+import repro
+
+
+def main() -> None:
+    workload = repro.TravelWorkload(
+        n_rome=400, n_paris=400, n_weeks=16, distribution="anticorrelated",
+        seed=13,
+    )
+    bound = workload.bound()
+
+    clock = repro.VirtualClock()
+    engine = repro.ProgXeEngine(bound, clock)
+
+    print("Pareto-optimal Rome+Paris combinations, streamed as proven:\n")
+    header = f"{'when (vtime)':>12}  {'rome pkg':>10}  {'paris pkg':>10}  " \
+             f"{'walk (weighted km)':>18}  {'cost':>8}"
+    print(header)
+    results = []
+    for r in engine.run():
+        results.append(r)
+        print(
+            f"{clock.now():>12.0f}  {r.outputs['rome_pkg']:>10}  "
+            f"{r.outputs['paris_pkg']:>10}  "
+            f"{r.outputs['totalWalk']:>18.2f}  {r.outputs['totalCost']:>8.2f}"
+        )
+
+    print(f"\n{len(results)} optimal combinations")
+    print(
+        "look-ahead pruned "
+        f"{engine.stats['regions_discarded']}/{engine.stats['regions_total']}"
+        " join regions before any tuple work"
+    )
+
+    # Contrast: a blocking evaluation shows nothing until the very end.
+    jf = repro.run_algorithm(repro.JoinFirstSkylineLater, bound)
+    px = repro.run_algorithm(repro.progxe, bound)
+    print(
+        f"\nfirst result: ProgXe at t={px.recorder.time_to_first():.0f} vs "
+        f"JF-SL at t={jf.recorder.time_to_first():.0f} "
+        f"({jf.recorder.time_to_first() / max(px.recorder.time_to_first(), 1):.0f}x later)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,148 @@
+"""ProgXe: progressive result generation for multi-criteria decision support
+(SkyMapJoin) queries.
+
+Reproduction of Raghavan & Rundensteiner, ICDE 2010 / WPI-CS-TR-09-05.
+
+Quickstart::
+
+    import repro
+
+    workload = repro.SyntheticWorkload(distribution="anticorrelated",
+                                       n=500, d=2, sigma=0.01)
+    bound = workload.bound()
+    engine = repro.ProgXeEngine(bound)
+    for result in engine.run():        # results stream out as proven final
+        print(result.outputs)
+
+Or with the paper's SQL surface::
+
+    query = repro.parse_query('''
+        SELECT R.id, T.id,
+               (R.uPrice + T.uShipCost) AS tCost,
+               (2 * R.manTime + T.shipTime) AS delay
+        FROM Suppliers R, Transporters T
+        WHERE R.country = T.country
+        PREFERRING LOWEST(tCost) AND LOWEST(delay)
+    ''')
+    bound = query.bind_by_table_name({"Suppliers": suppliers,
+                                      "Transporters": transporters})
+"""
+
+from repro.baselines import (
+    JoinFirstSkylineLater,
+    JoinFirstSkylineLaterPlus,
+    SkylineSortMergeJoin,
+    SortedAccessJoin,
+)
+from repro.core import (
+    ALGORITHMS,
+    PROGXE_VARIANTS,
+    ProgXeEngine,
+    progxe,
+    progxe_no_order,
+    progxe_plus,
+    progxe_plus_no_order,
+)
+from repro.data import (
+    RefinementWorkload,
+    SupplyChainWorkload,
+    SyntheticWorkload,
+    TravelWorkload,
+)
+from repro.errors import (
+    BindingError,
+    ExecutionError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+from repro.query import (
+    Attr,
+    BoundQuery,
+    ChainJoin,
+    Const,
+    Interval,
+    MappingFunction,
+    MappingSet,
+    MultiwayQuery,
+    ResultTuple,
+    SkyMapJoinQuery,
+    parse_query,
+    render_query,
+)
+from repro.runtime import (
+    ComparisonReport,
+    ProgressRecorder,
+    RunResult,
+    VirtualClock,
+    compare_algorithms,
+    run_algorithm,
+)
+from repro.skyline import (
+    HIGHEST,
+    LOWEST,
+    ParetoPreference,
+    Preference,
+    bnl_skyline,
+    dominates,
+    highest,
+    lowest,
+    sfs_skyline,
+)
+from repro.storage import Schema, Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "Attr",
+    "BindingError",
+    "BoundQuery",
+    "ComparisonReport",
+    "Const",
+    "ExecutionError",
+    "HIGHEST",
+    "Interval",
+    "JoinFirstSkylineLater",
+    "JoinFirstSkylineLaterPlus",
+    "LOWEST",
+    "ChainJoin",
+    "MappingFunction",
+    "MappingSet",
+    "MultiwayQuery",
+    "PROGXE_VARIANTS",
+    "render_query",
+    "ParetoPreference",
+    "ParseError",
+    "Preference",
+    "ProgXeEngine",
+    "ProgressRecorder",
+    "QueryError",
+    "RefinementWorkload",
+    "ReproError",
+    "ResultTuple",
+    "RunResult",
+    "Schema",
+    "SchemaError",
+    "SkyMapJoinQuery",
+    "SkylineSortMergeJoin",
+    "SortedAccessJoin",
+    "SupplyChainWorkload",
+    "SyntheticWorkload",
+    "Table",
+    "TravelWorkload",
+    "VirtualClock",
+    "bnl_skyline",
+    "compare_algorithms",
+    "dominates",
+    "highest",
+    "lowest",
+    "parse_query",
+    "progxe",
+    "progxe_no_order",
+    "progxe_plus",
+    "progxe_plus_no_order",
+    "run_algorithm",
+    "sfs_skyline",
+]

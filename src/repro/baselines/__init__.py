@@ -1,0 +1,27 @@
+"""Baseline algorithms the paper compares against (§VI-A)."""
+
+from repro.baselines.jfsl import JoinFirstSkylineLater
+from repro.baselines.jfsl_plus import JoinFirstSkylineLaterPlus
+from repro.baselines.pushthrough import (
+    SourcePruneResult,
+    attribute_bounds,
+    derived_preference,
+    group_level_skyline,
+    prune_source,
+    source_level_skyline,
+)
+from repro.baselines.saj import SortedAccessJoin
+from repro.baselines.ssmj import SkylineSortMergeJoin
+
+__all__ = [
+    "JoinFirstSkylineLater",
+    "JoinFirstSkylineLaterPlus",
+    "SkylineSortMergeJoin",
+    "SortedAccessJoin",
+    "SourcePruneResult",
+    "attribute_bounds",
+    "derived_preference",
+    "group_level_skyline",
+    "prune_source",
+    "source_level_skyline",
+]

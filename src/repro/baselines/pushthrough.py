@@ -1,0 +1,172 @@
+"""Skyline partial push-through (paper §I-C, §VI-B; Hafenrichter & Kießling).
+
+The principle: a tuple of one source that is dominated *within its join
+group* (same join value) by another tuple of that source — compared on a
+preference *derived* from the mapping functions' monotonicity — can be
+pruned before the join.  Any join partner the pruned tuple has, the
+dominating tuple has too (same join value), and monotone mappings preserve
+the dominance into the output space.
+
+Two levels, following SSMJ's terminology:
+
+* **source-level skyline** ``LS(S)`` — the skyline of the source ignoring
+  the join condition entirely;
+* **group-level skyline** ``LS(N)`` — per-join-value skylines; the union of
+  group skylines is the complete set of tuples that can still contribute to
+  any final result.  ``LS(S) ⊆ LS(N)``.
+
+If the derived preference does not exist (a mapping is non-monotone in some
+attribute, or two mappings pull an attribute in opposite directions),
+push-through is unsafe and callers must skip it (the paper's drawback
+discussion of SSMJ under mapping functions).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.query.smj import BoundQuery
+from repro.skyline.bnl import bnl_skyline_entries
+from repro.skyline.preferences import Direction, ParetoPreference
+from repro.storage.table import Row, Table
+
+
+@dataclass
+class SourcePruneResult:
+    """Outcome of push-through pruning on one source."""
+
+    kept_rows: list[Row]
+    source_skyline: list[Row]  # LS(S)
+    group_skyline: list[Row]  # LS(N), == kept_rows
+    original_count: int
+    comparisons: int
+
+    @property
+    def pruned_count(self) -> int:
+        """Tuples eliminated by the local pruning."""
+        return self.original_count - len(self.kept_rows)
+
+
+def derived_preference(bound: BoundQuery, alias: str) -> ParetoPreference | None:
+    """Derived source preference for ``alias`` (``None`` when unsafe)."""
+    return bound.query.mappings.derived_source_preference(
+        alias, bound.query.preference
+    )
+
+
+def _source_vector_fn(
+    table: Table, preference: ParetoPreference
+) -> Callable[[Row], tuple[float, ...]]:
+    indices = table.schema.indices(preference.attributes)
+    signs = tuple(
+        1.0 if p.direction is Direction.LOWEST else -1.0 for p in preference
+    )
+    def vector(row: Row) -> tuple[float, ...]:
+        return tuple(s * row[i] for s, i in zip(signs, indices))
+    return vector
+
+
+def source_level_skyline(
+    table: Table,
+    preference: ParetoPreference,
+    *,
+    on_comparison: Callable[[], None] | None = None,
+) -> list[Row]:
+    """``LS(S)``: skyline of the whole source, join condition ignored."""
+    vector = _source_vector_fn(table, preference)
+    entries = ((vector(row), row) for row in table.rows)
+    return [row for _, row in bnl_skyline_entries(entries, on_comparison=on_comparison)]
+
+
+def group_level_skyline(
+    table: Table,
+    join_attr: str,
+    preference: ParetoPreference,
+    *,
+    on_comparison: Callable[[], None] | None = None,
+) -> list[Row]:
+    """``LS(N)``: union of per-join-value group skylines (row order kept)."""
+    vector = _source_vector_fn(table, preference)
+    join_idx = table.schema.index(join_attr)
+    groups: dict = defaultdict(list)
+    for row in table.rows:
+        groups[row[join_idx]].append((vector(row), row))
+    kept: list[Row] = []
+    for group_entries in groups.values():
+        kept.extend(
+            row
+            for _, row in bnl_skyline_entries(
+                group_entries, on_comparison=on_comparison
+            )
+        )
+    order = {id(row): i for i, row in enumerate(table.rows)}
+    kept.sort(key=lambda r: order[id(r)])
+    return kept
+
+
+def prune_source(
+    bound: BoundQuery,
+    alias: str,
+    *,
+    on_comparison: Callable[[], None] | None = None,
+) -> SourcePruneResult | None:
+    """Full push-through pruning for one side of the bound query.
+
+    Returns ``None`` when no safe derived preference exists — callers must
+    then process the source unpruned.
+    """
+    if alias == bound.left_alias:
+        table, join_attr = bound.left_table, bound.query.join.left_attr
+    elif alias == bound.right_alias:
+        table, join_attr = bound.right_table, bound.query.join.right_attr
+    else:
+        raise ValueError(f"unknown alias {alias!r}")
+    pref = derived_preference(bound, alias)
+    if pref is None:
+        return None
+
+    counter = _CountingCallback(on_comparison)
+    ls_s = source_level_skyline(table, pref, on_comparison=counter)
+    ls_n = group_level_skyline(table, join_attr, pref, on_comparison=counter)
+    return SourcePruneResult(
+        kept_rows=ls_n,
+        source_skyline=ls_s,
+        group_skyline=ls_n,
+        original_count=len(table.rows),
+        comparisons=counter.count,
+    )
+
+
+class _CountingCallback:
+    """Callable that counts invocations and forwards to an inner callback."""
+
+    __slots__ = ("count", "_inner")
+
+    def __init__(self, inner: Callable[[], None] | None) -> None:
+        self.count = 0
+        self._inner = inner
+
+    def __call__(self) -> None:
+        self.count += 1
+        if self._inner is not None:
+            self._inner()
+
+
+def attribute_bounds(
+    rows: Sequence[Row], attributes: Sequence[str], indices: Sequence[int]
+) -> dict[str, tuple[float, float]]:
+    """Per-attribute ``(min, max)`` over a row set, keyed by attribute name.
+
+    Used to build interval environments for threat/threshold analysis in
+    SSMJ and SAJ.  Empty ``rows`` is an error — callers must special-case
+    empty candidate sets before asking for bounds.
+    """
+    if not rows:
+        raise ValueError("cannot compute bounds of an empty row set")
+    bounds = {}
+    for attr, idx in zip(attributes, indices):
+        values = [row[idx] for row in rows]
+        bounds[attr] = (float(min(values)), float(max(values)))
+    return bounds

@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``
+    Execute one algorithm on a synthetic workload; print the progressive
+    output stream (or just the summary).
+
+``compare``
+    Run several algorithms on the same workload; print the paper-style
+    progressiveness and total-cost tables.
+
+``query``
+    Parse an SMJ query (the paper's SQL-with-PREFERRING surface) and run
+    it progressively against CSV tables.
+
+``generate``
+    Write a synthetic workload's two tables to CSV files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.variants import ALGORITHMS, PROGXE_VARIANTS
+from repro.data.workloads import SyntheticWorkload
+from repro.errors import ReproError
+from repro.query.parser import parse_query
+from repro.runtime.clock import VirtualClock
+from repro.runtime.compare import compare_algorithms
+from repro.runtime.runner import run_algorithm
+from repro.storage.table import Table
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--distribution", "-D",
+        choices=["independent", "correlated", "anticorrelated"],
+        default="independent", help="attribute correlation regime",
+    )
+    parser.add_argument("-n", type=int, default=400, help="rows per table")
+    parser.add_argument("-d", type=int, default=2, help="skyline dimensions")
+    parser.add_argument("--sigma", type=float, default=0.01,
+                        help="target join selectivity")
+    parser.add_argument("--seed", type=int, default=7, help="RNG seed")
+
+
+def _workload(args: argparse.Namespace) -> SyntheticWorkload:
+    return SyntheticWorkload(
+        distribution=args.distribution, n=args.n, d=args.d,
+        sigma=args.sigma, seed=args.seed,
+    )
+
+
+def _resolve_algorithms(spec: str) -> dict:
+    if spec == "all":
+        return dict(ALGORITHMS)
+    if spec == "variants":
+        return dict(PROGXE_VARIANTS)
+    chosen = {}
+    for name in spec.split(","):
+        name = name.strip()
+        if name not in ALGORITHMS:
+            raise SystemExit(
+                f"unknown algorithm {name!r}; available: {', '.join(ALGORITHMS)}"
+            )
+        chosen[name] = ALGORITHMS[name]
+    return chosen
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    algorithms = _resolve_algorithms(args.algorithm)
+    if len(algorithms) != 1:
+        raise SystemExit("run takes exactly one algorithm; use compare for several")
+    [(name, factory)] = algorithms.items()
+    bound = _workload(args).bound()
+    clock = VirtualClock()
+    algo = factory(bound, clock)
+    count = 0
+    for result in algo.run():
+        count += 1
+        if args.stream:
+            print(f"t={clock.now():>12.0f}  {result.outputs}")
+    print(f"{name}: {count} results, total virtual cost {clock.now():.0f}, "
+          f"{clock.count('dominance_cmp')} dominance comparisons")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    algorithms = _resolve_algorithms(args.algorithms)
+    bound = _workload(args).bound()
+    report = compare_algorithms(algorithms, bound, verify=not args.no_verify)
+    print("Progressiveness (virtual time to reach each output fraction):")
+    print(report.progressiveness_table())
+    print("\nTotal execution cost:")
+    print(report.total_time_table())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    if args.query_file:
+        with open(args.query_file) as f:
+            text = f.read()
+    else:
+        text = args.query
+    if not text:
+        raise SystemExit("provide --query or --query-file")
+    query = parse_query(text)
+    tables = {}
+    for spec in args.table:
+        name, _, path = spec.partition("=")
+        if not path:
+            raise SystemExit(f"--table expects NAME=PATH, got {spec!r}")
+        tables[name] = Table.from_csv(name, path)
+    bound = query.bind_by_table_name(tables)
+    algorithms = _resolve_algorithms(args.algorithm)
+    [(name, factory)] = algorithms.items()
+    run = run_algorithm(factory, bound)
+    for result in run.results[: args.limit] if args.limit else run.results:
+        print(result.outputs)
+    summary = run.summary()
+    print(
+        f"\n{name}: {summary['results']} results, "
+        f"first at t={summary['time_to_first']}, "
+        f"total cost {summary['total_vtime']:.0f}"
+    )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core.explain import explain
+
+    bound = _workload(args).bound()
+    print(explain(bound).render(top=args.top))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    workload = _workload(args)
+    tables = workload.tables()
+    left = tables[workload.left_alias]
+    right = tables[workload.right_alias]
+    left_path = f"{args.prefix}_{workload.left_alias}.csv"
+    right_path = f"{args.prefix}_{workload.right_alias}.csv"
+    left.to_csv(left_path)
+    right.to_csv(right_path)
+    print(f"wrote {left_path} ({len(left)} rows) and {right_path} ({len(right)} rows)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ProgXe: progressive SkyMapJoin query evaluation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one algorithm on a synthetic workload")
+    _add_workload_args(p_run)
+    p_run.add_argument("--algorithm", "-a", default="ProgXe",
+                       help=f"one of: {', '.join(ALGORITHMS)}")
+    p_run.add_argument("--stream", action="store_true",
+                       help="print every result as it is emitted")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare algorithms on one workload")
+    _add_workload_args(p_cmp)
+    p_cmp.add_argument("--algorithms", "-a", default="variants",
+                       help="'all', 'variants', or a comma list of names")
+    p_cmp.add_argument("--no-verify", action="store_true",
+                       help="skip the result-set agreement check")
+    p_cmp.set_defaults(fn=_cmd_compare)
+
+    p_query = sub.add_parser("query", help="run an SMJ query over CSV tables")
+    p_query.add_argument("--query", help="query text")
+    p_query.add_argument("--query-file", help="file containing the query")
+    p_query.add_argument("--table", action="append", default=[],
+                         metavar="NAME=PATH", help="bind table NAME to a CSV file")
+    p_query.add_argument("--algorithm", "-a", default="ProgXe")
+    p_query.add_argument("--limit", type=int, default=0,
+                         help="print at most this many results (0 = all)")
+    p_query.set_defaults(fn=_cmd_query)
+
+    p_gen = sub.add_parser("generate", help="write a synthetic workload to CSV")
+    _add_workload_args(p_gen)
+    p_gen.add_argument("--prefix", default="workload",
+                       help="output file prefix (PREFIX_R.csv, PREFIX_T.csv)")
+    p_gen.set_defaults(fn=_cmd_generate)
+
+    p_explain = sub.add_parser(
+        "explain", help="show the ProgXe plan for a workload (no execution)"
+    )
+    _add_workload_args(p_explain)
+    p_explain.add_argument("--top", type=int, default=10,
+                           help="regions to list, by rank")
+    p_explain.set_defaults(fn=_cmd_explain)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""The ProgOrder benefit model (paper §IV-B, Definition 2, Eqs. 1–2).
+
+``Benefit(R_{a,b}) = ProgCount / PartitionCount * Cardinality`` where:
+
+* ``Cardinality`` estimates the skyline results the region can produce —
+  the Bentley/Buchta expected-maxima formula applied to the expected join
+  cardinality of the region's input partitions (Eq. 1),
+* ``ProgCount`` counts the region's covered cells that depend on *no other
+  live region* to be releasable: every cell that could feed dominators into
+  them is settled, or populated exclusively by this region (Definition 2 —
+  cells "that can neither be eliminated nor have output dependencies to
+  partitions belonging to other output regions").
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.regions import OutputRegion
+from repro.skyline.estimate import expected_skyline_size
+
+
+def region_cardinality(region: OutputRegion, dimensions: int) -> float:
+    """Eq. 1: estimated skyline results the region can produce."""
+    return expected_skyline_size(region.expected_join, dimensions)
+
+
+def progressive_count(
+    region: OutputRegion, regions_by_id: Mapping[int, OutputRegion]
+) -> int:
+    """Definition 2: externally independent, still-releasable covered cells."""
+    rid = region.rid
+    count = 0
+    for cell in region.covered:
+        if cell.marked or cell.emitted:
+            continue
+        independent = True
+        for lc in cell.cone_lower:
+            if lc.settled:
+                continue
+            # An unsettled potential-dominator cell blocks Oh unless every
+            # live region feeding it is this very region.
+            for other in lc.region_ids:
+                if other != rid and not regions_by_id[other].done:
+                    independent = False
+                    break
+            if not independent:
+                break
+        if independent:
+            count += 1
+    return count
+
+
+def region_benefit(
+    region: OutputRegion,
+    regions_by_id: Mapping[int, OutputRegion],
+    dimensions: int,
+) -> float:
+    """Eq. 2: progressiveness-weighted cardinality."""
+    total = region.partition_count
+    if total == 0:
+        return 0.0
+    if region.cardinality == 0.0:
+        region.cardinality = region_cardinality(region, dimensions)
+    return progressive_count(region, regions_by_id) / total * region.cardinality

@@ -1,0 +1,44 @@
+"""The ProgOrder cost model (paper §IV-C, Eqs. 3–7).
+
+``Cost(R_{a,b}) = C_join + C_map + C_sky`` with
+
+* ``C_join = n_a * n_b`` (Eq. 4, the pairwise join evaluation),
+* ``C_map = sigma * n_a * n_b`` (Eq. 5, one map per join result; the
+  signatures give the expected join size directly),
+* ``C_sky = J * (CP_avg * s_avg) * log^alpha(CP_avg * s_avg)`` (Eqs. 6–7,
+  Kung-style amortised comparison cost restricted to the comparable-cell
+  cone), with ``alpha = 1`` for ``d <= 3`` and ``alpha = d - 2`` otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.output_grid import OutputGrid
+from repro.core.regions import OutputRegion
+
+
+def kung_alpha(dimensions: int) -> int:
+    """The exponent α of the average skyline comparison bound (§IV-C)."""
+    if dimensions < 1:
+        raise ValueError(f"dimensions must be >= 1, got {dimensions}")
+    return 1 if dimensions <= 3 else dimensions - 2
+
+
+def region_cost(
+    region: OutputRegion, grid: OutputGrid, dimensions: int
+) -> float:
+    """Eqs. 3–7: estimated tuple-level processing cost of the region."""
+    n_a, n_b = region.join_cost_inputs
+    c_join = float(n_a * n_b)
+    expected_join = region.expected_join
+    c_map = expected_join
+
+    covered = max(1, region.partition_count)
+    cp_avg = grid.mean_cone_size()
+    s_avg = max(1.0, expected_join / covered)
+    window = cp_avg * s_avg
+    alpha = kung_alpha(dimensions)
+    log_term = math.log(window) ** alpha if window > 1.0 else 1.0
+    c_sky = expected_join * window * log_term
+    return c_join + c_map + c_sky

@@ -1,0 +1,194 @@
+"""Output-space look-ahead (paper §III-A).
+
+Executes join and skyline reasoning at partition granularity, before any
+tuple is touched:
+
+1. **Join pruning** — input partition pairs whose join-value signatures
+   provably share no value generate no region at all.
+2. **Region construction** — for the surviving pairs, the mapping functions
+   are evaluated over the partition bounding boxes with interval arithmetic
+   to obtain the output region each pair populates (Example 1).
+3. **Region-level elimination** — a region *guaranteed* to be populated
+   whose upper corner dominates another region's lower corner eliminates
+   that region outright: its join never runs (Example 2).
+4. **Cell-level marking** — guaranteed regions mark output cells that any
+   of their future tuples must dominate as "non-contributing"
+   (Example 3); results mapped there are discarded without comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.output_grid import OutputGrid
+from repro.core.regions import OutputRegion
+from repro.query.smj import BoundQuery
+from repro.runtime.clock import VirtualClock
+from repro.storage.grid import InputGrid
+
+#: Relative box expansion guarding against floating-point rounding between
+#: interval arithmetic and per-tuple evaluation order.
+_BOX_EPS = 1e-9
+
+
+def build_regions(
+    bound: BoundQuery,
+    left_grid: InputGrid,
+    right_grid: InputGrid,
+    clock: VirtualClock,
+) -> list[OutputRegion]:
+    """Construct output regions for all joinable partition pairs."""
+    regions: list[OutputRegion] = []
+    rid = 0
+    for lpart in left_grid:
+        left_bounds = lpart.attribute_intervals(left_grid.attributes)
+        for rpart in right_grid:
+            clock.charge("partition_op")
+            if not lpart.signature.may_share(rpart.signature):
+                continue
+            lower, upper = bound.region_box(
+                left_bounds, rpart.attribute_intervals(right_grid.attributes)
+            )
+            guaranteed = lpart.signature.definitely_shares(rpart.signature)
+            expected = lpart.signature.expected_join_size(rpart.signature)
+            regions.append(
+                OutputRegion(rid, lpart, rpart, lower, upper, expected, guaranteed)
+            )
+            rid += 1
+    return regions
+
+
+def eliminate_dominated_regions(
+    regions: list[OutputRegion], clock: VirtualClock
+) -> list[OutputRegion]:
+    """Region-level complete elimination (Example 2).
+
+    A guaranteed region ``g`` holds at least one tuple ``v <= g.upper``; if
+    ``g.upper <= r.lower`` everywhere with strict inequality somewhere, that
+    tuple dominates *every* tuple ``r`` can ever produce, so ``r`` is
+    discarded.  Vectorised over all (guaranteed, region) pairs.
+    """
+    if not regions:
+        return regions
+    guaranteed = [r for r in regions if r.guaranteed]
+    if not guaranteed:
+        return regions
+    uppers = np.array([g.upper for g in guaranteed])  # (G, d)
+    lowers = np.array([r.lower for r in regions])  # (N, d)
+    clock.charge("graph_op", len(guaranteed))
+    le = uppers[:, None, :] <= lowers[None, :, :]
+    lt = uppers[:, None, :] < lowers[None, :, :]
+    dominated_by = le.all(axis=2) & lt.any(axis=2)  # (G, N)
+    # A guaranteed region never eliminates itself: its upper corner cannot
+    # strictly dominate its own lower corner (upper >= lower).
+    dominated = dominated_by.any(axis=0)
+    survivors = []
+    for region, dead in zip(regions, dominated):
+        if dead:
+            region.discarded = True
+        else:
+            survivors.append(region)
+    return survivors
+
+
+def build_output_grid(
+    bound: BoundQuery,
+    regions: list[OutputRegion],
+    cells_per_dim: int,
+    clock: VirtualClock,
+) -> OutputGrid:
+    """Materialise the active output grid and wire region coverage."""
+    d = bound.skyline_dimension_count
+    if regions:
+        lo = [min(r.lower[i] for r in regions) for i in range(d)]
+        hi = [max(r.upper[i] for r in regions) for i in range(d)]
+    else:  # degenerate but legal: empty join
+        lo, hi = [0.0] * d, [1.0] * d
+    # Guard the box against exact-boundary values.
+    span = [max(h - l, 1.0) for l, h in zip(lo, hi)]
+    lo = [l - _BOX_EPS * s for l, s in zip(lo, span)]
+    hi = [h + _BOX_EPS * s for h, s in zip(hi, span)]
+    grid = OutputGrid(lo, hi, cells_per_dim)
+
+    for region in regions:
+        cmin, cmax = grid.box_cell_range(region.lower, region.upper)
+        region.cell_min, region.cell_max = cmin, cmax
+        for coords in grid.iter_coords_in_range(cmin, cmax):
+            clock.charge("partition_op")
+            cell = grid.activate(coords)
+            cell.reg_count += 1
+            cell.region_ids.append(region.rid)
+            region.covered.append(cell)
+        region.unmarked_covered = len(region.covered)
+    return grid
+
+
+def premark_dominated_cells(
+    regions: list[OutputRegion],
+    grid: OutputGrid,
+    clock: VirtualClock,
+) -> int:
+    """Cell-level marking by guaranteed regions (Example 3).
+
+    Each guaranteed region holds a future tuple ``v <= upper``; every active
+    cell whose lower corner is ``>= upper`` everywhere and ``>`` somewhere
+    is dominated by that tuple wholesale.  Returns the number of cells
+    marked.  Runs before cone construction, so marked cells simply never
+    enter the comparison topology.
+    """
+    guaranteed = [r for r in regions if r.guaranteed and not r.discarded]
+    if not guaranteed or not grid.cells:
+        return 0
+    cells = list(grid.cells.values())
+    lowers = np.array([c.lower for c in cells])  # (N, d)
+    uppers = np.array([g.upper for g in guaranteed])  # (G, d)
+    clock.charge("graph_op", len(guaranteed))
+    le = uppers[:, None, :] <= lowers[None, :, :]
+    lt = uppers[:, None, :] < lowers[None, :, :]
+    dominated = (le.all(axis=2) & lt.any(axis=2)).any(axis=0)  # (N,)
+    marked = 0
+    region_by_id = {r.rid: r for r in regions}
+    for cell, dead in zip(cells, dominated):
+        if not dead or cell.marked:
+            continue
+        cell.marked = True
+        cell.settled = True
+        marked += 1
+        for rid in cell.region_ids:
+            region = region_by_id[rid]
+            region.unmarked_covered -= 1
+            if region.unmarked_covered == 0 and not region.done:
+                # Every cell the region could populate is dominated: the
+                # region's tuples are all dominated, skip it entirely.
+                region.discarded = True
+    if marked:
+        # Discarded regions release their coverage so cells can settle.
+        for region in regions:
+            if region.discarded and region.covered:
+                for cell in region.covered:
+                    cell.reg_count -= 1
+                    if cell.reg_count == 0 and not cell.settled:
+                        cell.settled = True
+                region.covered = []
+    return marked
+
+
+def run_lookahead(
+    bound: BoundQuery,
+    left_grid: InputGrid,
+    right_grid: InputGrid,
+    output_cells_per_dim: int,
+    clock: VirtualClock,
+) -> tuple[list[OutputRegion], OutputGrid]:
+    """The full look-ahead pipeline; returns surviving regions and the grid.
+
+    The returned region list excludes regions discarded at region level;
+    regions discarded by cell-level marking remain in the list with their
+    ``discarded`` flag set (the ordering policy skips them).
+    """
+    regions = build_regions(bound, left_grid, right_grid, clock)
+    regions = eliminate_dominated_regions(regions, clock)
+    grid = build_output_grid(bound, regions, output_cells_per_dim, clock)
+    premark_dominated_cells(regions, grid, clock)
+    grid.build_cones()
+    return regions, grid

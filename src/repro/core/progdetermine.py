@@ -1,0 +1,241 @@
+"""ProgDetermine: progressive result determination (paper §V, Algorithm 2).
+
+Decides which output cells can be emitted *safely* — provably members of
+the final skyline — and when.  The paper's Principle 1 requires, for a cell
+``Oh``:
+
+1. no future tuple will map into ``Oh`` (its RegCount reached zero),
+2. every cell that would dominate ``Oh`` outright is settled empty (else
+   ``Oh`` would have been marked),
+3. every cell that could contribute *individual* dominators has settled —
+   all its tuples exist and their comparisons have pruned ``Oh``.
+
+This implementation realises the paper's count-based variant: conditions
+(2) and (3) collapse into one ``pending`` counter per cell — the number of
+unsettled cells in its dominance cone — maintained by settle notifications
+(the count decrements replacing the Dom/DomBy/Dependent/Dependence list
+removals of Algorithm 2).
+
+:class:`ExecutionState` owns the mutable execution structures and exposes
+the three state transitions (settle, mark, region completion) plus the
+tuple-insertion path used by tuple-level processing.
+"""
+
+from __future__ import annotations
+
+from repro.core.output_grid import CellEntry, OutputCell, OutputGrid
+from repro.core.regions import OutputRegion
+from repro.errors import ExecutionError
+from repro.query.smj import BoundQuery
+from repro.runtime.clock import VirtualClock
+from repro.skyline.dominance import dominates
+
+
+class ExecutionState:
+    """Shared mutable state of one ProgXe execution."""
+
+    def __init__(
+        self,
+        bound: BoundQuery,
+        regions: list[OutputRegion],
+        grid: OutputGrid,
+        clock: VirtualClock,
+    ) -> None:
+        self.bound = bound
+        self.grid = grid
+        self.clock = clock
+        self.regions = {r.rid: r for r in regions}
+        self.active_region: OutputRegion | None = None
+        self.newly_discarded: list[OutputRegion] = []
+        self._emissions: list[CellEntry] = []
+        # Statistics
+        self.inserted = 0
+        self.discarded_on_arrival = 0
+        self.dominated_on_arrival = 0
+        self.live_entries = 0
+        self.peak_live_entries = 0
+
+    # ------------------------------------------------------------------
+    # emission plumbing
+    # ------------------------------------------------------------------
+    def drain_emissions(self) -> list[CellEntry]:
+        """Entries that became safely emittable since the last drain."""
+        if not self._emissions:
+            return []
+        out = self._emissions
+        self._emissions = []
+        return out
+
+    def _try_emit(self, cell: OutputCell) -> None:
+        if cell.emittable:
+            cell.emitted = True
+            if cell.entries:
+                # Emitted entries leave the held-back buffer (they remain
+                # in the cell for future dominance checks, but the user has
+                # them already).
+                self.live_entries -= len(cell.entries)
+                self._emissions.extend(cell.entries)
+
+    # ------------------------------------------------------------------
+    # the three state transitions
+    # ------------------------------------------------------------------
+    def settle(self, cell: OutputCell) -> None:
+        """No future tuple can map to ``cell``; notify its cone."""
+        if cell.settled:
+            return
+        cell.settled = True
+        self._try_emit(cell)
+        for uc in cell.cone_upper:
+            uc.pending -= 1
+            self._try_emit(uc)
+
+    def mark_cell(self, cell: OutputCell) -> None:
+        """Mark ``cell`` non-contributing; drop its buffer, cascade."""
+        if cell.marked:
+            return
+        if cell.emitted:
+            raise ExecutionError(
+                f"attempt to mark emitted cell {cell!r}; "
+                "the emission guarantee is broken"
+            )
+        cell.marked = True
+        if cell.entries:
+            self.clock.charge("discard", len(cell.entries))
+            self.live_entries -= len(cell.entries)
+            cell.entries = []
+        for rid in cell.region_ids:
+            region = self.regions[rid]
+            region.unmarked_covered -= 1
+            if (
+                region.unmarked_covered == 0
+                and not region.done
+                and region is not self.active_region
+            ):
+                # Every cell the region could populate is dominated; its
+                # tuple-level processing would produce only dominated
+                # results.  (The active region is left to finish: its
+                # remaining arrivals land in marked cells and are dropped.)
+                self.discard_region(region)
+        if not cell.settled:
+            cell.settled = True
+            for uc in cell.cone_upper:
+                uc.pending -= 1
+                self._try_emit(uc)
+
+    def complete_region(self, region: OutputRegion) -> None:
+        """Release the region's coverage (Algorithm 2 lines 2–5)."""
+        for cell in region.covered:
+            cell.reg_count -= 1
+            if cell.reg_count == 0 and not cell.settled:
+                self.settle(cell)
+        region.covered = []
+
+    def discard_region(self, region: OutputRegion) -> None:
+        """Discard a dominated region and release its coverage."""
+        region.discarded = True
+        self.newly_discarded.append(region)
+        self.complete_region(region)
+
+    def drain_discarded(self) -> list[OutputRegion]:
+        """Regions discarded since the last drain (for the ordering policy)."""
+        if not self.newly_discarded:
+            return []
+        out = self.newly_discarded
+        self.newly_discarded = []
+        return out
+
+    # ------------------------------------------------------------------
+    # tuple insertion (the §III-B comparison-minimising path)
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        vector: tuple[float, ...],
+        lrow: tuple,
+        rrow: tuple,
+        mapped: tuple[float, ...],
+    ) -> None:
+        """Insert one mapped join result into the output grid."""
+        clock = self.clock
+        cell = self.grid.cell_for_vector(vector)
+        if cell.marked:
+            # Dominated wholesale by the cell's marking witness: zero
+            # comparisons needed.
+            clock.charge("discard")
+            self.discarded_on_arrival += 1
+            return
+        if cell.reg_count <= 0:
+            raise ExecutionError(
+                f"tuple arrived in settled cell {cell!r}; RegCount accounting broken"
+            )
+
+        # (1) Can anything already present dominate the newcomer?  Only the
+        # cell itself and its lower cone can (paper §III-B).
+        survivors: list[CellEntry] = []
+        for entry in cell.entries:
+            clock.charge("dominance_cmp")
+            if dominates(entry[0], vector):
+                self.dominated_on_arrival += 1
+                return
+            # While scanning, drop same-cell entries the newcomer beats.
+            clock.charge("dominance_cmp")
+            if not dominates(vector, entry[0]):
+                survivors.append(entry)
+        for lc in cell.cone_lower:
+            if not lc.entries:
+                continue
+            for entry in lc.entries:
+                clock.charge("dominance_cmp")
+                if dominates(entry[0], vector):
+                    self.dominated_on_arrival += 1
+                    return
+        self.live_entries -= len(cell.entries) - len(survivors)
+        cell.entries = survivors
+
+        # (2) The newcomer survived: evict dominated entries upstream.
+        for uc in cell.cone_upper:
+            if not uc.entries:
+                continue
+            kept = []
+            for entry in uc.entries:
+                clock.charge("dominance_cmp")
+                if not dominates(vector, entry[0]):
+                    kept.append(entry)
+            if len(kept) != len(uc.entries):
+                self.live_entries -= len(uc.entries) - len(kept)
+                uc.entries = kept
+
+        # (3) Mark every strictly-dominated cell (Example 3 at tuple
+        # granularity): anything ever falling there is dominated by the
+        # newcomer — with the value-level strictness guard for boundary
+        # ties.
+        for sc in cell.strict_upper:
+            if sc.marked:
+                continue
+            clock.charge("partition_op")
+            lower = sc.lower
+            strict = False
+            for v, b in zip(vector, lower):
+                if v < b:
+                    strict = True
+                    break
+            if strict:
+                self.mark_cell(sc)
+
+        cell.entries.append((vector, lrow, rrow, mapped))
+        self.inserted += 1
+        self.live_entries += 1
+        if self.live_entries > self.peak_live_entries:
+            self.peak_live_entries = self.live_entries
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def verify_drained(self) -> None:
+        """After all regions are done every live cell must have emitted."""
+        for cell in self.grid.cells.values():
+            if cell.marked:
+                continue
+            if not cell.emitted:
+                raise ExecutionError(
+                    f"execution finished with unemitted live cell {cell!r}"
+                )

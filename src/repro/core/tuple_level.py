@@ -1,0 +1,80 @@
+"""Tuple-level processing of one output region (paper §III-B).
+
+Runs the expensive join + map + dominance work for the region chosen by the
+ordering policy, feeding results through the comparison-minimising
+insertion path of :class:`~repro.core.progdetermine.ExecutionState`.
+Implemented as a generator so results that become safely emittable *during*
+the region's processing (via marking cascades) reach the caller
+immediately.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+from repro.core.output_grid import CellEntry
+from repro.core.progdetermine import ExecutionState
+from repro.core.regions import OutputRegion
+
+
+def process_region(
+    state: ExecutionState, region: OutputRegion
+) -> Iterator[CellEntry]:
+    """Generate, map and insert the region's join results.
+
+    Yields cell entries that became emittable while the region was being
+    processed.  The caller completes the region (RegCount release) after
+    the generator is exhausted.
+    """
+    if region.done:
+        return
+    if region.unmarked_covered == 0:
+        # Every cell this region could populate is already dominated: the
+        # look-ahead saved us the entire join (the §III-A payoff).
+        state.clock.charge("discard")
+        return
+
+    bound = state.bound
+    clock = state.clock
+    state.active_region = region
+    try:
+        left_rows = region.left_partition.rows
+        right_rows = region.right_partition.rows
+
+        # Hash join within the partition pair, building on the smaller side.
+        if len(left_rows) <= len(right_rows):
+            build_rows, probe_rows = left_rows, right_rows
+            build_key = bound.left_join_index
+            probe_key = bound.right_join_index
+            build_is_left = True
+        else:
+            build_rows, probe_rows = right_rows, left_rows
+            build_key = bound.right_join_index
+            probe_key = bound.left_join_index
+            build_is_left = False
+
+        table: dict = defaultdict(list)
+        for row in build_rows:
+            clock.charge("join_build")
+            table[row[build_key]].append(row)
+
+        for prow in probe_rows:
+            clock.charge("join_probe")
+            matches = table.get(prow[probe_key])
+            if not matches:
+                continue
+            for brow in matches:
+                clock.charge("join_result")
+                if build_is_left:
+                    lrow, rrow = brow, prow
+                else:
+                    lrow, rrow = prow, brow
+                mapped = bound.map_pair(lrow, rrow)
+                clock.charge("map")
+                state.insert(bound.vector_of(mapped), lrow, rrow, mapped)
+            emissions = state.drain_emissions()
+            if emissions:
+                yield from emissions
+    finally:
+        state.active_region = None

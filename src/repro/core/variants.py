@@ -1,0 +1,59 @@
+"""The four ProgXe variants of the experimental study (paper §VI-B) and the
+algorithm registry used by the benchmark harnesses.
+
+* **ProgXe** — the core framework: look-ahead + ProgOrder + ProgDetermine.
+* **ProgXe+** — core framework plus skyline partial push-through.
+* **ProgXe (No-Order)** — ordering disabled (random region sequence),
+  progressive result determination still on.
+* **ProgXe+ (No-Order)** — push-through with random ordering.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.jfsl import JoinFirstSkylineLater
+from repro.baselines.jfsl_plus import JoinFirstSkylineLaterPlus
+from repro.baselines.saj import SortedAccessJoin
+from repro.baselines.ssmj import SkylineSortMergeJoin
+from repro.core.engine import ProgXeEngine
+from repro.query.smj import BoundQuery
+from repro.runtime.clock import VirtualClock
+
+
+def progxe(bound: BoundQuery, clock: VirtualClock, **kwargs) -> ProgXeEngine:
+    """The core ProgXe engine."""
+    return ProgXeEngine(bound, clock, ordering=True, pushthrough=False, **kwargs)
+
+
+def progxe_plus(bound: BoundQuery, clock: VirtualClock, **kwargs) -> ProgXeEngine:
+    """ProgXe with skyline partial push-through."""
+    return ProgXeEngine(bound, clock, ordering=True, pushthrough=True, **kwargs)
+
+
+def progxe_no_order(bound: BoundQuery, clock: VirtualClock, **kwargs) -> ProgXeEngine:
+    """ProgXe with random region ordering (ordering ablation)."""
+    return ProgXeEngine(bound, clock, ordering=False, pushthrough=False, **kwargs)
+
+
+def progxe_plus_no_order(
+    bound: BoundQuery, clock: VirtualClock, **kwargs
+) -> ProgXeEngine:
+    """ProgXe+ with random region ordering."""
+    return ProgXeEngine(bound, clock, ordering=False, pushthrough=True, **kwargs)
+
+
+#: The variants compared in Figures 10a–f.
+PROGXE_VARIANTS = {
+    "ProgXe": progxe,
+    "ProgXe+": progxe_plus,
+    "ProgXe (No-Order)": progxe_no_order,
+    "ProgXe+ (No-Order)": progxe_plus_no_order,
+}
+
+#: Every algorithm in the library, by display name.
+ALGORITHMS = {
+    **PROGXE_VARIANTS,
+    "JF-SL": JoinFirstSkylineLater,
+    "JF-SL+": JoinFirstSkylineLaterPlus,
+    "SSMJ": SkylineSortMergeJoin,
+    "SAJ": SortedAccessJoin,
+}

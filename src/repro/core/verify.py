@@ -1,0 +1,89 @@
+"""Independent result verification.
+
+``verify_results(bound, results)`` recomputes the query's true skyline with
+a completely separate code path (hash join + block-nested-loops, none of
+the ProgXe machinery) and checks a result stream against it.  Downstream
+users can audit *any* algorithm — including their own — with one call; the
+library's own agreement tests build on the same primitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.join.hash_join import hash_join
+from repro.join.predicates import EquiJoin
+from repro.query.smj import BoundQuery, ResultTuple
+from repro.skyline.bnl import bnl_skyline_entries
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of checking a result stream against the true skyline."""
+
+    expected: int
+    received: int
+    missing: list[tuple] = field(default_factory=list)  # false negatives
+    unexpected: list[tuple] = field(default_factory=list)  # false positives
+    duplicated: list[tuple] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the stream is exactly the skyline, without repeats."""
+        return not self.missing and not self.unexpected and not self.duplicated
+
+    def render(self) -> str:
+        """Human-readable verdict."""
+        if self.ok:
+            return f"OK: {self.received} results match the true skyline exactly"
+        lines = [
+            f"MISMATCH: expected {self.expected}, received {self.received}",
+            f"  false negatives (missing): {len(self.missing)}",
+            f"  false positives (unexpected): {len(self.unexpected)}",
+            f"  duplicated emissions: {len(self.duplicated)}",
+        ]
+        return "\n".join(lines)
+
+
+def true_skyline_keys(bound: BoundQuery) -> set[tuple]:
+    """The query's exact skyline keys via an independent evaluation path."""
+    predicate = EquiJoin(bound.left_join_index, bound.right_join_index)
+    candidates = []
+    for lrow, rrow in hash_join(
+        bound.left_table.rows, bound.right_table.rows, predicate
+    ):
+        mapped = bound.map_pair(lrow, rrow)
+        candidates.append((bound.vector_of(mapped), (lrow, rrow)))
+    return {payload for _, payload in bnl_skyline_entries(candidates)}
+
+
+def verify_results(
+    bound: BoundQuery, results: Iterable[ResultTuple]
+) -> VerificationReport:
+    """Check a (finished) result stream against the true skyline."""
+    expected = true_skyline_keys(bound)
+    seen: set[tuple] = set()
+    duplicated = []
+    unexpected = []
+    count = 0
+    for result in results:
+        count += 1
+        key = result.key()
+        if key in seen:
+            duplicated.append(key)
+            continue
+        seen.add(key)
+        if key not in expected:
+            unexpected.append(key)
+    missing = sorted(
+        expected - seen,
+        key=lambda k: (str(k[0][0]), str(k[1][0])),
+    )
+    return VerificationReport(
+        expected=len(expected),
+        received=count,
+        missing=list(missing),
+        unexpected=unexpected,
+        duplicated=duplicated,
+    )

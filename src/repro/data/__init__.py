@@ -1,0 +1,31 @@
+"""Data substrate: synthetic generators, selectivity calibration, workloads."""
+
+from repro.data.generator import (
+    Distribution,
+    correlation_sign,
+    generate_attributes,
+)
+from repro.data.join_values import (
+    assign_join_values,
+    domain_size_for_selectivity,
+    empirical_selectivity,
+)
+from repro.data.workloads import (
+    RefinementWorkload,
+    SupplyChainWorkload,
+    SyntheticWorkload,
+    TravelWorkload,
+)
+
+__all__ = [
+    "Distribution",
+    "RefinementWorkload",
+    "SupplyChainWorkload",
+    "SyntheticWorkload",
+    "TravelWorkload",
+    "assign_join_values",
+    "correlation_sign",
+    "domain_size_for_selectivity",
+    "empirical_selectivity",
+    "generate_attributes",
+]

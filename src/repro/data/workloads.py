@@ -1,0 +1,313 @@
+"""Workload builders: the paper's synthetic benchmark plus three realistic
+scenarios from its motivating applications (§I-B).
+
+Every workload produces two :class:`~repro.storage.table.Table` objects and a
+:class:`~repro.query.smj.SkyMapJoinQuery`, fully determined by a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.generator import Distribution, generate_attributes
+from repro.data.join_values import assign_join_values
+from repro.query.expressions import Attr
+from repro.query.mapping import MappingFunction, MappingSet
+from repro.query.smj import (
+    BoundQuery,
+    FilterCondition,
+    JoinCondition,
+    PassThrough,
+    SkyMapJoinQuery,
+)
+from repro.skyline.preferences import ParetoPreference, lowest
+from repro.storage.table import Table
+
+
+@dataclass
+class SyntheticWorkload:
+    """The paper's evaluation workload (§VI-A).
+
+    Two tables of cardinality ``n`` each, ``d`` skyline-relevant attributes
+    per side with values in [1, 100] under the chosen correlation regime,
+    join values calibrated to selectivity ``sigma``, and the paper's mapping
+    — per-dimension addition ``x_i = R.a_i + T.b_i`` — minimised on every
+    dimension.
+    """
+
+    distribution: Distribution = "independent"
+    n: int = 1000
+    d: int = 2
+    sigma: float = 0.01
+    seed: int = 7
+    skew: float | None = None
+
+    left_alias: str = "R"
+    right_alias: str = "T"
+
+    def tables(self) -> dict[str, Table]:
+        """Generate both input tables (deterministic in the seed)."""
+        rng = np.random.default_rng(self.seed)
+        out = {}
+        for alias, prefix in ((self.left_alias, "a"), (self.right_alias, "b")):
+            attrs = generate_attributes(self.distribution, self.n, self.d, rng)
+            jvals = assign_join_values(self.n, self.sigma, rng, skew=self.skew)
+            columns = ["id", "jkey"] + [f"{prefix}{i}" for i in range(self.d)]
+            rows = [
+                (f"{alias}{i}", jvals[i], *map(float, attrs[i]))
+                for i in range(self.n)
+            ]
+            out[alias] = Table(alias, columns, rows)
+        return out
+
+    def query(self) -> SkyMapJoinQuery:
+        """The SMJ query over the synthetic tables."""
+        mappings = MappingSet(
+            [
+                MappingFunction(
+                    f"x{i}",
+                    Attr(self.left_alias, f"a{i}") + Attr(self.right_alias, f"b{i}"),
+                )
+                for i in range(self.d)
+            ]
+        )
+        return SkyMapJoinQuery(
+            left_alias=self.left_alias,
+            right_alias=self.right_alias,
+            join=JoinCondition("jkey", "jkey"),
+            mappings=mappings,
+            preference=ParetoPreference(lowest(f"x{i}") for i in range(self.d)),
+            passthrough=(
+                PassThrough(self.left_alias, "id", "left_id"),
+                PassThrough(self.right_alias, "id", "right_id"),
+            ),
+        )
+
+    def bound(self) -> BoundQuery:
+        """Generate tables and bind the query in one step."""
+        return self.query().bind(self.tables())
+
+
+@dataclass
+class SupplyChainWorkload:
+    """The paper's Q1: suppliers × transporters (Example 3, §I-B).
+
+    Suppliers carry unit price, manufacturing time, capacity and a parts
+    list; transporters carry shipping cost and time.  The query couples
+    suppliers able to produce 100K units of part P1 with transporters in the
+    same country, minimising total cost and delay.
+    """
+
+    n_suppliers: int = 400
+    n_transporters: int = 400
+    n_countries: int = 20
+    distribution: Distribution = "independent"
+    seed: int = 11
+    part_pool: tuple[str, ...] = ("P1", "P2", "P3", "P4")
+
+    def tables(self) -> dict[str, Table]:
+        rng = np.random.default_rng(self.seed)
+        countries = [f"C{i}" for i in range(self.n_countries)]
+
+        sup_attrs = generate_attributes(
+            self.distribution, self.n_suppliers, 2, rng
+        )
+        suppliers = []
+        for i in range(self.n_suppliers):
+            n_parts = int(rng.integers(1, len(self.part_pool) + 1))
+            parts = tuple(
+                rng.choice(self.part_pool, size=n_parts, replace=False)
+            )
+            suppliers.append(
+                (
+                    f"S{i}",
+                    countries[int(rng.integers(0, self.n_countries))],
+                    float(sup_attrs[i, 0]),  # uPrice
+                    float(sup_attrs[i, 1]),  # manTime
+                    float(rng.integers(50, 301)) * 1000.0,  # manCap
+                    parts,
+                )
+            )
+        tra_attrs = generate_attributes(
+            self.distribution, self.n_transporters, 2, rng
+        )
+        transporters = [
+            (
+                f"T{i}",
+                countries[int(rng.integers(0, self.n_countries))],
+                float(tra_attrs[i, 0]),  # uShipCost
+                float(tra_attrs[i, 1]),  # shipTime
+            )
+            for i in range(self.n_transporters)
+        ]
+        return {
+            "R": Table(
+                "Suppliers",
+                ["id", "country", "uPrice", "manTime", "manCap", "suppliedParts"],
+                suppliers,
+            ),
+            "T": Table(
+                "Transporters",
+                ["id", "country", "uShipCost", "shipTime"],
+                transporters,
+            ),
+        }
+
+    def query(self) -> SkyMapJoinQuery:
+        mappings = MappingSet(
+            [
+                MappingFunction("tCost", Attr("R", "uPrice") + Attr("T", "uShipCost")),
+                MappingFunction(
+                    "delay", 2.0 * Attr("R", "manTime") + Attr("T", "shipTime")
+                ),
+            ]
+        )
+        return SkyMapJoinQuery(
+            left_alias="R",
+            right_alias="T",
+            join=JoinCondition("country", "country"),
+            mappings=mappings,
+            preference=ParetoPreference([lowest("tCost"), lowest("delay")]),
+            filters=(
+                FilterCondition("R", "suppliedParts", "contains", "P1"),
+                FilterCondition("R", "manCap", ">=", 100_000.0),
+            ),
+            passthrough=(
+                PassThrough("R", "id", "supplier"),
+                PassThrough("T", "id", "transporter"),
+            ),
+        )
+
+    def bound(self) -> BoundQuery:
+        return self.query().bind(self.tables())
+
+
+@dataclass
+class TravelWorkload:
+    """The Kayak-style aggregator (Example 1, §I-B): Rome + Paris trip.
+
+    One relation per leg, joined on the travel week.  The traveller walks
+    twice as happily in Rome, so Rome walking distance enters the combined
+    walking objective at half weight; the cumulative cost is the plain sum.
+    """
+
+    n_rome: int = 300
+    n_paris: int = 300
+    n_weeks: int = 12
+    distribution: Distribution = "anticorrelated"
+    seed: int = 13
+
+    def tables(self) -> dict[str, Table]:
+        rng = np.random.default_rng(self.seed)
+        out = {}
+        for alias, city, n in (("R", "rome", self.n_rome), ("P", "paris", self.n_paris)):
+            attrs = generate_attributes(self.distribution, n, 2, rng)
+            rows = [
+                (
+                    f"{city}-{i}",
+                    int(rng.integers(0, self.n_weeks)),
+                    float(attrs[i, 0]),  # walkKm (scaled 1..100)
+                    float(attrs[i, 1] * 10.0),  # cost
+                )
+                for i in range(n)
+            ]
+            out[alias] = Table(city, ["pkg", "week", "walkKm", "cost"], rows)
+        return out
+
+    def query(self) -> SkyMapJoinQuery:
+        mappings = MappingSet(
+            [
+                MappingFunction(
+                    "totalWalk", 0.5 * Attr("R", "walkKm") + Attr("P", "walkKm")
+                ),
+                MappingFunction("totalCost", Attr("R", "cost") + Attr("P", "cost")),
+            ]
+        )
+        return SkyMapJoinQuery(
+            left_alias="R",
+            right_alias="P",
+            join=JoinCondition("week", "week"),
+            mappings=mappings,
+            preference=ParetoPreference([lowest("totalWalk"), lowest("totalCost")]),
+            passthrough=(
+                PassThrough("R", "pkg", "rome_pkg"),
+                PassThrough("P", "pkg", "paris_pkg"),
+            ),
+        )
+
+    def bound(self) -> BoundQuery:
+        return self.query().bind(self.tables())
+
+
+@dataclass
+class RefinementWorkload:
+    """On-line search refinement (Example 2, §I-B).
+
+    The user's original query came back empty; candidate products and seller
+    offers are scored by how far they deviate from the original constraints.
+    The skyline of (budget excess, delivery delay, spec distance) keeps the
+    relaxations "as close as possible to the original query".
+    """
+
+    n_products: int = 300
+    n_offers: int = 300
+    n_families: int = 25
+    distribution: Distribution = "independent"
+    seed: int = 17
+
+    def tables(self) -> dict[str, Table]:
+        rng = np.random.default_rng(self.seed)
+        fam = [f"F{i}" for i in range(self.n_families)]
+        p_attrs = generate_attributes(self.distribution, self.n_products, 2, rng)
+        products = [
+            (
+                f"prod-{i}",
+                fam[int(rng.integers(0, self.n_families))],
+                float(p_attrs[i, 0]),  # priceDelta: excess over budget
+                float(p_attrs[i, 1]),  # specDelta: feature distance
+            )
+            for i in range(self.n_products)
+        ]
+        o_attrs = generate_attributes(self.distribution, self.n_offers, 2, rng)
+        offers = [
+            (
+                f"offer-{i}",
+                fam[int(rng.integers(0, self.n_families))],
+                float(o_attrs[i, 0]),  # feeDelta
+                float(o_attrs[i, 1]),  # shipDays
+            )
+            for i in range(self.n_offers)
+        ]
+        return {
+            "R": Table("products", ["id", "family", "priceDelta", "specDelta"], products),
+            "O": Table("offers", ["id", "family", "feeDelta", "shipDays"], offers),
+        }
+
+    def query(self) -> SkyMapJoinQuery:
+        mappings = MappingSet(
+            [
+                MappingFunction(
+                    "overBudget", Attr("R", "priceDelta") + Attr("O", "feeDelta")
+                ),
+                MappingFunction("delay", Attr("O", "shipDays")),
+                MappingFunction("mismatch", Attr("R", "specDelta")),
+            ]
+        )
+        return SkyMapJoinQuery(
+            left_alias="R",
+            right_alias="O",
+            join=JoinCondition("family", "family"),
+            mappings=mappings,
+            preference=ParetoPreference(
+                [lowest("overBudget"), lowest("delay"), lowest("mismatch")]
+            ),
+            passthrough=(
+                PassThrough("R", "id", "product"),
+                PassThrough("O", "id", "offer"),
+            ),
+        )
+
+    def bound(self) -> BoundQuery:
+        return self.query().bind(self.tables())

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the failure class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or a referenced column does not exist."""
+
+
+class ParseError(ReproError):
+    """A query string could not be parsed.
+
+    Carries the offending position so callers can point at the problem.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class QueryError(ReproError):
+    """A structurally valid query is semantically invalid.
+
+    Examples: a preference over an attribute that no mapping produces, or a
+    join condition that references an unknown table alias.
+    """
+
+
+class BindingError(ReproError):
+    """A query could not be bound to the supplied tables."""
+
+
+class ExecutionError(ReproError):
+    """An internal invariant was violated during query execution.
+
+    Seeing this exception indicates a bug in the engine, never bad user
+    input; the message names the broken invariant.
+    """

@@ -1,0 +1,61 @@
+"""Hash equi-join.
+
+Builds a hash table on the smaller input and probes with the larger one —
+the join used by the JF-SL baseline (paper §VI-A: "JF-SL using a hash-based
+join") and by ProgXe's per-region tuple-level processing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterator, Sequence
+
+from repro.join.predicates import EquiJoin
+
+
+def hash_join(
+    left_rows: Sequence[tuple],
+    right_rows: Sequence[tuple],
+    predicate: EquiJoin,
+    *,
+    on_build: Callable[[], None] | None = None,
+    on_probe: Callable[[], None] | None = None,
+    on_result: Callable[[], None] | None = None,
+) -> Iterator[tuple[tuple, tuple]]:
+    """Yield all matching ``(left_row, right_row)`` pairs.
+
+    The three callbacks charge a virtual clock for build, probe and result
+    materialisation work respectively.  Output order: probe-side order,
+    build-side insertion order within a key — deterministic.
+    """
+    build_left = len(left_rows) <= len(right_rows)
+    if build_left:
+        table: dict = defaultdict(list)
+        key_idx = predicate.left_index
+        for row in left_rows:
+            if on_build is not None:
+                on_build()
+            table[row[key_idx]].append(row)
+        probe_idx = predicate.right_index
+        for rrow in right_rows:
+            if on_probe is not None:
+                on_probe()
+            for lrow in table.get(rrow[probe_idx], ()):
+                if on_result is not None:
+                    on_result()
+                yield lrow, rrow
+    else:
+        table = defaultdict(list)
+        key_idx = predicate.right_index
+        for row in right_rows:
+            if on_build is not None:
+                on_build()
+            table[row[key_idx]].append(row)
+        probe_idx = predicate.left_index
+        for lrow in left_rows:
+            if on_probe is not None:
+                on_probe()
+            for rrow in table.get(lrow[probe_idx], ()):
+                if on_result is not None:
+                    on_result()
+                yield lrow, rrow

@@ -1,0 +1,31 @@
+"""Nested-loop join — the oracle join used in correctness tests.
+
+Quadratic but assumption-free: works for any predicate and any key type,
+which makes it the reference implementation the faster joins are validated
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.join.predicates import EquiJoin
+
+
+def nested_loop_join(
+    left_rows: Sequence[tuple],
+    right_rows: Sequence[tuple],
+    predicate: EquiJoin,
+    *,
+    on_comparison: Callable[[], None] | None = None,
+    on_result: Callable[[], None] | None = None,
+) -> Iterator[tuple[tuple, tuple]]:
+    """Yield all matching pairs by exhaustive pairwise comparison."""
+    for lrow in left_rows:
+        for rrow in right_rows:
+            if on_comparison is not None:
+                on_comparison()
+            if predicate.matches(lrow, rrow):
+                if on_result is not None:
+                    on_result()
+                yield lrow, rrow

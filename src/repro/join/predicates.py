@@ -1,0 +1,17 @@
+"""Join predicates shared by the join algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EquiJoin:
+    """Positional equi-join spec: ``left_row[left_index] == right_row[right_index]``."""
+
+    left_index: int
+    right_index: int
+
+    def matches(self, left_row: tuple, right_row: tuple) -> bool:
+        """Whether the pair satisfies the join condition."""
+        return left_row[self.left_index] == right_row[self.right_index]

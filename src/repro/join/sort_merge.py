@@ -1,0 +1,53 @@
+"""Sort-merge equi-join (the join flavour inside SSMJ)."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.join.predicates import EquiJoin
+
+
+def sort_merge_join(
+    left_rows: Sequence[tuple],
+    right_rows: Sequence[tuple],
+    predicate: EquiJoin,
+    *,
+    on_sort_step: Callable[[], None] | None = None,
+    on_result: Callable[[], None] | None = None,
+) -> Iterator[tuple[tuple, tuple]]:
+    """Yield all matching pairs via sort-merge.
+
+    Join keys must be mutually comparable (all numeric or all strings).
+    ``on_sort_step`` is charged once per input row to account for the sort
+    phase; ``on_result`` once per output pair.
+    """
+    li, ri = predicate.left_index, predicate.right_index
+    lsorted = sorted(left_rows, key=lambda r: r[li])
+    rsorted = sorted(right_rows, key=lambda r: r[ri])
+    if on_sort_step is not None:
+        for _ in range(len(left_rows) + len(right_rows)):
+            on_sort_step()
+
+    i = j = 0
+    nl, nr = len(lsorted), len(rsorted)
+    while i < nl and j < nr:
+        lkey = lsorted[i][li]
+        rkey = rsorted[j][ri]
+        if lkey < rkey:
+            i += 1
+        elif rkey < lkey:
+            j += 1
+        else:
+            # Collect both equal runs, emit the cross product.
+            i2 = i
+            while i2 < nl and lsorted[i2][li] == lkey:
+                i2 += 1
+            j2 = j
+            while j2 < nr and rsorted[j2][ri] == rkey:
+                j2 += 1
+            for a in range(i, i2):
+                for b in range(j, j2):
+                    if on_result is not None:
+                        on_result()
+                    yield lsorted[a], rsorted[b]
+            i, j = i2, j2

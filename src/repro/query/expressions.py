@@ -1,0 +1,339 @@
+"""Arithmetic expression AST over attributes of two relations.
+
+Mapping functions (paper §II-B, ``f_j : Dom(B_j) -> Dom(x)``) are arbitrary
+arithmetic expressions over attributes of the joined tuple pair, e.g.
+``2 * R.manTime + T.shipTime``.  This module provides:
+
+* point evaluation (per join result, the "Map" operator µ),
+* **interval evaluation** (per partition pair, the look-ahead phase),
+* **monotonicity analysis** per source attribute, which powers the skyline
+  partial push-through principle: if a mapping is monotonically increasing
+  in ``R.a`` and the output is minimised, then lower ``R.a`` is locally
+  preferable — the basis for safe source-level pruning,
+* closure compilation into plain Python callables for the tuple-level hot
+  path.
+
+Environments map ``(alias, attribute)`` pairs to values (or intervals).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.errors import QueryError
+from repro.query.intervals import Interval
+
+AttrRef = tuple[str, str]
+Env = Mapping[AttrRef, float]
+IntervalEnv = Mapping[AttrRef, Interval]
+
+INCREASING = 1
+DECREASING = -1
+MIXED = None  # sentinel: monotonicity unknown / non-monotone
+
+
+class Expression:
+    """Base class for expression nodes."""
+
+    def evaluate(self, env: Env) -> float:
+        """Point evaluation under ``env``."""
+        raise NotImplementedError
+
+    def evaluate_interval(self, env: IntervalEnv) -> Interval:
+        """Interval evaluation: sound over-approximation of the range."""
+        raise NotImplementedError
+
+    def attributes(self) -> frozenset[AttrRef]:
+        """All ``(alias, attribute)`` references in the expression."""
+        raise NotImplementedError
+
+    def monotonicity(self) -> dict[AttrRef, int | None]:
+        """Per-attribute monotonicity sign.
+
+        ``+1`` = non-decreasing, ``-1`` = non-increasing, ``None`` = mixed or
+        unknown.  Attributes absent from the map do not appear in the
+        expression.
+        """
+        raise NotImplementedError
+
+    def constant_value(self) -> float | None:
+        """The expression's value if attribute-free, else ``None``."""
+        if self.attributes():
+            return None
+        return self.evaluate({})
+
+    def compile(
+        self,
+        left_alias: str,
+        right_alias: str,
+        left_index: Mapping[str, int],
+        right_index: Mapping[str, int],
+    ) -> Callable[[tuple, tuple], float]:
+        """Compile to a closure over a ``(left_row, right_row)`` pair."""
+        raise NotImplementedError
+
+    # Operator sugar so tests and callers can compose programmatically.
+    def __add__(self, other: "Expression | float") -> "Expression":
+        return BinOp("+", self, _wrap(other))
+
+    def __radd__(self, other: float) -> "Expression":
+        return BinOp("+", _wrap(other), self)
+
+    def __sub__(self, other: "Expression | float") -> "Expression":
+        return BinOp("-", self, _wrap(other))
+
+    def __rsub__(self, other: float) -> "Expression":
+        return BinOp("-", _wrap(other), self)
+
+    def __mul__(self, other: "Expression | float") -> "Expression":
+        return BinOp("*", self, _wrap(other))
+
+    def __rmul__(self, other: float) -> "Expression":
+        return BinOp("*", _wrap(other), self)
+
+    def __truediv__(self, other: "Expression | float") -> "Expression":
+        return BinOp("/", self, _wrap(other))
+
+    def __rtruediv__(self, other: float) -> "Expression":
+        return BinOp("/", _wrap(other), self)
+
+    def __neg__(self) -> "Expression":
+        return Neg(self)
+
+
+def _wrap(value: "Expression | float") -> Expression:
+    if isinstance(value, Expression):
+        return value
+    return Const(float(value))
+
+
+def rename_attributes(
+    expr: Expression, mapping: Mapping[AttrRef, AttrRef]
+) -> Expression:
+    """Rebuild ``expr`` with attribute references renamed per ``mapping``.
+
+    References absent from the mapping are kept unchanged.  Used by the
+    multi-way query reduction, which folds several sources into one
+    intermediate relation and must repoint mapping expressions at it.
+    """
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Attr):
+        target = mapping.get(expr.ref)
+        if target is None:
+            return expr
+        return Attr(target[0], target[1])
+    if isinstance(expr, Neg):
+        return Neg(rename_attributes(expr.operand, mapping))
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            rename_attributes(expr.left, mapping),
+            rename_attributes(expr.right, mapping),
+        )
+    raise QueryError(f"cannot rename in expression node {type(expr).__name__}")
+
+
+class Const(Expression):
+    """A numeric literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def evaluate(self, env: Env) -> float:
+        return self.value
+
+    def evaluate_interval(self, env: IntervalEnv) -> Interval:
+        return Interval.point(self.value)
+
+    def attributes(self) -> frozenset[AttrRef]:
+        return frozenset()
+
+    def monotonicity(self) -> dict[AttrRef, int | None]:
+        return {}
+
+    def compile(self, left_alias, right_alias, left_index, right_index):
+        v = self.value
+        return lambda lrow, rrow: v
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.value:g}"
+
+
+class Attr(Expression):
+    """An attribute reference ``alias.name``."""
+
+    __slots__ = ("alias", "name")
+
+    def __init__(self, alias: str, name: str) -> None:
+        self.alias = alias
+        self.name = name
+
+    @property
+    def ref(self) -> AttrRef:
+        return (self.alias, self.name)
+
+    def evaluate(self, env: Env) -> float:
+        try:
+            return env[self.ref]
+        except KeyError:
+            raise QueryError(f"attribute {self.alias}.{self.name} not bound") from None
+
+    def evaluate_interval(self, env: IntervalEnv) -> Interval:
+        try:
+            return env[self.ref]
+        except KeyError:
+            raise QueryError(f"attribute {self.alias}.{self.name} not bound") from None
+
+    def attributes(self) -> frozenset[AttrRef]:
+        return frozenset({self.ref})
+
+    def monotonicity(self) -> dict[AttrRef, int | None]:
+        return {self.ref: INCREASING}
+
+    def compile(self, left_alias, right_alias, left_index, right_index):
+        if self.alias == left_alias:
+            i = left_index[self.name]
+            return lambda lrow, rrow: lrow[i]
+        if self.alias == right_alias:
+            i = right_index[self.name]
+            return lambda lrow, rrow: rrow[i]
+        raise QueryError(
+            f"attribute alias {self.alias!r} is neither {left_alias!r} nor {right_alias!r}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.alias}.{self.name}"
+
+
+class Neg(Expression):
+    """Unary negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expression) -> None:
+        self.operand = operand
+
+    def evaluate(self, env: Env) -> float:
+        return -self.operand.evaluate(env)
+
+    def evaluate_interval(self, env: IntervalEnv) -> Interval:
+        return -self.operand.evaluate_interval(env)
+
+    def attributes(self) -> frozenset[AttrRef]:
+        return self.operand.attributes()
+
+    def monotonicity(self) -> dict[AttrRef, int | None]:
+        return {
+            ref: (None if sign is None else -sign)
+            for ref, sign in self.operand.monotonicity().items()
+        }
+
+    def compile(self, left_alias, right_alias, left_index, right_index):
+        f = self.operand.compile(left_alias, right_alias, left_index, right_index)
+        return lambda lrow, rrow: -f(lrow, rrow)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"-({self.operand!r})"
+
+
+def _combine_additive(
+    a: dict[AttrRef, int | None], b: dict[AttrRef, int | None]
+) -> dict[AttrRef, int | None]:
+    out = dict(a)
+    for ref, sign in b.items():
+        if ref in out:
+            out[ref] = sign if out[ref] == sign else None
+        else:
+            out[ref] = sign
+    return out
+
+
+class BinOp(Expression):
+    """A binary arithmetic operation ``+ - * /``."""
+
+    __slots__ = ("op", "left", "right")
+
+    _OPS: dict[str, Callable[[float, float], float]] = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": lambda a, b: a / b,
+    }
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in self._OPS:
+            raise QueryError(f"unsupported operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env: Env) -> float:
+        return self._OPS[self.op](self.left.evaluate(env), self.right.evaluate(env))
+
+    def evaluate_interval(self, env: IntervalEnv) -> Interval:
+        li = self.left.evaluate_interval(env)
+        ri = self.right.evaluate_interval(env)
+        if self.op == "+":
+            return li + ri
+        if self.op == "-":
+            return li - ri
+        if self.op == "*":
+            return li * ri
+        return li / ri
+
+    def attributes(self) -> frozenset[AttrRef]:
+        return self.left.attributes() | self.right.attributes()
+
+    def monotonicity(self) -> dict[AttrRef, int | None]:
+        lm = self.left.monotonicity()
+        rm = self.right.monotonicity()
+        if self.op == "+":
+            return _combine_additive(lm, rm)
+        if self.op == "-":
+            flipped = {r: (None if s is None else -s) for r, s in rm.items()}
+            return _combine_additive(lm, flipped)
+        if self.op == "*":
+            lc = self.left.constant_value()
+            rc = self.right.constant_value()
+            if lc is not None and rc is not None:
+                return {}
+            if rc is not None:
+                if rc > 0:
+                    return dict(lm)
+                if rc < 0:
+                    return {r: (None if s is None else -s) for r, s in lm.items()}
+                return {}  # * 0: the expression no longer depends on the attrs
+            if lc is not None:
+                if lc > 0:
+                    return dict(rm)
+                if lc < 0:
+                    return {r: (None if s is None else -s) for r, s in rm.items()}
+                return {}
+            # attribute * attribute: give up on monotonicity
+            return {r: None for r in lm.keys() | rm.keys()}
+        # division
+        rc = self.right.constant_value()
+        if rc is not None and rc != 0:
+            if rc > 0:
+                return dict(lm)
+            return {r: (None if s is None else -s) for r, s in lm.items()}
+        # constant / expr or expr / expr: sign depends on runtime domain
+        return {r: None for r in lm.keys() | rm.keys()}
+
+    def compile(self, left_alias, right_alias, left_index, right_index):
+        f = self.left.compile(left_alias, right_alias, left_index, right_index)
+        g = self.right.compile(left_alias, right_alias, left_index, right_index)
+        op = self.op
+        if op == "+":
+            return lambda lrow, rrow: f(lrow, rrow) + g(lrow, rrow)
+        if op == "-":
+            return lambda lrow, rrow: f(lrow, rrow) - g(lrow, rrow)
+        if op == "*":
+            return lambda lrow, rrow: f(lrow, rrow) * g(lrow, rrow)
+        return lambda lrow, rrow: f(lrow, rrow) / g(lrow, rrow)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left!r} {self.op} {self.right!r})"

@@ -1,0 +1,108 @@
+"""Closed-interval arithmetic.
+
+The output-space look-ahead (paper §III-A) maps *partition bounding boxes*
+through the query's mapping functions to obtain output regions without
+touching tuples.  Interval arithmetic is the machinery that makes this
+sound: evaluating an expression over intervals yields an interval guaranteed
+to contain every point-wise evaluation over values drawn from those
+intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` with ``lo <= hi``."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"interval lower bound {self.lo} exceeds upper {self.hi}")
+
+    @classmethod
+    def point(cls, value: float) -> "Interval":
+        """Degenerate interval containing a single value."""
+        return cls(value, value)
+
+    @property
+    def width(self) -> float:
+        """``hi - lo``."""
+        return self.hi - self.lo
+
+    def contains(self, value: float, *, tol: float = 1e-9) -> bool:
+        """Whether ``value`` lies inside the interval (with tolerance)."""
+        return self.lo - tol <= value <= self.hi + tol
+
+    def union(self, other: "Interval") -> "Interval":
+        """Smallest interval covering both operands."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def intersects(self, other: "Interval") -> bool:
+        """Whether the intervals overlap (closed-interval semantics)."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Interval | float") -> "Interval":
+        if isinstance(other, Interval):
+            return Interval(self.lo + other.lo, self.hi + other.hi)
+        return Interval(self.lo + other, self.hi + other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Interval | float") -> "Interval":
+        if isinstance(other, Interval):
+            return Interval(self.lo - other.hi, self.hi - other.lo)
+        return Interval(self.lo - other, self.hi - other)
+
+    def __rsub__(self, other: float) -> "Interval":
+        return Interval(other - self.hi, other - self.lo)
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def __mul__(self, other: "Interval | float") -> "Interval":
+        if isinstance(other, Interval):
+            products = (
+                self.lo * other.lo,
+                self.lo * other.hi,
+                self.hi * other.lo,
+                self.hi * other.hi,
+            )
+            return Interval(min(products), max(products))
+        if other >= 0:
+            return Interval(self.lo * other, self.hi * other)
+        return Interval(self.hi * other, self.lo * other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Interval | float") -> "Interval":
+        if isinstance(other, Interval):
+            if other.lo <= 0.0 <= other.hi:
+                raise ZeroDivisionError(
+                    f"division by an interval containing zero: {other}"
+                )
+            candidates = (
+                self.lo / other.lo,
+                self.lo / other.hi,
+                self.hi / other.lo,
+                self.hi / other.hi,
+            )
+            return Interval(min(candidates), max(candidates))
+        if other == 0:
+            raise ZeroDivisionError("division by zero")
+        if other > 0:
+            return Interval(self.lo / other, self.hi / other)
+        return Interval(self.hi / other, self.lo / other)
+
+    def __rtruediv__(self, other: float) -> "Interval":
+        return Interval.point(other) / self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.lo}, {self.hi}]"

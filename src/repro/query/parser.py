@@ -1,0 +1,416 @@
+"""Parser for SkyMapJoin queries in the paper's surface syntax.
+
+The paper writes queries like Q1:
+
+    SELECT R.id, T.id,
+           (R.uPrice + T.uShipCost) AS tCost,
+           (2 * R.manTime + T.shipTime) AS delay
+    FROM Suppliers R, Transporters T
+    WHERE R.country = T.country AND
+          'P1' IN R.suppliedParts AND R.manCap >= 100K
+    PREFERRING LOWEST(tCost) AND LOWEST(delay)
+
+:func:`parse_query` turns such a string into a
+:class:`~repro.query.smj.SkyMapJoinQuery`.  Supported surface:
+
+* two tables in ``FROM``, each with a mandatory alias,
+* exactly one equi-join condition between the two aliases,
+* any number of local filters (``=  !=  <  <=  >  >=``, ``attr IN (...)``
+  and the paper's ``literal IN attr`` membership test on collection
+  columns),
+* arithmetic select expressions (``+ - * /``, parentheses, numeric literals
+  with the paper's ``K``/``M`` suffixes) aliased with ``AS``,
+* a ``PREFERRING`` clause of ``LOWEST(...)``/``HIGHEST(...)`` terms joined
+  by ``AND``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ParseError, QueryError
+from repro.query.expressions import Attr, BinOp, Const, Expression, Neg
+from repro.query.mapping import MappingFunction, MappingSet
+from repro.query.smj import (
+    FilterCondition,
+    JoinCondition,
+    PassThrough,
+    SkyMapJoinQuery,
+)
+from repro.skyline.preferences import Direction, ParetoPreference, Preference
+
+_KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "AS", "PREFERRING",
+    "LOWEST", "HIGHEST", "IN",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(?:\.\d+)?(?:[kKmM]\b)?)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<string>'[^']*')
+  | (?P<op><=|>=|!=|<>|=|<|>|\+|-|\*|/|\(|\)|,|\.)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # 'number' | 'ident' | 'keyword' | 'string' | 'op' | 'eof'
+    value: Any
+    pos: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", pos)
+        if m.lastgroup == "ws":
+            pos = m.end()
+            continue
+        raw = m.group()
+        if m.lastgroup == "number":
+            mult = 1.0
+            if raw[-1] in "kK":
+                mult, raw = 1e3, raw[:-1]
+            elif raw[-1] in "mM":
+                mult, raw = 1e6, raw[:-1]
+            tokens.append(_Token("number", float(raw) * mult, pos))
+        elif m.lastgroup == "ident":
+            upper = raw.upper()
+            if upper in _KEYWORDS:
+                tokens.append(_Token("keyword", upper, pos))
+            else:
+                tokens.append(_Token("ident", raw, pos))
+        elif m.lastgroup == "string":
+            tokens.append(_Token("string", raw[1:-1], pos))
+        else:
+            op = "!=" if raw == "<>" else raw
+            tokens.append(_Token("op", op, pos))
+        pos = m.end()
+    tokens.append(_Token("eof", None, len(text)))
+    return tokens
+
+
+@dataclass
+class _SelectItem:
+    expression: Expression
+    output_name: str | None
+    pos: int
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.i = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self) -> _Token:
+        return self.tokens[self.i]
+
+    def _next(self) -> _Token:
+        tok = self.tokens[self.i]
+        self.i += 1
+        return tok
+
+    def _expect_keyword(self, word: str) -> _Token:
+        tok = self._next()
+        if tok.kind != "keyword" or tok.value != word:
+            raise ParseError(f"expected {word}, found {tok.value!r}", tok.pos)
+        return tok
+
+    def _expect_op(self, op: str) -> _Token:
+        tok = self._next()
+        if tok.kind != "op" or tok.value != op:
+            raise ParseError(f"expected {op!r}, found {tok.value!r}", tok.pos)
+        return tok
+
+    def _expect_ident(self) -> _Token:
+        tok = self._next()
+        if tok.kind != "ident":
+            raise ParseError(f"expected identifier, found {tok.value!r}", tok.pos)
+        return tok
+
+    def _at_keyword(self, word: str) -> bool:
+        tok = self._peek()
+        return tok.kind == "keyword" and tok.value == word
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+    def parse(self) -> SkyMapJoinQuery:
+        self._expect_keyword("SELECT")
+        items = self._select_list()
+        self._expect_keyword("FROM")
+        tables = self._table_refs()
+        self._expect_keyword("WHERE")
+        join, filters = self._conditions({alias for alias, _ in tables})
+        preferences: list[Preference] = []
+        if self._at_keyword("PREFERRING"):
+            self._next()
+            preferences = self._preferences()
+        tok = self._peek()
+        if tok.kind != "eof":
+            raise ParseError(f"unexpected trailing input {tok.value!r}", tok.pos)
+        return self._assemble(items, tables, join, filters, preferences)
+
+    def _select_list(self) -> list[_SelectItem]:
+        items = [self._select_item()]
+        while self._peek().kind == "op" and self._peek().value == ",":
+            # Stop at the FROM boundary: commas also separate table refs.
+            self._next()
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> _SelectItem:
+        pos = self._peek().pos
+        expr = self._expression()
+        name = None
+        if self._at_keyword("AS"):
+            self._next()
+            name = self._expect_ident().value
+        return _SelectItem(expr, name, pos)
+
+    def _table_refs(self) -> list[tuple[str, str]]:
+        refs = [self._table_ref()]
+        self._expect_op(",")
+        refs.append(self._table_ref())
+        if self._peek().kind == "op" and self._peek().value == ",":
+            tok = self._peek()
+            raise ParseError(
+                "SkyMapJoin queries join exactly two tables", tok.pos
+            )
+        return refs
+
+    def _table_ref(self) -> tuple[str, str]:
+        table = self._expect_ident().value
+        alias = self._expect_ident().value
+        return (alias, table)
+
+    def _conditions(
+        self, aliases: set[str]
+    ) -> tuple[tuple[str, str, str, str], list[FilterCondition]]:
+        join: tuple[str, str, str, str] | None = None  # lalias, lattr, ralias, rattr
+        filters: list[FilterCondition] = []
+        while True:
+            jf = self._condition(aliases)
+            if isinstance(jf, FilterCondition):
+                filters.append(jf)
+            else:
+                if join is not None:
+                    raise ParseError(
+                        "multiple join conditions; exactly one equi-join is supported",
+                        self._peek().pos,
+                    )
+                join = jf
+            if self._at_keyword("AND"):
+                self._next()
+                continue
+            break
+        if join is None:
+            raise ParseError("WHERE clause contains no join condition",
+                             self._peek().pos)
+        return join, filters
+
+    def _condition(self, aliases: set[str]):
+        tok = self._peek()
+        # literal IN alias.attr  (collection-membership filter)
+        if tok.kind in ("string", "number"):
+            literal = self._next().value
+            self._expect_keyword("IN")
+            alias, attr = self._qualified()
+            return FilterCondition(alias, attr, "contains", literal)
+        alias, attr = self._qualified()
+        nxt = self._next()
+        if nxt.kind == "keyword" and nxt.value == "IN":
+            self._expect_op("(")
+            values = [self._literal()]
+            while self._peek().kind == "op" and self._peek().value == ",":
+                self._next()
+                values.append(self._literal())
+            self._expect_op(")")
+            return FilterCondition(alias, attr, "in", tuple(values))
+        if nxt.kind != "op" or nxt.value not in ("=", "!=", "<", "<=", ">", ">="):
+            raise ParseError(f"expected comparison operator, found {nxt.value!r}", nxt.pos)
+        op = nxt.value
+        rhs = self._peek()
+        if rhs.kind == "ident":
+            r_alias, r_attr = self._qualified()
+            if op != "=":
+                raise ParseError(
+                    f"only equi-joins are supported between attributes, found {op!r}",
+                    rhs.pos,
+                )
+            if alias == r_alias:
+                raise ParseError(
+                    f"join condition references alias {alias!r} on both sides", rhs.pos
+                )
+            return (alias, attr, r_alias, r_attr)
+        literal = self._literal()
+        return FilterCondition(alias, attr, op, literal)
+
+    def _qualified(self) -> tuple[str, str]:
+        alias = self._expect_ident().value
+        self._expect_op(".")
+        attr = self._expect_ident().value
+        return alias, attr
+
+    def _literal(self) -> Any:
+        tok = self._next()
+        if tok.kind == "number":
+            return tok.value
+        if tok.kind == "string":
+            return tok.value
+        raise ParseError(f"expected literal, found {tok.value!r}", tok.pos)
+
+    def _preferences(self) -> list[Preference]:
+        prefs = [self._preference()]
+        while self._at_keyword("AND"):
+            self._next()
+            prefs.append(self._preference())
+        return prefs
+
+    def _preference(self) -> Preference:
+        tok = self._next()
+        if tok.kind != "keyword" or tok.value not in ("LOWEST", "HIGHEST"):
+            raise ParseError(
+                f"expected LOWEST or HIGHEST, found {tok.value!r}", tok.pos
+            )
+        direction = Direction.LOWEST if tok.value == "LOWEST" else Direction.HIGHEST
+        self._expect_op("(")
+        name = self._expect_ident().value
+        self._expect_op(")")
+        return Preference(name, direction)
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def _expression(self) -> Expression:
+        return self._additive()
+
+    def _additive(self) -> Expression:
+        node = self._multiplicative()
+        while self._peek().kind == "op" and self._peek().value in ("+", "-"):
+            op = self._next().value
+            node = BinOp(op, node, self._multiplicative())
+        return node
+
+    def _multiplicative(self) -> Expression:
+        node = self._unary()
+        while self._peek().kind == "op" and self._peek().value in ("*", "/"):
+            op = self._next().value
+            node = BinOp(op, node, self._unary())
+        return node
+
+    def _unary(self) -> Expression:
+        tok = self._peek()
+        if tok.kind == "op" and tok.value == "-":
+            self._next()
+            return Neg(self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expression:
+        tok = self._next()
+        if tok.kind == "number":
+            return Const(tok.value)
+        if tok.kind == "op" and tok.value == "(":
+            inner = self._expression()
+            self._expect_op(")")
+            return inner
+        if tok.kind == "ident":
+            self._expect_op(".")
+            attr = self._expect_ident().value
+            return Attr(tok.value, attr)
+        raise ParseError(f"unexpected token {tok.value!r} in expression", tok.pos)
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    def _assemble(
+        self,
+        items: list[_SelectItem],
+        tables: list[tuple[str, str]],
+        join_raw: tuple[str, str, str, str],
+        filters: list[FilterCondition],
+        preferences: list[Preference],
+    ) -> SkyMapJoinQuery:
+        (left_alias, _), (right_alias, _) = tables
+        j_lalias, j_lattr, j_ralias, j_rattr = join_raw
+        if {j_lalias, j_ralias} != {left_alias, right_alias}:
+            raise ParseError(
+                f"join condition uses aliases {j_lalias!r}/{j_ralias!r} but FROM "
+                f"declares {left_alias!r}/{right_alias!r}"
+            )
+        if j_lalias == left_alias:
+            join = JoinCondition(j_lattr, j_rattr)
+        else:
+            join = JoinCondition(j_rattr, j_lattr)
+        mappings: list[MappingFunction] = []
+        passthrough: list[PassThrough] = []
+        seen_names: set[str] = set()
+        for item in items:
+            expr = item.expression
+            if isinstance(expr, Attr) and item.output_name is None:
+                name = expr.name
+                if name in seen_names:
+                    name = f"{expr.alias}.{expr.name}"
+                seen_names.add(name)
+                passthrough.append(PassThrough(expr.alias, expr.name, name))
+            elif isinstance(expr, Attr) and item.output_name is not None:
+                if item.output_name in seen_names:
+                    raise ParseError(
+                        f"duplicate output name {item.output_name!r}", item.pos
+                    )
+                seen_names.add(item.output_name)
+                passthrough.append(
+                    PassThrough(expr.alias, expr.name, item.output_name)
+                )
+            else:
+                if item.output_name is None:
+                    raise ParseError(
+                        "computed select expressions need an AS alias", item.pos
+                    )
+                if item.output_name in seen_names:
+                    raise ParseError(
+                        f"duplicate output name {item.output_name!r}", item.pos
+                    )
+                seen_names.add(item.output_name)
+                mappings.append(MappingFunction(item.output_name, expr))
+        if not mappings:
+            raise ParseError(
+                "query defines no mapping functions (AS-aliased expressions)",
+                0,
+            )
+        if not preferences:
+            raise ParseError("query has no PREFERRING clause", len(self.text))
+        try:
+            query = SkyMapJoinQuery(
+                left_alias=left_alias,
+                right_alias=right_alias,
+                join=join,
+                mappings=MappingSet(mappings),
+                preference=ParetoPreference(preferences),
+                filters=tuple(filters),
+                passthrough=tuple(passthrough),
+                table_names=tuple(tables),
+            )
+        except QueryError as exc:
+            raise ParseError(str(exc)) from exc
+        return query
+
+
+def parse_query(text: str) -> SkyMapJoinQuery:
+    """Parse an SMJ query string into a :class:`SkyMapJoinQuery`."""
+    return _Parser(text).parse()

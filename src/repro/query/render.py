@@ -1,0 +1,107 @@
+"""Render a :class:`~repro.query.smj.SkyMapJoinQuery` back to the paper's
+SQL surface syntax.
+
+``parse_query(render_query(q))`` is semantically the identity (verified by
+property tests), which makes queries serialisable — useful for logging,
+debugging and the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import QueryError
+from repro.query.expressions import Attr, BinOp, Const, Expression, Neg
+from repro.query.smj import FilterCondition, SkyMapJoinQuery
+from repro.skyline.preferences import Direction
+
+
+def render_number(value: float) -> str:
+    """Format a number so the query lexer can read it back.
+
+    The lexer accepts plain decimals only (no scientific notation, no
+    leading ``-`` inside a literal), so large/small magnitudes are written
+    in positional notation.
+    """
+    if value != value or value in (float("inf"), float("-inf")):
+        raise QueryError(f"cannot render non-finite number {value}")
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    text = f"{value:.12f}".rstrip("0").rstrip(".")
+    return text if text else "0"
+
+
+def render_expression(expr: Expression) -> str:
+    """Parenthesised textual form of an expression."""
+    if isinstance(expr, Const):
+        if expr.value < 0:
+            return f"(0 - {render_number(-expr.value)})"
+        return render_number(expr.value)
+    if isinstance(expr, Attr):
+        return f"{expr.alias}.{expr.name}"
+    if isinstance(expr, Neg):
+        return f"(-{render_expression(expr.operand)})"
+    if isinstance(expr, BinOp):
+        left = render_expression(expr.left)
+        right = render_expression(expr.right)
+        return f"({left} {expr.op} {right})"
+    raise QueryError(f"cannot render expression node {type(expr).__name__}")
+
+
+def _render_literal(value: Any) -> str:
+    if isinstance(value, str):
+        if "'" in value:
+            raise QueryError(f"cannot render string literal containing a quote: {value!r}")
+        return f"'{value}'"
+    if isinstance(value, bool):
+        raise QueryError("boolean literals are not part of the query surface")
+    if isinstance(value, (int, float)):
+        return render_number(float(value))
+    raise QueryError(f"cannot render literal of type {type(value).__name__}")
+
+
+def _render_filter(f: FilterCondition) -> str:
+    if f.op == "contains":
+        return f"{_render_literal(f.literal)} IN {f.alias}.{f.attribute}"
+    if f.op == "in":
+        inner = ", ".join(_render_literal(v) for v in f.literal)
+        return f"{f.alias}.{f.attribute} IN ({inner})"
+    return f"{f.alias}.{f.attribute} {f.op} {_render_literal(f.literal)}"
+
+
+def render_query(query: SkyMapJoinQuery) -> str:
+    """Serialise the query to the SQL-with-PREFERRING surface."""
+    select_items = []
+    for pt in query.passthrough:
+        item = f"{pt.alias}.{pt.attribute}"
+        if pt.output_name not in (pt.attribute, f"{pt.alias}.{pt.attribute}"):
+            item += f" AS {pt.output_name}"
+        select_items.append(item)
+    for mapping in query.mappings:
+        select_items.append(
+            f"{render_expression(mapping.expression)} AS {mapping.name}"
+        )
+
+    names = dict(query.table_names)
+    left_table = names.get(query.left_alias, query.left_alias)
+    right_table = names.get(query.right_alias, query.right_alias)
+
+    conditions = [
+        f"{query.left_alias}.{query.join.left_attr} = "
+        f"{query.right_alias}.{query.join.right_attr}"
+    ]
+    conditions.extend(_render_filter(f) for f in query.filters)
+
+    prefs = " AND ".join(
+        f"{'LOWEST' if p.direction is Direction.LOWEST else 'HIGHEST'}"
+        f"({p.attribute})"
+        for p in query.preference
+    )
+
+    return (
+        f"SELECT {', '.join(select_items)}\n"
+        f"FROM {left_table} {query.left_alias}, "
+        f"{right_table} {query.right_alias}\n"
+        f"WHERE {' AND '.join(conditions)}\n"
+        f"PREFERRING {prefs}"
+    )

@@ -1,0 +1,88 @@
+"""Algorithm execution harness.
+
+Every algorithm in the library follows one protocol: construct with a
+:class:`~repro.query.smj.BoundQuery` and a
+:class:`~repro.runtime.clock.VirtualClock`, then expose ``run()`` as a
+generator yielding :class:`~repro.query.smj.ResultTuple` objects *at the
+moment they are safe to report*.  The runner consumes that generator while
+recording every emission, producing the raw material of the paper's
+progressiveness figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Protocol
+
+from repro.query.smj import BoundQuery, ResultTuple
+from repro.runtime.clock import VirtualClock
+from repro.runtime.recorder import ProgressRecorder
+
+
+class Algorithm(Protocol):
+    """Protocol implemented by every SMJ evaluation algorithm."""
+
+    name: str
+
+    def run(self) -> Iterator[ResultTuple]:
+        """Yield final-skyline results progressively."""
+        ...
+
+
+AlgorithmFactory = Callable[[BoundQuery, VirtualClock], Algorithm]
+
+
+@dataclass
+class RunResult:
+    """Everything observed while running one algorithm on one workload."""
+
+    name: str
+    results: list[ResultTuple]
+    recorder: ProgressRecorder
+    clock: VirtualClock
+    algorithm: Any
+
+    @property
+    def result_keys(self) -> set[tuple]:
+        """Identity keys of the result set (for cross-algorithm comparison)."""
+        return {r.key() for r in self.results}
+
+    def summary(self) -> dict[str, float | int | None]:
+        """Scalar progressiveness/cost summary of the run."""
+        rec = self.recorder
+        return {
+            "results": rec.total_results,
+            "total_vtime": rec.total_vtime,
+            "time_to_first": rec.time_to_first(),
+            "time_to_25pct": rec.time_to_fraction(0.25),
+            "time_to_50pct": rec.time_to_fraction(0.50),
+            "time_to_75pct": rec.time_to_fraction(0.75),
+            "auc": rec.progressiveness_auc(),
+            "batches": rec.batch_count(),
+            "dominance_cmps": rec.clock.count("dominance_cmp"),
+            "wall_seconds": rec.finished_wall,
+        }
+
+
+def run_algorithm(
+    factory: AlgorithmFactory,
+    bound: BoundQuery,
+    *,
+    clock: VirtualClock | None = None,
+) -> RunResult:
+    """Run one algorithm to completion, recording every emission."""
+    clock = clock or VirtualClock()
+    algorithm = factory(bound, clock)
+    recorder = ProgressRecorder(clock)
+    results: list[ResultTuple] = []
+    for result in algorithm.run():
+        recorder.record()
+        results.append(result)
+    recorder.finish()
+    return RunResult(
+        name=getattr(algorithm, "name", type(algorithm).__name__),
+        results=results,
+        recorder=recorder,
+        clock=clock,
+        algorithm=algorithm,
+    )

@@ -1,0 +1,69 @@
+"""JSON serialisation of run results and comparison reports.
+
+Benchmark harnesses persist their measurements as structured JSON next to
+the human-readable text, so downstream analysis (plotting, regression
+tracking across commits) does not have to re-run anything or scrape text
+tables.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.runtime.compare import ComparisonReport
+from repro.runtime.runner import RunResult
+
+
+def run_to_dict(run: RunResult, *, curve_points: int = 40) -> dict[str, Any]:
+    """Serialisable summary of one run: metrics, counters and the curve."""
+    summary = run.summary()
+    return {
+        "name": run.name,
+        "summary": summary,
+        "operation_counts": run.clock.snapshot(),
+        "curve": [
+            {"vtime": t, "results": c}
+            for t, c in run.recorder.curve(curve_points)
+        ],
+        "emissions": [
+            {"index": e.index, "vtime": e.vtime} for e in run.recorder.events
+        ],
+    }
+
+
+def report_to_dict(
+    report: ComparisonReport, *, curve_points: int = 40
+) -> dict[str, Any]:
+    """Serialisable form of a full comparison report."""
+    return {
+        "algorithms": list(report.runs),
+        "runs": {
+            name: run_to_dict(run, curve_points=curve_points)
+            for name, run in report.runs.items()
+        },
+    }
+
+
+def write_report_json(
+    report: ComparisonReport, path: str | pathlib.Path, **kwargs
+) -> pathlib.Path:
+    """Write a comparison report to a JSON file; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report_to_dict(report, **kwargs), indent=2))
+    return path
+
+
+def load_report_json(path: str | pathlib.Path) -> dict[str, Any]:
+    """Load a previously written report JSON (plain dict form)."""
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def curves_from_json(data: dict[str, Any]) -> dict[str, list[tuple[float, int]]]:
+    """Extract per-algorithm curves from a loaded report dict."""
+    return {
+        name: [(pt["vtime"], pt["results"]) for pt in run["curve"]]
+        for name, run in data["runs"].items()
+    }

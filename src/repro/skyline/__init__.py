@@ -1,0 +1,62 @@
+"""Skyline substrate: preference model, dominance tests and skyline algorithms."""
+
+from repro.skyline.bnl import bnl_skyline, bnl_skyline_entries
+from repro.skyline.dnc import dnc_skyline, dnc_skyline_entries
+from repro.skyline.dominance import (
+    Dominance,
+    compare,
+    dominated_mask,
+    dominates,
+    dominating_mask,
+    skyline_indices_bruteforce,
+    weakly_dominates,
+)
+from repro.skyline.estimate import (
+    expected_maxima_harmonic,
+    expected_skyline_size,
+    harmonic,
+)
+from repro.skyline.incremental import InsertOutcome, SkylineBuffer
+from repro.skyline.salsa import salsa_skyline, salsa_skyline_entries
+from repro.skyline.preferences import (
+    HIGHEST,
+    LOWEST,
+    Direction,
+    ParetoPreference,
+    Preference,
+    all_lowest,
+    highest,
+    lowest,
+)
+from repro.skyline.sfs import sfs_skyline, sfs_skyline_entries
+
+__all__ = [
+    "Direction",
+    "Dominance",
+    "HIGHEST",
+    "InsertOutcome",
+    "LOWEST",
+    "ParetoPreference",
+    "Preference",
+    "SkylineBuffer",
+    "all_lowest",
+    "bnl_skyline",
+    "bnl_skyline_entries",
+    "compare",
+    "dnc_skyline",
+    "dnc_skyline_entries",
+    "dominated_mask",
+    "dominates",
+    "dominating_mask",
+    "expected_maxima_harmonic",
+    "expected_skyline_size",
+    "harmonic",
+    "highest",
+    "lowest",
+    "salsa_skyline",
+    "salsa_skyline_entries",
+    "sfs_skyline",
+    "sfs_skyline_entries",
+    "skyline_indices_bruteforce",
+    "weakly_dominates",
+]

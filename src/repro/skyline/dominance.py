@@ -1,0 +1,102 @@
+"""Pareto dominance tests over minimisation-space vectors.
+
+All functions here assume vectors already normalised so that *lower is
+better* on every dimension (see
+:meth:`repro.skyline.preferences.ParetoPreference.normalise`).  Definition 1
+of the paper: ``u`` dominates ``v`` iff ``u[i] <= v[i]`` for all ``i`` and
+``u[j] < v[j]`` for at least one ``j``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+
+class Dominance(enum.Enum):
+    """Outcome of comparing two vectors."""
+
+    LEFT = "left"  # first argument dominates the second
+    RIGHT = "right"  # second argument dominates the first
+    EQUAL = "equal"  # identical vectors (neither dominates)
+    INCOMPARABLE = "incomparable"
+
+
+def dominates(u: Sequence[float], v: Sequence[float]) -> bool:
+    """Return ``True`` iff ``u`` dominates ``v`` (Definition 1)."""
+    strict = False
+    for a, b in zip(u, v):
+        if a > b:
+            return False
+        if a < b:
+            strict = True
+    return strict
+
+
+def weakly_dominates(u: Sequence[float], v: Sequence[float]) -> bool:
+    """Return ``True`` iff ``u <= v`` component-wise (equality allowed)."""
+    for a, b in zip(u, v):
+        if a > b:
+            return False
+    return True
+
+
+def compare(u: Sequence[float], v: Sequence[float]) -> Dominance:
+    """Classify the dominance relationship between two vectors."""
+    u_better = False
+    v_better = False
+    for a, b in zip(u, v):
+        if a < b:
+            u_better = True
+        elif a > b:
+            v_better = True
+        if u_better and v_better:
+            return Dominance.INCOMPARABLE
+    if u_better:
+        return Dominance.LEFT
+    if v_better:
+        return Dominance.RIGHT
+    return Dominance.EQUAL
+
+
+def dominated_mask(points: np.ndarray, candidate: Sequence[float]) -> np.ndarray:
+    """Vectorised test: which rows of ``points`` are dominated by ``candidate``.
+
+    ``points`` is an ``(n, d)`` array; returns a boolean mask of length ``n``.
+    """
+    cand = np.asarray(candidate, dtype=float)
+    le = points >= cand  # candidate <= point on every dim
+    lt = points > cand  # candidate < point on at least one dim
+    return le.all(axis=1) & lt.any(axis=1)
+
+
+def dominating_mask(points: np.ndarray, candidate: Sequence[float]) -> np.ndarray:
+    """Vectorised test: which rows of ``points`` dominate ``candidate``."""
+    cand = np.asarray(candidate, dtype=float)
+    le = points <= cand
+    lt = points < cand
+    return le.all(axis=1) & lt.any(axis=1)
+
+
+def skyline_indices_bruteforce(points: np.ndarray) -> list[int]:
+    """Quadratic oracle skyline; used as the reference in tests.
+
+    Keeps duplicated (identical) vectors: equal points do not dominate each
+    other under Definition 1, so all copies belong to the skyline.
+    """
+    pts = np.asarray(points, dtype=float)
+    n = len(pts)
+    keep: list[int] = []
+    for i in range(n):
+        dominated = False
+        for j in range(n):
+            if j == i:
+                continue
+            if dominates(pts[j], pts[i]):
+                dominated = True
+                break
+        if not dominated:
+            keep.append(i)
+    return keep

@@ -1,0 +1,85 @@
+"""Incremental skyline maintenance under insertions.
+
+:class:`SkylineBuffer` keeps the skyline of everything inserted so far and
+reports, for each insertion, whether the new entry survived and which
+existing entries it evicted.  Baseline algorithms (SAJ, SSMJ phase one) use
+it to maintain candidate sets while streaming join results.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Generic, Sequence, TypeVar
+
+from repro.skyline.dominance import dominates
+
+T = TypeVar("T")
+
+
+class InsertOutcome(enum.Enum):
+    """Result of inserting a vector into a :class:`SkylineBuffer`."""
+
+    ACCEPTED = "accepted"
+    DOMINATED = "dominated"
+
+
+class SkylineBuffer(Generic[T]):
+    """Maintains the skyline of a growing set of ``(vector, payload)`` entries.
+
+    Vectors are minimisation-space.  Equal vectors are all retained, matching
+    Definition 1 (equal tuples never dominate each other).
+    """
+
+    __slots__ = ("_entries", "_on_comparison", "comparisons")
+
+    def __init__(self, on_comparison: Callable[[], None] | None = None) -> None:
+        self._entries: list[tuple[tuple[float, ...], T]] = []
+        self._on_comparison = on_comparison
+        self.comparisons = 0
+
+    def _charge(self) -> None:
+        self.comparisons += 1
+        if self._on_comparison is not None:
+            self._on_comparison()
+
+    def insert(
+        self, vector: Sequence[float], payload: T
+    ) -> tuple[InsertOutcome, list[tuple[tuple[float, ...], T]]]:
+        """Insert an entry; return the outcome and any evicted entries."""
+        vec = tuple(vector)
+        evicted: list[tuple[tuple[float, ...], T]] = []
+        survivors: list[tuple[tuple[float, ...], T]] = []
+        for i, (wvec, wpayload) in enumerate(self._entries):
+            self._charge()
+            if dominates(wvec, vec):
+                # Restore untouched suffix; nothing was evicted because a
+                # dominator of the newcomer cannot itself be dominated by it.
+                survivors.extend(self._entries[i:])
+                self._entries = survivors
+                return InsertOutcome.DOMINATED, []
+            if dominates(vec, wvec):
+                evicted.append((wvec, wpayload))
+            else:
+                survivors.append((wvec, wpayload))
+        survivors.append((vec, payload))
+        self._entries = survivors
+        return InsertOutcome.ACCEPTED, evicted
+
+    def entries(self) -> list[tuple[tuple[float, ...], T]]:
+        """Current skyline entries (copy)."""
+        return list(self._entries)
+
+    def vectors(self) -> list[tuple[float, ...]]:
+        """Current skyline vectors (copy)."""
+        return [vec for vec, _ in self._entries]
+
+    def payloads(self) -> list[T]:
+        """Current skyline payloads (copy)."""
+        return [p for _, p in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vector: Sequence[float]) -> bool:
+        vec = tuple(vector)
+        return any(wvec == vec for wvec, _ in self._entries)

@@ -1,0 +1,59 @@
+"""Sort-Filter-Skyline (Chomicki et al.).
+
+Sorting the input by a monotone scoring function (here the coordinate sum)
+guarantees that no tuple can be dominated by a *later* tuple: a dominator is
+strictly smaller on at least one dimension and no larger anywhere, hence has
+a strictly smaller sum.  After sorting, a single filtering pass against the
+accumulating skyline suffices and evictions never happen, which keeps the
+window append-only.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.skyline.dominance import dominates
+
+T = TypeVar("T")
+
+
+def sfs_skyline(
+    vectors: Iterable[Sequence[float]],
+    *,
+    on_comparison: Callable[[], None] | None = None,
+) -> list[Sequence[float]]:
+    """Skyline of ``vectors`` (minimisation space) via sort-filter-skyline."""
+    ordered = sorted(vectors, key=lambda v: (sum(v), tuple(v)))
+    window: list[Sequence[float]] = []
+    for v in ordered:
+        dominated = False
+        for w in window:
+            if on_comparison is not None:
+                on_comparison()
+            if dominates(w, v):
+                dominated = True
+                break
+        if not dominated:
+            window.append(v)
+    return window
+
+
+def sfs_skyline_entries(
+    entries: Iterable[tuple[Sequence[float], T]],
+    *,
+    on_comparison: Callable[[], None] | None = None,
+) -> list[tuple[Sequence[float], T]]:
+    """Payload-preserving sort-filter-skyline over ``(vector, payload)`` pairs."""
+    ordered = sorted(entries, key=lambda e: (sum(e[0]), tuple(e[0])))
+    window: list[tuple[Sequence[float], T]] = []
+    for vec, payload in ordered:
+        dominated = False
+        for wvec, _ in window:
+            if on_comparison is not None:
+                on_comparison()
+            if dominates(wvec, vec):
+                dominated = True
+                break
+        if not dominated:
+            window.append((vec, payload))
+    return window

@@ -1,0 +1,31 @@
+"""Storage substrate: tables, schemas, grid partitioning and signatures."""
+
+from repro.storage.bloom import BloomFilter
+from repro.storage.grid import GridPartitioner, InputGrid, project_rows
+from repro.storage.partition import InputPartition
+from repro.storage.quadtree import QuadTreeIndex, QuadTreePartitioner
+from repro.storage.schema import Schema
+from repro.storage.signatures import (
+    BloomSignature,
+    ExactSignature,
+    JoinSignature,
+    build_signature,
+)
+from repro.storage.table import Row, Table
+
+__all__ = [
+    "BloomFilter",
+    "BloomSignature",
+    "ExactSignature",
+    "GridPartitioner",
+    "InputGrid",
+    "InputPartition",
+    "JoinSignature",
+    "QuadTreeIndex",
+    "QuadTreePartitioner",
+    "Row",
+    "Schema",
+    "Table",
+    "build_signature",
+    "project_rows",
+]

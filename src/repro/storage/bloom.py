@@ -1,0 +1,103 @@
+"""A deterministic Bloom filter for join-value signatures (paper §III-A).
+
+The paper maintains, per input partition, "the signature of the list of join
+domain values" realised "by either Bloom Filter or a bit vector".  This is
+the Bloom realisation.  Hashing uses BLAKE2b (not Python's salted ``hash``)
+so behaviour is reproducible across processes and runs.
+
+The key soundness property exploited by the look-ahead phase: if the bitwise
+AND of two filters over the same parameters is empty, the underlying value
+sets are *definitely* disjoint (a shared value would set the same ``k`` bits
+in both filters).  A non-empty AND is only a *maybe*.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Hashable, Iterable
+
+
+def _hash_pair(value: Hashable) -> tuple[int, int]:
+    """Two independent 64-bit hashes of ``value`` via one BLAKE2b digest."""
+    data = repr(value).encode("utf-8")
+    digest = hashlib.blake2b(data, digest_size=16).digest()
+    return (
+        int.from_bytes(digest[:8], "little"),
+        int.from_bytes(digest[8:], "little") | 1,  # force odd so strides cycle
+    )
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter with double hashing."""
+
+    __slots__ = ("num_bits", "num_hashes", "_bits", "count")
+
+    def __init__(self, num_bits: int = 256, num_hashes: int = 3) -> None:
+        if num_bits <= 0 or num_hashes <= 0:
+            raise ValueError("num_bits and num_hashes must be positive")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._bits = 0
+        self.count = 0
+
+    @classmethod
+    def for_capacity(cls, capacity: int, error_rate: float = 0.01) -> "BloomFilter":
+        """Size a filter for ``capacity`` insertions at ``error_rate`` FPR."""
+        capacity = max(1, capacity)
+        if not 0.0 < error_rate < 1.0:
+            raise ValueError("error_rate must be in (0, 1)")
+        m = max(8, math.ceil(-capacity * math.log(error_rate) / (math.log(2) ** 2)))
+        k = max(1, round(m / capacity * math.log(2)))
+        return cls(num_bits=m, num_hashes=k)
+
+    def _positions(self, value: Hashable) -> Iterable[int]:
+        h1, h2 = _hash_pair(value)
+        m = self.num_bits
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % m
+
+    def add(self, value: Hashable) -> None:
+        """Insert ``value``."""
+        for pos in self._positions(value):
+            self._bits |= 1 << pos
+        self.count += 1
+
+    def update(self, values: Iterable[Hashable]) -> None:
+        """Insert many values."""
+        for v in values:
+            self.add(v)
+
+    def __contains__(self, value: Hashable) -> bool:
+        bits = self._bits
+        return all(bits >> pos & 1 for pos in self._positions(value))
+
+    def may_intersect(self, other: "BloomFilter") -> bool:
+        """``False`` only when the value sets are provably disjoint.
+
+        Requires identical filter parameters; raises ``ValueError`` otherwise
+        (comparing filters with different hash layouts is meaningless).
+        """
+        if (self.num_bits, self.num_hashes) != (other.num_bits, other.num_hashes):
+            raise ValueError("cannot intersect Bloom filters with different parameters")
+        if self.count == 0 or other.count == 0:
+            return False
+        return (self._bits & other._bits) != 0
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of bits set (an overload indicator)."""
+        return bin(self._bits).count("1") / self.num_bits
+
+    def false_positive_rate(self) -> float:
+        """Estimated FPR given the current number of insertions."""
+        if self.count == 0:
+            return 0.0
+        k, m, n = self.num_hashes, self.num_bits, self.count
+        return (1.0 - math.exp(-k * n / m)) ** k
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BloomFilter(bits={self.num_bits}, hashes={self.num_hashes}, "
+            f"count={self.count}, fill={self.fill_ratio:.2f})"
+        )

@@ -1,0 +1,60 @@
+"""Relation schemas: ordered, named, uniquely-identified columns."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import SchemaError
+
+
+class Schema:
+    """An ordered list of column names with O(1) name-to-index lookup."""
+
+    __slots__ = ("columns", "_index")
+
+    def __init__(self, columns: Iterable[str]) -> None:
+        cols = tuple(columns)
+        if not cols:
+            raise SchemaError("a schema needs at least one column")
+        seen = set()
+        for c in cols:
+            if not isinstance(c, str) or not c:
+                raise SchemaError(f"column names must be non-empty strings, got {c!r}")
+            if c in seen:
+                raise SchemaError(f"duplicate column name {c!r}")
+            seen.add(c)
+        self.columns = cols
+        self._index = {c: i for i, c in enumerate(cols)}
+
+    def index(self, column: str) -> int:
+        """Position of ``column``; raises :class:`SchemaError` if unknown."""
+        try:
+            return self._index[column]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {column!r}; available: {list(self.columns)}"
+            ) from None
+
+    def indices(self, columns: Sequence[str]) -> tuple[int, ...]:
+        """Positions of several columns, in the given order."""
+        return tuple(self.index(c) for c in columns)
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._index
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.columns == other.columns
+
+    def __hash__(self) -> int:
+        return hash(self.columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Schema({list(self.columns)})"

@@ -1,0 +1,143 @@
+"""Join-value signatures for input partitions (paper §III-A).
+
+A signature summarises the set of join-attribute values present in one input
+partition so the look-ahead phase can decide, *without touching tuples*,
+whether a pair of partitions can produce join results.
+
+Two realisations:
+
+* :class:`ExactSignature` — a value→count histogram.  Overlap tests are
+  exact, so a positive answer **guarantees** at least one join result (this
+  is what makes region-level domination pruning sound), and the expected
+  join cardinality ``sum_v cnt_R(v) * cnt_T(v)`` is available for the
+  ProgOrder cost model.
+* :class:`BloomSignature` — a Bloom filter.  ``may_share`` can err positive
+  but never negative, so it is only used to *skip* provably joinless pairs;
+  ``definitely_shares`` is always ``False`` (a Bloom filter can never prove
+  presence), which automatically disables domination-based region pruning.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterable, Protocol, runtime_checkable
+
+from repro.storage.bloom import BloomFilter
+
+
+@runtime_checkable
+class JoinSignature(Protocol):
+    """What the look-ahead phase needs from a partition signature."""
+
+    def may_share(self, other: "JoinSignature") -> bool:
+        """``False`` only when the partitions provably share no join value."""
+        ...
+
+    def definitely_shares(self, other: "JoinSignature") -> bool:
+        """``True`` only when at least one join result is guaranteed."""
+        ...
+
+    def expected_join_size(self, other: "JoinSignature") -> float:
+        """Expected number of join results between the two partitions."""
+        ...
+
+
+class ExactSignature:
+    """Exact per-value histogram signature."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self, values: Iterable[Hashable] = ()) -> None:
+        self.counts: Counter = Counter(values)
+
+    def add(self, value: Hashable) -> None:
+        """Record one tuple's join value."""
+        self.counts[value] += 1
+
+    def may_share(self, other: JoinSignature) -> bool:
+        if isinstance(other, ExactSignature):
+            a, b = self.counts, other.counts
+            if len(b) < len(a):
+                a, b = b, a
+            return any(v in b for v in a)
+        # Mixed mode: probe our exact values against the other signature.
+        if isinstance(other, BloomSignature):
+            return any(v in other.bloom for v in self.counts)
+        raise TypeError(f"unsupported signature type {type(other).__name__}")
+
+    def definitely_shares(self, other: JoinSignature) -> bool:
+        if isinstance(other, ExactSignature):
+            return self.may_share(other)
+        return False  # a Bloom partner can never give a guarantee
+
+    def expected_join_size(self, other: JoinSignature) -> float:
+        if isinstance(other, ExactSignature):
+            a, b = self.counts, other.counts
+            if len(b) < len(a):
+                a, b = b, a
+            return float(sum(c * b[v] for v, c in a.items() if v in b))
+        # Without exact partner counts fall back to an optimistic estimate:
+        # every one of our tuples finds one partner.
+        return float(sum(self.counts.values()))
+
+    @property
+    def distinct_values(self) -> int:
+        """Number of distinct join values in the partition."""
+        return len(self.counts)
+
+    @property
+    def tuple_count(self) -> int:
+        """Number of tuples summarised."""
+        return sum(self.counts.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExactSignature({self.distinct_values} values, {self.tuple_count} tuples)"
+
+
+class BloomSignature:
+    """Bloom-filter signature (space-bounded, sound for skipping only)."""
+
+    __slots__ = ("bloom", "tuple_count")
+
+    def __init__(self, values: Iterable[Hashable] = (), *,
+                 num_bits: int = 256, num_hashes: int = 3) -> None:
+        self.bloom = BloomFilter(num_bits=num_bits, num_hashes=num_hashes)
+        self.tuple_count = 0
+        for v in values:
+            self.add(v)
+
+    def add(self, value: Hashable) -> None:
+        """Record one tuple's join value."""
+        self.bloom.add(value)
+        self.tuple_count += 1
+
+    def may_share(self, other: JoinSignature) -> bool:
+        if isinstance(other, BloomSignature):
+            return self.bloom.may_intersect(other.bloom)
+        if isinstance(other, ExactSignature):
+            return other.may_share(self)
+        raise TypeError(f"unsupported signature type {type(other).__name__}")
+
+    def definitely_shares(self, other: JoinSignature) -> bool:
+        return False
+
+    def expected_join_size(self, other: JoinSignature) -> float:
+        if isinstance(other, BloomSignature):
+            return float(max(self.tuple_count, other.tuple_count))
+        return other.expected_join_size(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BloomSignature({self.tuple_count} tuples, {self.bloom!r})"
+
+
+def build_signature(values: Iterable[Hashable], kind: str = "exact",
+                    *, num_bits: int = 256, num_hashes: int = 3) -> JoinSignature:
+    """Factory: build a signature of the requested ``kind``.
+
+    ``kind`` is ``"exact"`` (default) or ``"bloom"``.
+    """
+    if kind == "exact":
+        return ExactSignature(values)
+    if kind == "bloom":
+        return BloomSignature(values, num_bits=num_bits, num_hashes=num_hashes)
+    raise ValueError(f"unknown signature kind {kind!r}; use 'exact' or 'bloom'")

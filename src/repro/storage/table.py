@@ -1,0 +1,137 @@
+"""In-memory relations.
+
+Rows are plain tuples (fast, hashable); the :class:`Schema` provides
+name-to-position lookup.  This is the storage substrate every algorithm in
+the library runs against — the paper's ``Suppliers`` and ``Transporters``
+become two :class:`Table` instances.
+"""
+
+from __future__ import annotations
+
+import os  # noqa: F401  (referenced in type annotations only)
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.storage.schema import Schema
+
+Row = tuple
+
+
+def _coerce(value: str) -> Any:
+    """Best-effort numeric coercion for CSV cells."""
+    try:
+        return float(value)
+    except ValueError:
+        return value
+
+
+class Table:
+    """A named in-memory relation with an immutable schema."""
+
+    __slots__ = ("name", "schema", "rows")
+
+    def __init__(self, name: str, schema: Schema | Sequence[str], rows: Iterable[Row]) -> None:
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self.name = name
+        self.schema = schema
+        self.rows: list[Row] = []
+        width = len(schema)
+        for row in rows:
+            t = tuple(row)
+            if len(t) != width:
+                raise SchemaError(
+                    f"row {t!r} has {len(t)} values but schema "
+                    f"{list(schema.columns)} has {width} columns"
+                )
+            self.rows.append(t)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, name: str, columns: Sequence[str], rows: Iterable[Sequence[Any]]) -> "Table":
+        """Build a table from column names and row sequences."""
+        return cls(name, Schema(columns), (tuple(r) for r in rows))
+
+    @classmethod
+    def from_csv(cls, name: str, path: str | "os.PathLike[str]",
+                 *, delimiter: str = ",") -> "Table":
+        """Load a table from a CSV file with a header row.
+
+        Values that parse as numbers become floats; everything else stays a
+        string.  Empty files raise :class:`SchemaError`.
+        """
+        import csv
+
+        with open(path, newline="") as f:
+            reader = csv.reader(f, delimiter=delimiter)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise SchemaError(f"CSV file {path!r} is empty") from None
+            rows = []
+            for raw in reader:
+                rows.append(tuple(_coerce(v) for v in raw))
+        return cls(name, Schema(header), rows)
+
+    def to_csv(self, path: str | "os.PathLike[str]", *, delimiter: str = ",") -> None:
+        """Write the table (with header) to a CSV file."""
+        import csv
+
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f, delimiter=delimiter)
+            writer.writerow(self.schema.columns)
+            writer.writerows(self.rows)
+
+    @classmethod
+    def from_dicts(cls, name: str, records: Sequence[Mapping[str, Any]],
+                   columns: Sequence[str] | None = None) -> "Table":
+        """Build a table from dict records.
+
+        Column order comes from ``columns`` when given, otherwise from the
+        first record's key order.  Missing keys raise :class:`SchemaError`.
+        """
+        if not records and columns is None:
+            raise SchemaError("cannot infer columns from an empty record list")
+        cols = tuple(columns) if columns is not None else tuple(records[0].keys())
+        rows = []
+        for rec in records:
+            try:
+                rows.append(tuple(rec[c] for c in cols))
+            except KeyError as exc:
+                raise SchemaError(f"record {rec!r} is missing column {exc}") from None
+        return cls(name, Schema(cols), rows)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        i = self.schema.index(name)
+        return [row[i] for row in self.rows]
+
+    def value(self, row: Row, column: str) -> Any:
+        """Value of ``column`` in ``row``."""
+        return row[self.schema.index(column)]
+
+    def filter(self, predicate: Callable[[Row], bool], name: str | None = None) -> "Table":
+        """New table containing the rows satisfying ``predicate``."""
+        return Table(name or self.name, self.schema, (r for r in self.rows if predicate(r)))
+
+    def head(self, n: int = 5) -> list[Row]:
+        """First ``n`` rows (for inspection)."""
+        return self.rows[:n]
+
+    def row_dict(self, row: Row) -> dict[str, Any]:
+        """Render one row as a ``{column: value}`` dict."""
+        return dict(zip(self.schema.columns, row))
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self.name!r}, {len(self.rows)} rows, {list(self.schema.columns)})"

@@ -1,0 +1,156 @@
+"""Tests for the command-line interface and CSV round trips."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import SchemaError
+from repro.storage.table import Table
+
+
+class TestRun:
+    def test_run_default(self, capsys):
+        assert main(["run", "-n", "80", "--sigma", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "ProgXe:" in out
+        assert "results" in out
+
+    def test_run_stream(self, capsys):
+        assert main(["run", "-n", "60", "--sigma", "0.1", "--stream"]) == 0
+        out = capsys.readouterr().out
+        assert "t=" in out
+
+    def test_run_named_algorithm(self, capsys):
+        assert main(["run", "-n", "60", "--sigma", "0.1", "-a", "SSMJ"]) == 0
+        assert "SSMJ:" in capsys.readouterr().out
+
+    def test_run_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["run", "-a", "Nonsense"])
+
+    def test_run_rejects_multiple(self):
+        with pytest.raises(SystemExit):
+            main(["run", "-a", "ProgXe,SSMJ"])
+
+
+class TestCompare:
+    def test_compare_variants(self, capsys):
+        assert main(["compare", "-n", "70", "--sigma", "0.1"]) == 0
+        out = capsys.readouterr().out
+        # Table cells truncate long names; check the truncated prefix.
+        assert "ProgXe" in out and "No-Ord" in out
+        assert "total_vtime" in out
+
+    def test_compare_explicit_list(self, capsys):
+        assert main(
+            ["compare", "-n", "70", "--sigma", "0.1", "-a", "ProgXe,JF-SL"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "JF-SL" in out
+
+    def test_compare_all(self, capsys):
+        assert main(["compare", "-n", "50", "--sigma", "0.1", "-a", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "SAJ" in out
+
+
+class TestGenerateAndQuery:
+    def test_generate_then_query(self, tmp_path, capsys):
+        prefix = str(tmp_path / "wl")
+        assert main(
+            ["generate", "-n", "60", "--sigma", "0.1", "--prefix", prefix]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+        query_file = tmp_path / "q.sql"
+        query_file.write_text(
+            "SELECT R.id, T.id, (R.a0 + T.b0) AS x0, (R.a1 + T.b1) AS x1 "
+            "FROM R R, T T WHERE R.jkey = T.jkey "
+            "PREFERRING LOWEST(x0) AND LOWEST(x1)"
+        )
+        assert main(
+            [
+                "query",
+                "--query-file", str(query_file),
+                "--table", f"R={prefix}_R.csv",
+                "--table", f"T={prefix}_T.csv",
+                "--limit", "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "results" in out
+
+    def test_query_inline_text(self, tmp_path, capsys):
+        prefix = str(tmp_path / "wl")
+        main(["generate", "-n", "50", "--sigma", "0.2", "--prefix", prefix])
+        capsys.readouterr()
+        assert main(
+            [
+                "query",
+                "--query",
+                "SELECT (R.a0 + T.b0) AS x FROM R R, T T "
+                "WHERE R.jkey = T.jkey PREFERRING LOWEST(x)",
+                "--table", f"R={prefix}_R.csv",
+                "--table", f"T={prefix}_T.csv",
+            ]
+        ) == 0
+
+    def test_query_requires_text(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--table", "R=none.csv"])
+
+    def test_query_bad_table_spec(self, tmp_path):
+        query = (
+            "SELECT (R.a0 + T.b0) AS x FROM R R, T T "
+            "WHERE R.jkey = T.jkey PREFERRING LOWEST(x)"
+        )
+        with pytest.raises(SystemExit, match="NAME=PATH"):
+            main(["query", "--query", query, "--table", "nopath"])
+
+    def test_parse_error_is_reported_not_raised(self, tmp_path, capsys):
+        prefix = str(tmp_path / "wl")
+        main(["generate", "-n", "40", "--prefix", prefix])
+        capsys.readouterr()
+        code = main(
+            [
+                "query",
+                "--query", "SELECT garbage",
+                "--table", f"R={prefix}_R.csv",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_explain_renders_plan(self, capsys):
+        assert main(["explain", "-n", "80", "--sigma", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "ProgXe plan" in out
+        assert "output regions" in out
+
+    def test_explain_top_limits_listing(self, capsys):
+        assert main(["explain", "-n", "80", "--sigma", "0.1", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "top 2 regions" in out
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        t = Table.from_rows("t", ["id", "x"], [("a", 1.5), ("b", 2.0)])
+        path = tmp_path / "t.csv"
+        t.to_csv(path)
+        back = Table.from_csv("t", path)
+        assert back.rows == t.rows
+
+    def test_numeric_coercion(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("id,x\nfoo,3.5\nbar,hello\n")
+        t = Table.from_csv("t", path)
+        assert t.rows == [("foo", 3.5), ("bar", "hello")]
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            Table.from_csv("t", path)

@@ -1,0 +1,162 @@
+"""Tests for the data substrate: generators, selectivity, workloads."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import (
+    correlation_sign,
+    generate_attributes,
+)
+from repro.data.join_values import (
+    assign_join_values,
+    domain_size_for_selectivity,
+    empirical_selectivity,
+)
+from repro.data.workloads import (
+    RefinementWorkload,
+    SupplyChainWorkload,
+    SyntheticWorkload,
+    TravelWorkload,
+)
+from repro.skyline.bnl import bnl_skyline
+
+
+class TestGenerators:
+    def test_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        for dist in ("independent", "correlated", "anticorrelated"):
+            pts = generate_attributes(dist, 500, 3, rng)
+            assert pts.shape == (500, 3)
+            assert pts.min() >= 1.0 and pts.max() <= 100.0
+
+    def test_custom_range(self):
+        rng = np.random.default_rng(0)
+        pts = generate_attributes("independent", 100, 2, rng, low=0.0, high=1.0)
+        assert pts.min() >= 0.0 and pts.max() <= 1.0
+
+    def test_deterministic_in_seed(self):
+        a = generate_attributes("correlated", 50, 2, np.random.default_rng(5))
+        b = generate_attributes("correlated", 50, 2, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            generate_attributes("weird", 10, 2, np.random.default_rng(0))
+
+    def test_invalid_sizes(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            generate_attributes("independent", 0, 2, rng)
+        with pytest.raises(ValueError):
+            generate_attributes("independent", 10, 0, rng)
+
+    def test_correlation_regimes(self):
+        rng = np.random.default_rng(11)
+        corr = correlation_sign(generate_attributes("correlated", 2000, 3, rng))
+        indep = correlation_sign(generate_attributes("independent", 2000, 3, rng))
+        anti = correlation_sign(generate_attributes("anticorrelated", 2000, 3, rng))
+        assert corr > 0.5
+        assert abs(indep) < 0.15
+        assert anti < -0.1
+
+    def test_skyline_size_ordering(self):
+        # The whole point of the regimes: correlated tiny, anti huge.
+        # Single draws are noisy, so compare means over several seeds.
+        sizes = {"correlated": [], "independent": [], "anticorrelated": []}
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            for dist in sizes:
+                pts = [tuple(p) for p in generate_attributes(dist, 800, 2, rng)]
+                sizes[dist].append(len(bnl_skyline(pts)))
+        means = {d: float(np.mean(v)) for d, v in sizes.items()}
+        assert means["correlated"] <= means["independent"] * 1.25
+        assert means["anticorrelated"] >= 3 * means["independent"]
+        assert means["anticorrelated"] >= 4 * max(1.0, means["correlated"])
+
+
+class TestJoinValues:
+    def test_domain_size(self):
+        assert domain_size_for_selectivity(0.1) == 10
+        assert domain_size_for_selectivity(0.001) == 1000
+        assert domain_size_for_selectivity(1.0) == 1
+
+    def test_domain_size_invalid(self):
+        with pytest.raises(ValueError):
+            domain_size_for_selectivity(0.0)
+        with pytest.raises(ValueError):
+            domain_size_for_selectivity(1.5)
+
+    def test_values_are_strings(self):
+        rng = np.random.default_rng(0)
+        vals = assign_join_values(10, 0.5, rng)
+        assert all(isinstance(v, str) for v in vals)
+
+    def test_selectivity_calibration(self):
+        rng = np.random.default_rng(9)
+        left = assign_join_values(2000, 0.01, rng)
+        right = assign_join_values(2000, 0.01, rng)
+        sigma = empirical_selectivity(left, right)
+        assert sigma == pytest.approx(0.01, rel=0.3)
+
+    def test_skewed_assignment(self):
+        rng = np.random.default_rng(4)
+        vals = assign_join_values(2000, 0.01, rng, skew=1.5)
+        from collections import Counter
+
+        counts = Counter(vals).most_common()
+        # Zipf: the hottest value dominates the median one.
+        assert counts[0][1] > 5 * counts[len(counts) // 2][1]
+
+    def test_skew_invalid(self):
+        with pytest.raises(ValueError):
+            assign_join_values(10, 0.5, np.random.default_rng(0), skew=-1)
+
+    def test_empirical_selectivity_empty(self):
+        assert empirical_selectivity([], ["a"]) == 0.0
+
+
+class TestWorkloads:
+    def test_synthetic_tables(self):
+        wl = SyntheticWorkload(n=50, d=3, sigma=0.1, seed=1)
+        tables = wl.tables()
+        assert set(tables) == {"R", "T"}
+        assert len(tables["R"]) == 50
+        assert tables["R"].schema.columns == ("id", "jkey", "a0", "a1", "a2")
+
+    def test_synthetic_bound_dimensions(self):
+        bound = SyntheticWorkload(n=40, d=4, sigma=0.1, seed=2).bound()
+        assert bound.skyline_dimension_count == 4
+
+    def test_synthetic_deterministic(self):
+        a = SyntheticWorkload(n=30, d=2, seed=5).tables()["R"].rows
+        b = SyntheticWorkload(n=30, d=2, seed=5).tables()["R"].rows
+        assert a == b
+
+    def test_supply_chain_respects_filters(self):
+        wl = SupplyChainWorkload(n_suppliers=120, n_transporters=60, seed=3)
+        bound = wl.bound()
+        # Every bound left row produces P1 and has capacity >= 100K.
+        parts_idx = bound.left_table.schema.index("suppliedParts")
+        cap_idx = bound.left_table.schema.index("manCap")
+        for row in bound.left_table.rows:
+            assert "P1" in row[parts_idx]
+            assert row[cap_idx] >= 100_000.0
+
+    def test_travel_weights_rome_walking(self):
+        bound = TravelWorkload(n_rome=40, n_paris=40, seed=1).bound()
+        lrow = bound.left_table.rows[0]
+        rrow = bound.right_table.rows[0]
+        walk_l = bound.left_table.value(lrow, "walkKm")
+        walk_r = bound.right_table.value(rrow, "walkKm")
+        mapped = bound.map_pair(lrow, rrow)
+        assert mapped[0] == pytest.approx(0.5 * walk_l + walk_r)
+
+    def test_refinement_three_dimensions(self):
+        bound = RefinementWorkload(n_products=40, n_offers=40, seed=1).bound()
+        assert bound.skyline_dimension_count == 3
+
+    def test_refinement_one_sided_mappings(self):
+        # 'delay' uses only the offer side; 'mismatch' only the product side.
+        bound = RefinementWorkload(n_products=30, n_offers=30, seed=2).bound()
+        assert "shipDays" in bound.right_map_attrs
+        assert "specDelta" in bound.left_map_attrs

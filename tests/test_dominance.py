@@ -1,0 +1,130 @@
+"""Tests for Pareto dominance (Definition 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.skyline.dominance import (
+    Dominance,
+    compare,
+    dominated_mask,
+    dominates,
+    dominating_mask,
+    skyline_indices_bruteforce,
+    weakly_dominates,
+)
+
+vectors = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1, max_size=5
+)
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((1, 1), (2, 2))
+
+    def test_better_in_one_equal_elsewhere(self):
+        assert dominates((1, 5), (2, 5))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((3, 3), (3, 3))
+
+    def test_incomparable(self):
+        assert not dominates((1, 5), (5, 1))
+        assert not dominates((5, 1), (1, 5))
+
+    def test_worse_does_not_dominate(self):
+        assert not dominates((2, 2), (1, 1))
+
+    def test_single_dimension(self):
+        assert dominates((1,), (2,))
+        assert not dominates((2,), (1,))
+
+    @given(vectors)
+    def test_irreflexive(self, v):
+        assert not dominates(v, v)
+
+    @given(vectors, vectors)
+    def test_asymmetric(self, u, v):
+        n = min(len(u), len(v))
+        u, v = u[:n], v[:n]
+        if dominates(u, v):
+            assert not dominates(v, u)
+
+    @given(vectors, vectors, vectors)
+    def test_transitive(self, u, v, w):
+        n = min(len(u), len(v), len(w))
+        u, v, w = u[:n], v[:n], w[:n]
+        if dominates(u, v) and dominates(v, w):
+            assert dominates(u, w)
+
+
+class TestWeakDominance:
+    def test_equal_weakly_dominates(self):
+        assert weakly_dominates((1, 2), (1, 2))
+
+    def test_strict_implies_weak(self):
+        assert weakly_dominates((1, 1), (2, 2))
+
+    def test_not_weak_when_worse_somewhere(self):
+        assert not weakly_dominates((1, 3), (2, 2))
+
+
+class TestCompare:
+    def test_left(self):
+        assert compare((1, 1), (2, 2)) is Dominance.LEFT
+
+    def test_right(self):
+        assert compare((2, 2), (1, 1)) is Dominance.RIGHT
+
+    def test_equal(self):
+        assert compare((1, 2), (1, 2)) is Dominance.EQUAL
+
+    def test_incomparable(self):
+        assert compare((1, 5), (5, 1)) is Dominance.INCOMPARABLE
+
+    @given(vectors, vectors)
+    def test_consistent_with_dominates(self, u, v):
+        n = min(len(u), len(v))
+        u, v = u[:n], v[:n]
+        outcome = compare(u, v)
+        assert (outcome is Dominance.LEFT) == dominates(u, v)
+        assert (outcome is Dominance.RIGHT) == dominates(v, u)
+
+
+class TestMasks:
+    def test_dominated_mask(self):
+        pts = np.array([[2.0, 2.0], [0.5, 0.5], [1.0, 3.0], [1.0, 1.0]])
+        mask = dominated_mask(pts, (1.0, 1.0))
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_dominating_mask(self):
+        pts = np.array([[2.0, 2.0], [0.5, 0.5], [1.0, 1.0]])
+        mask = dominating_mask(pts, (1.0, 1.0))
+        assert mask.tolist() == [False, True, False]
+
+    @given(st.lists(st.tuples(
+        st.floats(0, 10, allow_nan=False), st.floats(0, 10, allow_nan=False)),
+        min_size=1, max_size=20))
+    def test_masks_match_scalar(self, pts):
+        arr = np.array(pts, dtype=float)
+        cand = pts[0]
+        dm = dominated_mask(arr, cand)
+        gm = dominating_mask(arr, cand)
+        for i, p in enumerate(pts):
+            assert dm[i] == dominates(cand, p)
+            assert gm[i] == dominates(p, cand)
+
+
+class TestBruteforceSkyline:
+    def test_simple(self):
+        pts = np.array([[1.0, 4.0], [2.0, 2.0], [4.0, 1.0], [3.0, 3.0]])
+        assert skyline_indices_bruteforce(pts) == [0, 1, 2]
+
+    def test_keeps_duplicates(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        assert skyline_indices_bruteforce(pts) == [0, 1]
+
+    def test_single_point(self):
+        assert skyline_indices_bruteforce(np.array([[5.0, 5.0]])) == [0]

@@ -1,0 +1,84 @@
+"""Tests for the skyline-cardinality estimators (benefit model Eq. 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.skyline.bnl import bnl_skyline
+from repro.skyline.estimate import (
+    expected_maxima_harmonic,
+    expected_skyline_size,
+    harmonic,
+)
+
+
+class TestClosedForm:
+    def test_one_dimension_is_one(self):
+        assert expected_skyline_size(1000, 1) == 1.0
+
+    def test_two_dimensions_is_log(self):
+        assert expected_skyline_size(math.e ** 3, 2) == pytest.approx(3.0)
+
+    def test_small_inputs_clamp_to_one(self):
+        assert expected_skyline_size(0.5, 3) == 1.0
+        assert expected_skyline_size(1.0, 3) == 1.0
+
+    def test_grows_with_dimensions(self):
+        n = 10_000
+        sizes = [expected_skyline_size(n, d) for d in range(2, 6)]
+        assert sizes == sorted(sizes)
+
+    def test_grows_with_cardinality(self):
+        assert expected_skyline_size(10_000, 3) > expected_skyline_size(100, 3)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            expected_skyline_size(100, 0)
+
+
+class TestHarmonic:
+    def test_base_values(self):
+        assert harmonic(0) == 0.0
+        assert harmonic(1) == 1.0
+        assert harmonic(2) == pytest.approx(1.5)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            harmonic(-1)
+
+    def test_2d_is_harmonic_number(self):
+        # E[maxima] in 2 dimensions is exactly H_n.
+        assert expected_maxima_harmonic(2, 2) == pytest.approx(1.5)
+        assert expected_maxima_harmonic(4, 2) == pytest.approx(harmonic(4))
+
+    def test_3d_recurrence_by_hand(self):
+        # M(n, 3) = sum_{k<=n} H_k / k; for n=2: 1/1 + 1.5/2 = 1.75.
+        assert expected_maxima_harmonic(2, 3) == pytest.approx(1.75)
+
+    def test_d1_single_minimum(self):
+        assert expected_maxima_harmonic(50, 1) == 1.0
+
+    def test_empty_input(self):
+        assert expected_maxima_harmonic(0, 3) == 0.0
+
+
+class TestAgainstSimulation:
+    def test_harmonic_matches_monte_carlo_2d(self):
+        rng = np.random.default_rng(17)
+        n, trials = 200, 60
+        sizes = []
+        for _ in range(trials):
+            pts = [tuple(p) for p in rng.random((n, 2))]
+            sizes.append(len(bnl_skyline(pts)))
+        expected = expected_maxima_harmonic(n, 2)
+        assert np.mean(sizes) == pytest.approx(expected, rel=0.2)
+
+    def test_closed_form_tracks_harmonic(self):
+        # The Theta-form should be within a small constant of the exact
+        # expectation at the sizes ProgOrder deals with.
+        for n in (100, 1_000, 10_000):
+            for d in (2, 3, 4):
+                exact = expected_maxima_harmonic(n, d)
+                approx = expected_skyline_size(n, d)
+                assert 0.2 < approx / exact < 5.0

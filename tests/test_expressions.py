@@ -1,0 +1,158 @@
+"""Tests for the expression AST: evaluation, intervals, monotonicity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.query.expressions import (
+    Attr,
+    BinOp,
+    Const,
+    DECREASING,
+    INCREASING,
+)
+from repro.query.intervals import Interval
+
+R_A = Attr("R", "a")
+R_B = Attr("R", "b")
+T_C = Attr("T", "c")
+
+
+class TestEvaluation:
+    def test_const(self):
+        assert Const(5).evaluate({}) == 5.0
+
+    def test_attr(self):
+        assert R_A.evaluate({("R", "a"): 7.0}) == 7.0
+
+    def test_attr_unbound_raises(self):
+        with pytest.raises(QueryError, match="not bound"):
+            R_A.evaluate({})
+
+    def test_arithmetic(self):
+        env = {("R", "a"): 2.0, ("T", "c"): 3.0}
+        expr = 2 * R_A + T_C  # operator sugar builds BinOp/Const
+        assert expr.evaluate(env) == 7.0
+
+    def test_subtraction_and_division(self):
+        env = {("R", "a"): 10.0, ("R", "b"): 4.0}
+        assert (R_A - R_B).evaluate(env) == 6.0
+        assert (R_A / 2).evaluate(env) == 5.0
+
+    def test_negation(self):
+        assert (-R_A).evaluate({("R", "a"): 3.0}) == -3.0
+
+    def test_invalid_operator(self):
+        with pytest.raises(QueryError):
+            BinOp("%", R_A, R_B)
+
+
+class TestIntervalEvaluation:
+    def test_addition(self):
+        env = {("R", "a"): Interval(1, 2), ("T", "c"): Interval(10, 20)}
+        assert (R_A + T_C).evaluate_interval(env) == Interval(11, 22)
+
+    def test_weighted_sum_matches_q1(self):
+        env = {("R", "a"): Interval(0, 4), ("T", "c"): Interval(3, 4)}
+        # Paper Example 1 geometry: 1*R + 1*T maps boxes to summed boxes.
+        assert (R_A + T_C).evaluate_interval(env) == Interval(3, 8)
+
+    @given(
+        st.floats(0, 10), st.floats(0, 10), st.floats(0, 1), st.floats(0, 1)
+    )
+    @settings(max_examples=60)
+    def test_soundness_random_expression(self, a_lo, width, ta, tc):
+        env_iv = {
+            ("R", "a"): Interval(a_lo, a_lo + width),
+            ("T", "c"): Interval(2.0, 5.0),
+        }
+        a = a_lo + ta * width
+        c = 2.0 + tc * 3.0
+        expr = 2 * R_A + 3 * T_C - 1
+        iv = expr.evaluate_interval(env_iv)
+        assert iv.contains(expr.evaluate({("R", "a"): a, ("T", "c"): c}), tol=1e-6)
+
+
+class TestAttributes:
+    def test_collects_all_references(self):
+        expr = 2 * R_A + T_C - R_B
+        assert expr.attributes() == {("R", "a"), ("T", "c"), ("R", "b")}
+
+    def test_const_has_none(self):
+        assert Const(3).attributes() == frozenset()
+
+    def test_constant_value(self):
+        assert (Const(2) * Const(3) + Const(1)).constant_value() == 7.0
+        assert R_A.constant_value() is None
+
+
+class TestMonotonicity:
+    def test_attr_is_increasing(self):
+        assert R_A.monotonicity() == {("R", "a"): INCREASING}
+
+    def test_negation_flips(self):
+        assert (-R_A).monotonicity() == {("R", "a"): DECREASING}
+
+    def test_addition_combines(self):
+        assert (R_A + T_C).monotonicity() == {
+            ("R", "a"): INCREASING,
+            ("T", "c"): INCREASING,
+        }
+
+    def test_subtraction_flips_right(self):
+        assert (R_A - T_C).monotonicity() == {
+            ("R", "a"): INCREASING,
+            ("T", "c"): DECREASING,
+        }
+
+    def test_conflicting_signs_are_mixed(self):
+        expr = R_A - R_A
+        assert expr.monotonicity() == {("R", "a"): None}
+
+    def test_positive_scaling_preserves(self):
+        assert (2 * R_A).monotonicity() == {("R", "a"): INCREASING}
+
+    def test_negative_scaling_flips(self):
+        assert (-2 * R_A).monotonicity() == {("R", "a"): DECREASING}
+
+    def test_zero_scaling_removes_dependence(self):
+        # Critical for push-through soundness: 0 * a must NOT report a as
+        # monotone (pruning on it would drop equal-output tuples).
+        assert (0 * R_A).monotonicity() == {}
+
+    def test_attr_times_attr_is_mixed(self):
+        mono = (R_A * T_C).monotonicity()
+        assert mono[("R", "a")] is None
+        assert mono[("T", "c")] is None
+
+    def test_division_by_positive_constant(self):
+        assert (R_A / 2).monotonicity() == {("R", "a"): INCREASING}
+
+    def test_division_by_negative_constant(self):
+        assert (R_A / -2).monotonicity() == {("R", "a"): DECREASING}
+
+    def test_division_by_expression_is_mixed(self):
+        mono = (Const(1) / R_A).monotonicity()
+        assert mono[("R", "a")] is None
+
+
+class TestCompile:
+    def test_compiled_matches_interpreted(self):
+        expr = 2 * R_A + T_C - 1
+        fn = expr.compile("R", "T", {"a": 0, "b": 1}, {"c": 0})
+        lrow, rrow = (4.0, 9.0), (10.0,)
+        env = {("R", "a"): 4.0, ("T", "c"): 10.0}
+        assert fn(lrow, rrow) == expr.evaluate(env)
+
+    def test_compiled_unknown_alias(self):
+        with pytest.raises(QueryError):
+            Attr("X", "a").compile("R", "T", {"a": 0}, {"c": 0})
+
+    @given(st.floats(-10, 10, allow_nan=False), st.floats(-10, 10, allow_nan=False))
+    @settings(max_examples=40)
+    def test_compiled_agrees_on_random_inputs(self, a, c):
+        expr = (R_A + 3) * 2 - T_C / 4
+        fn = expr.compile("R", "T", {"a": 0}, {"c": 0})
+        env = {("R", "a"): a, ("T", "c"): c}
+        assert fn((a,), (c,)) == pytest.approx(expr.evaluate(env))

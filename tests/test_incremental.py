@@ -1,0 +1,90 @@
+"""Tests for the incremental skyline buffer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.skyline.bnl import bnl_skyline
+from repro.skyline.incremental import InsertOutcome, SkylineBuffer
+
+points = st.lists(
+    st.tuples(st.floats(0, 50, allow_nan=False), st.floats(0, 50, allow_nan=False)),
+    min_size=0,
+    max_size=50,
+)
+
+
+class TestSkylineBuffer:
+    def test_empty_buffer(self):
+        buf = SkylineBuffer()
+        assert len(buf) == 0
+        assert buf.entries() == []
+
+    def test_accept_first(self):
+        buf = SkylineBuffer()
+        outcome, evicted = buf.insert((1.0, 2.0), "a")
+        assert outcome is InsertOutcome.ACCEPTED
+        assert evicted == []
+        assert len(buf) == 1
+
+    def test_dominated_insert_rejected(self):
+        buf = SkylineBuffer()
+        buf.insert((1.0, 1.0), "a")
+        outcome, evicted = buf.insert((2.0, 2.0), "b")
+        assert outcome is InsertOutcome.DOMINATED
+        assert evicted == []
+        assert buf.payloads() == ["a"]
+
+    def test_insert_evicts_dominated(self):
+        buf = SkylineBuffer()
+        buf.insert((2.0, 2.0), "a")
+        buf.insert((3.0, 1.0), "b")
+        outcome, evicted = buf.insert((1.0, 1.0), "c")
+        assert outcome is InsertOutcome.ACCEPTED
+        assert {p for _, p in evicted} == {"a", "b"}
+        assert buf.payloads() == ["c"]
+
+    def test_equal_vectors_coexist(self):
+        buf = SkylineBuffer()
+        buf.insert((1.0, 1.0), "a")
+        outcome, evicted = buf.insert((1.0, 1.0), "b")
+        assert outcome is InsertOutcome.ACCEPTED
+        assert evicted == []
+        assert len(buf) == 2
+
+    def test_contains(self):
+        buf = SkylineBuffer()
+        buf.insert((1.0, 2.0), "a")
+        assert (1.0, 2.0) in buf
+        assert (2.0, 1.0) not in buf
+
+    def test_comparison_counter(self):
+        buf = SkylineBuffer()
+        buf.insert((1.0, 2.0), "a")
+        buf.insert((2.0, 1.0), "b")
+        assert buf.comparisons > 0
+
+    def test_callback_invoked(self):
+        calls = []
+        buf = SkylineBuffer(on_comparison=lambda: calls.append(1))
+        buf.insert((1.0, 2.0), "a")
+        buf.insert((2.0, 1.0), "b")
+        assert len(calls) == buf.comparisons
+
+    @given(points)
+    @settings(max_examples=60)
+    def test_buffer_equals_batch_skyline(self, pts):
+        buf = SkylineBuffer()
+        for i, p in enumerate(pts):
+            buf.insert(p, i)
+        assert sorted(buf.vectors()) == sorted(map(tuple, bnl_skyline(pts)))
+
+    @given(points)
+    @settings(max_examples=40)
+    def test_evictions_are_dominated_by_inserter(self, pts):
+        from repro.skyline.dominance import dominates
+
+        buf = SkylineBuffer()
+        for i, p in enumerate(pts):
+            outcome, evicted = buf.insert(p, i)
+            for vec, _ in evicted:
+                assert dominates(tuple(p), vec)

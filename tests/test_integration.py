@@ -1,0 +1,152 @@
+"""End-to-end integration tests: the paper's query through the full stack."""
+
+import pytest
+
+import repro
+from tests.conftest import oracle_skyline_keys
+from repro.runtime.compare import compare_algorithms
+from repro.runtime.runner import run_algorithm
+
+Q1 = """
+    SELECT R.id, T.id,
+           (R.uPrice + T.uShipCost) AS tCost,
+           (2 * R.manTime + T.shipTime) AS delay
+    FROM Suppliers R, Transporters T
+    WHERE R.country = T.country AND
+          'P1' IN R.suppliedParts AND R.manCap >= 100K
+    PREFERRING LOWEST(tCost) AND LOWEST(delay)
+"""
+
+
+class TestPaperQ1EndToEnd:
+    @pytest.fixture(scope="class")
+    def bound(self):
+        tables = repro.SupplyChainWorkload(
+            n_suppliers=180, n_transporters=180, seed=5
+        ).tables()
+        query = repro.parse_query(Q1)
+        return query.bind_by_table_name(
+            {"Suppliers": tables["R"], "Transporters": tables["T"]}
+        )
+
+    def test_parsed_query_runs_progressively(self, bound):
+        engine = repro.ProgXeEngine(bound)
+        results = list(engine.run())
+        assert results
+        assert {r.key() for r in results} == oracle_skyline_keys(bound)
+
+    def test_outputs_carry_select_list(self, bound):
+        engine = repro.ProgXeEngine(bound)
+        result = next(iter(engine.run()))
+        assert set(result.outputs) == {"id", "T.id", "tCost", "delay"}
+
+    def test_skyline_results_are_pareto_optimal_in_raw_space(self, bound):
+        results = list(repro.ProgXeEngine(bound).run())
+        vectors = [r.vector for r in results]
+        for i, u in enumerate(vectors):
+            for j, v in enumerate(vectors):
+                if i != j:
+                    assert not repro.dominates(u, v)
+
+    def test_all_algorithms_on_q1(self, bound):
+        report = compare_algorithms(repro.ALGORITHMS, bound)
+        report.verify_agreement()
+
+
+class TestHighDimensional:
+    def test_d5_engine_correct(self):
+        """Figure 12's setting, scaled down: d=5 must stay correct."""
+        bound = repro.SyntheticWorkload(
+            distribution="independent", n=60, d=5, sigma=0.2, seed=9
+        ).bound()
+        run = run_algorithm(lambda b, c: repro.ProgXeEngine(b, c), bound)
+        assert run.result_keys == oracle_skyline_keys(bound)
+
+    def test_d5_progressive_vs_ssmj_batches(self):
+        bound = repro.SyntheticWorkload(
+            distribution="independent", n=100, d=5, sigma=0.2, seed=10
+        ).bound()
+        px = run_algorithm(lambda b, c: repro.ProgXeEngine(b, c), bound)
+        ssmj = run_algorithm(repro.SkylineSortMergeJoin, bound)
+        assert px.result_keys == ssmj.result_keys
+        # ProgXe streams; SSMJ is locked to two instants.
+        assert ssmj.recorder.batch_count() <= 2
+        assert px.recorder.batch_count() >= ssmj.recorder.batch_count()
+
+
+class TestMixedDirections:
+    def test_highest_preference_end_to_end(self):
+        """A profit-maximising variant exercises direction normalisation."""
+        query = repro.parse_query(
+            """
+            SELECT R.id, T.id,
+                   (R.revenue - T.cost) AS profit,
+                   (R.leadTime + T.shipTime) AS delay
+            FROM Makers R, Shippers T
+            WHERE R.region = T.region
+            PREFERRING HIGHEST(profit) AND LOWEST(delay)
+            """
+        )
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        makers = repro.Table.from_rows(
+            "Makers",
+            ["id", "region", "revenue", "leadTime"],
+            [
+                (f"m{i}", f"g{rng.integers(0, 5)}",
+                 float(rng.uniform(50, 150)), float(rng.uniform(1, 20)))
+                for i in range(80)
+            ],
+        )
+        shippers = repro.Table.from_rows(
+            "Shippers",
+            ["id", "region", "cost", "shipTime"],
+            [
+                (f"s{i}", f"g{rng.integers(0, 5)}",
+                 float(rng.uniform(5, 50)), float(rng.uniform(1, 10)))
+                for i in range(80)
+            ],
+        )
+        bound = query.bind_by_table_name({"Makers": makers, "Shippers": shippers})
+        report = compare_algorithms(repro.ALGORITHMS, bound)
+        report.verify_agreement()
+        run = report.runs["ProgXe"]
+        assert run.result_keys == oracle_skyline_keys(bound)
+
+
+class TestDomainWorkloads:
+    @pytest.mark.parametrize(
+        "workload",
+        [
+            repro.SupplyChainWorkload(n_suppliers=120, n_transporters=120, seed=1),
+            repro.TravelWorkload(n_rome=100, n_paris=100, seed=2),
+            repro.RefinementWorkload(n_products=100, n_offers=100, seed=3),
+        ],
+        ids=["supply-chain", "travel", "refinement"],
+    )
+    def test_workload_agreement(self, workload):
+        bound = workload.bound()
+        report = compare_algorithms(repro.ALGORITHMS, bound)
+        report.verify_agreement()
+        assert report.runs["ProgXe"].result_keys == oracle_skyline_keys(bound)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_snippet(self):
+        # The README/quickstart flow must work verbatim.
+        workload = repro.SyntheticWorkload(
+            distribution="anticorrelated", n=120, d=2, sigma=0.05, seed=0
+        )
+        bound = workload.bound()
+        engine = repro.ProgXeEngine(bound)
+        results = list(engine.run())
+        assert results
+        assert all(hasattr(r, "outputs") for r in results)

@@ -1,0 +1,117 @@
+"""Tests for the three join algorithms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.join.hash_join import hash_join
+from repro.join.nested_loop import nested_loop_join
+from repro.join.predicates import EquiJoin
+
+keys = st.integers(0, 5)
+rows = st.lists(st.tuples(st.integers(0, 100), keys), max_size=25)
+
+
+def canonical(pairs):
+    return sorted((l, r) for l, r in pairs)
+
+
+class TestEquiJoin:
+    def test_matches(self):
+        p = EquiJoin(1, 0)
+        assert p.matches((9, "k"), ("k", 7))
+        assert not p.matches((9, "k"), ("x", 7))
+
+
+class TestHashJoin:
+    def test_simple(self):
+        left = [("a", 1), ("b", 2)]
+        right = [(1, "x"), (1, "y"), (3, "z")]
+        got = canonical(hash_join(left, right, EquiJoin(1, 0)))
+        assert got == canonical([(("a", 1), (1, "x")), (("a", 1), (1, "y"))])
+
+    def test_empty_sides(self):
+        assert list(hash_join([], [(1,)], EquiJoin(0, 0))) == []
+        assert list(hash_join([(1,)], [], EquiJoin(0, 0))) == []
+
+    def test_builds_on_smaller_side(self):
+        builds = []
+        left = [(1,)] * 2
+        right = [(1,)] * 5
+        list(hash_join(left, right, EquiJoin(0, 0), on_build=lambda: builds.append(1)))
+        assert len(builds) == 2  # the smaller (left) side was built
+
+    def test_callbacks_counted(self):
+        counts = {"build": 0, "probe": 0, "result": 0}
+        left = [(1,), (2,)]
+        right = [(1,), (1,), (9,)]
+        out = list(
+            hash_join(
+                left,
+                right,
+                EquiJoin(0, 0),
+                on_build=lambda: counts.__setitem__("build", counts["build"] + 1),
+                on_probe=lambda: counts.__setitem__("probe", counts["probe"] + 1),
+                on_result=lambda: counts.__setitem__("result", counts["result"] + 1),
+            )
+        )
+        assert counts["build"] == 2
+        assert counts["probe"] == 3
+        assert counts["result"] == len(out) == 2
+
+    @given(rows, rows)
+    @settings(max_examples=60)
+    def test_matches_nested_loop(self, left, right):
+        p = EquiJoin(1, 1)
+        assert canonical(hash_join(left, right, p)) == canonical(
+            nested_loop_join(left, right, p)
+        )
+
+
+class TestSortMergeJoin:
+    def test_duplicate_runs_cross_product(self):
+        from repro.join.sort_merge import sort_merge_join
+
+        left = [(1, "a"), (1, "b")]
+        right = [(1, "x"), (1, "y")]
+        got = canonical(sort_merge_join(left, right, EquiJoin(0, 0)))
+        assert len(got) == 4
+
+    def test_no_matches(self):
+        from repro.join.sort_merge import sort_merge_join
+
+        assert list(sort_merge_join([(1,)], [(2,)], EquiJoin(0, 0))) == []
+
+    def test_sort_steps_charged(self):
+        from repro.join.sort_merge import sort_merge_join
+
+        steps = []
+        list(
+            sort_merge_join(
+                [(1,), (2,)], [(1,)], EquiJoin(0, 0),
+                on_sort_step=lambda: steps.append(1),
+            )
+        )
+        assert len(steps) == 3
+
+    @given(rows, rows)
+    @settings(max_examples=60)
+    def test_matches_nested_loop(self, left, right):
+        from repro.join.sort_merge import sort_merge_join
+
+        p = EquiJoin(1, 1)
+        assert canonical(sort_merge_join(left, right, p)) == canonical(
+            nested_loop_join(left, right, p)
+        )
+
+
+class TestNestedLoop:
+    def test_comparison_count_is_product(self):
+        cmps = []
+        list(
+            nested_loop_join(
+                [(1,)] * 3, [(2,)] * 4, EquiJoin(0, 0),
+                on_comparison=lambda: cmps.append(1),
+            )
+        )
+        assert len(cmps) == 12

@@ -1,0 +1,177 @@
+"""Tests for the output-space look-ahead phase (paper §III-A)."""
+
+import pytest
+
+from tests.conftest import make_bound, oracle_skyline_keys
+from repro.core.lookahead import (
+    build_output_grid,
+    build_regions,
+    eliminate_dominated_regions,
+    premark_dominated_cells,
+    run_lookahead,
+)
+from repro.runtime.clock import VirtualClock
+from repro.storage.grid import GridPartitioner
+
+
+def grids_for(bound, k=3, kind="exact"):
+    p = GridPartitioner(k, kind)
+    left = p.partition(
+        bound.left_table, bound.left_map_attrs, bound.query.join.left_attr,
+        source=bound.left_alias,
+    )
+    right = p.partition(
+        bound.right_table, bound.right_map_attrs, bound.query.join.right_attr,
+        source=bound.right_alias,
+    )
+    return left, right
+
+
+class TestBuildRegions:
+    def test_regions_only_for_joinable_pairs(self):
+        bound = make_bound(n=100, sigma=0.02, seed=1)
+        left, right = grids_for(bound)
+        clock = VirtualClock()
+        regions = build_regions(bound, left, right, clock)
+        assert regions
+        for r in regions:
+            assert r.left_partition.signature.may_share(
+                r.right_partition.signature
+            )
+
+    def test_low_selectivity_prunes_pairs(self):
+        bound = make_bound(n=120, sigma=0.005, seed=2)
+        left, right = grids_for(bound)
+        regions = build_regions(bound, left, right, VirtualClock())
+        total_pairs = left.partition_count * right.partition_count
+        assert len(regions) < total_pairs
+
+    def test_region_boxes_contain_all_mapped_results(self):
+        """Soundness of interval mapping: every join result of a partition
+        pair falls inside the pair's region box."""
+        bound = make_bound(n=80, d=2, sigma=0.1, seed=3)
+        left, right = grids_for(bound)
+        regions = build_regions(bound, left, right, VirtualClock())
+        by_pair = {
+            (r.left_partition.coords, r.right_partition.coords): r
+            for r in regions
+        }
+        jl, jr = bound.left_join_index, bound.right_join_index
+        for lp in left:
+            for rp in right:
+                for lrow in lp.rows:
+                    for rrow in rp.rows:
+                        if lrow[jl] != rrow[jr]:
+                            continue
+                        region = by_pair[(lp.coords, rp.coords)]
+                        vec = bound.vector_of(bound.map_pair(lrow, rrow))
+                        for v, lo, hi in zip(vec, region.lower, region.upper):
+                            assert lo - 1e-9 <= v <= hi + 1e-9
+
+    def test_exact_signatures_guarantee(self):
+        bound = make_bound(n=100, sigma=0.1, seed=4)
+        left, right = grids_for(bound, kind="exact")
+        regions = build_regions(bound, left, right, VirtualClock())
+        assert all(r.guaranteed for r in regions)
+
+    def test_bloom_signatures_never_guarantee(self):
+        bound = make_bound(n=100, sigma=0.1, seed=4)
+        left, right = grids_for(bound, kind="bloom")
+        regions = build_regions(bound, left, right, VirtualClock())
+        assert regions
+        assert not any(r.guaranteed for r in regions)
+
+
+class TestElimination:
+    def test_dominated_regions_discarded(self):
+        bound = make_bound("anticorrelated", n=150, d=2, sigma=0.1, seed=5)
+        left, right = grids_for(bound, k=4)
+        clock = VirtualClock()
+        regions = build_regions(bound, left, right, clock)
+        survivors = eliminate_dominated_regions(regions, clock)
+        assert len(survivors) < len(regions)
+        for r in regions:
+            if r not in survivors:
+                assert r.discarded
+
+    def test_elimination_is_sound(self):
+        """No discarded region may contain a final skyline result."""
+        for seed in range(3):
+            bound = make_bound("independent", n=100, d=2, sigma=0.1, seed=seed)
+            left, right = grids_for(bound, k=4)
+            clock = VirtualClock()
+            regions = build_regions(bound, left, right, clock)
+            survivors = eliminate_dominated_regions(regions, clock)
+            surviving_pairs = {
+                (r.left_partition.coords, r.right_partition.coords)
+                for r in survivors
+            }
+            # Locate the partition pair of every oracle skyline member.
+            lattrs = bound.left_map_indices
+            rattrs = bound.right_map_indices
+            for lrow, rrow in oracle_skyline_keys(bound):
+                lcoords = left.cell_of([lrow[i] for i in lattrs])
+                rcoords = right.cell_of([rrow[i] for i in rattrs])
+                assert (lcoords, rcoords) in surviving_pairs
+
+    def test_bloom_mode_eliminates_nothing(self):
+        bound = make_bound(n=100, sigma=0.1, seed=6)
+        left, right = grids_for(bound, kind="bloom")
+        clock = VirtualClock()
+        regions = build_regions(bound, left, right, clock)
+        survivors = eliminate_dominated_regions(regions, clock)
+        assert len(survivors) == len(regions)
+
+
+class TestOutputGridConstruction:
+    def test_coverage_counts(self):
+        bound = make_bound(n=80, d=2, sigma=0.1, seed=7)
+        left, right = grids_for(bound)
+        clock = VirtualClock()
+        regions = build_regions(bound, left, right, clock)
+        regions = eliminate_dominated_regions(regions, clock)
+        grid = build_output_grid(bound, regions, 6, clock)
+        total_cover = sum(len(r.covered) for r in regions)
+        total_reg_count = sum(c.reg_count for c in grid.cells.values())
+        assert total_cover == total_reg_count
+        for r in regions:
+            assert r.unmarked_covered == len(r.covered)
+
+    def test_premark_marks_cells(self):
+        bound = make_bound("anticorrelated", n=150, d=2, sigma=0.2, seed=8)
+        left, right = grids_for(bound, k=4)
+        clock = VirtualClock()
+        regions = build_regions(bound, left, right, clock)
+        regions = eliminate_dominated_regions(regions, clock)
+        grid = build_output_grid(bound, regions, 8, clock)
+        marked = premark_dominated_cells(regions, grid, clock)
+        assert marked > 0
+        assert grid.marked_count == marked
+
+    def test_premark_never_marks_skyline_cells(self):
+        """Marked cells must not contain any final skyline vector."""
+        for seed in range(3):
+            bound = make_bound("independent", n=120, d=2, sigma=0.1, seed=seed)
+            left, right = grids_for(bound, k=4)
+            clock = VirtualClock()
+            regions, grid = run_lookahead(bound, left, right, 8, clock)
+            skyline_vectors = {
+                bound.vector_of(bound.map_pair(l, r))
+                for l, r in oracle_skyline_keys(bound)
+            }
+            for vec in skyline_vectors:
+                cell = grid.cells.get(grid.coords_of(vec))
+                assert cell is not None, "skyline vector in inactive cell"
+                assert not cell.marked, "skyline vector in marked cell"
+
+
+class TestRunLookahead:
+    def test_full_pipeline(self):
+        bound = make_bound(n=100, d=2, sigma=0.1, seed=9)
+        left, right = grids_for(bound)
+        regions, grid = run_lookahead(bound, left, right, 6, VirtualClock())
+        assert regions
+        assert grid.active_count > 0
+        # Cones were built: some live cell has neighbours.
+        live = [c for c in grid.cells.values() if not c.marked]
+        assert any(c.cone_lower or c.cone_upper for c in live)

@@ -1,0 +1,221 @@
+"""Tests for the SkyMapJoin query parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.parser import parse_query
+from repro.skyline.preferences import Direction
+
+Q1 = """
+    SELECT R.id, T.id,
+           (R.uPrice + T.uShipCost) AS tCost,
+           (2 * R.manTime + T.shipTime) AS delay
+    FROM Suppliers R, Transporters T
+    WHERE R.country = T.country AND
+          'P1' IN R.suppliedParts AND R.manCap >= 100K
+    PREFERRING LOWEST(tCost) AND LOWEST(delay)
+"""
+
+
+class TestQ1:
+    """The paper's running query must parse verbatim."""
+
+    def test_aliases_and_tables(self):
+        q = parse_query(Q1)
+        assert q.left_alias == "R"
+        assert q.right_alias == "T"
+        assert dict(q.table_names) == {"R": "Suppliers", "T": "Transporters"}
+
+    def test_join_condition(self):
+        q = parse_query(Q1)
+        assert q.join.left_attr == "country"
+        assert q.join.right_attr == "country"
+
+    def test_mappings(self):
+        q = parse_query(Q1)
+        assert q.mappings.names == ("tCost", "delay")
+
+    def test_filters(self):
+        q = parse_query(Q1)
+        ops = {(f.attribute, f.op) for f in q.filters}
+        assert ("suppliedParts", "contains") in ops
+        assert ("manCap", ">=") in ops
+        mancap = next(f for f in q.filters if f.attribute == "manCap")
+        assert mancap.literal == 100_000.0  # the K suffix
+
+    def test_preferences(self):
+        q = parse_query(Q1)
+        assert [p.attribute for p in q.preference] == ["tCost", "delay"]
+        assert all(p.direction is Direction.LOWEST for p in q.preference)
+
+    def test_passthrough_names_disambiguated(self):
+        q = parse_query(Q1)
+        names = [pt.output_name for pt in q.passthrough]
+        # Both tables select "id": second occurrence gets alias-qualified.
+        assert names == ["id", "T.id"]
+
+
+class TestSurfaceFeatures:
+    def test_reversed_join_sides_normalised(self):
+        q = parse_query(
+            "SELECT (R.a + T.b) AS x FROM r1 R, t1 T "
+            "WHERE T.k = R.k PREFERRING LOWEST(x)"
+        )
+        # FROM order defines left/right regardless of WHERE spelling.
+        assert q.join.left_attr == "k" and q.join.right_attr == "k"
+
+    def test_highest_preference(self):
+        q = parse_query(
+            "SELECT (R.a + T.b) AS profit FROM r R, t T "
+            "WHERE R.k = T.k PREFERRING HIGHEST(profit)"
+        )
+        assert q.preference.preferences[0].direction is Direction.HIGHEST
+
+    def test_in_list_filter(self):
+        q = parse_query(
+            "SELECT (R.a + T.b) AS x FROM r R, t T "
+            "WHERE R.k = T.k AND R.cat IN ('u', 'v') PREFERRING LOWEST(x)"
+        )
+        f = q.filters[0]
+        assert f.op == "in" and f.literal == ("u", "v")
+
+    def test_m_suffix(self):
+        q = parse_query(
+            "SELECT (R.a + T.b) AS x FROM r R, t T "
+            "WHERE R.k = T.k AND R.cap > 2M PREFERRING LOWEST(x)"
+        )
+        assert q.filters[0].literal == 2_000_000.0
+
+    def test_unary_minus_and_precedence(self):
+        q = parse_query(
+            "SELECT (-R.a + 2 * T.b - T.c / 4) AS x FROM r R, t T "
+            "WHERE R.k = T.k PREFERRING LOWEST(x)"
+        )
+        expr = q.mappings["x"].expression
+        env = {("R", "a"): 1.0, ("T", "b"): 3.0, ("T", "c"): 8.0}
+        assert expr.evaluate(env) == -1.0 + 6.0 - 2.0
+
+    def test_parenthesised_grouping(self):
+        q = parse_query(
+            "SELECT ((R.a + T.b) * 2) AS x FROM r R, t T "
+            "WHERE R.k = T.k PREFERRING LOWEST(x)"
+        )
+        env = {("R", "a"): 1.0, ("T", "b"): 2.0}
+        assert q.mappings["x"].expression.evaluate(env) == 6.0
+
+    def test_aliased_passthrough(self):
+        q = parse_query(
+            "SELECT R.id AS rid, (R.a + T.b) AS x FROM r R, t T "
+            "WHERE R.k = T.k PREFERRING LOWEST(x)"
+        )
+        assert q.passthrough[0].output_name == "rid"
+
+    def test_case_insensitive_keywords(self):
+        q = parse_query(
+            "select (R.a + T.b) as x from r R, t T "
+            "where R.k = T.k preferring lowest(x)"
+        )
+        assert q.mappings.names == ("x",)
+
+    def test_string_equality_filter(self):
+        q = parse_query(
+            "SELECT (R.a + T.b) AS x FROM r R, t T "
+            "WHERE R.k = T.k AND R.name = 'acme' PREFERRING LOWEST(x)"
+        )
+        assert q.filters[0].literal == "acme"
+
+    def test_not_equal_operator(self):
+        q = parse_query(
+            "SELECT (R.a + T.b) AS x FROM r R, t T "
+            "WHERE R.k = T.k AND R.flag <> 'bad' PREFERRING LOWEST(x)"
+        )
+        assert q.filters[0].op == "!="
+
+
+class TestErrors:
+    def test_missing_join(self):
+        with pytest.raises(ParseError, match="no join condition"):
+            parse_query(
+                "SELECT (R.a + T.b) AS x FROM r R, t T "
+                "WHERE R.z > 3 PREFERRING LOWEST(x)"
+            )
+
+    def test_multiple_joins(self):
+        with pytest.raises(ParseError, match="exactly one equi-join"):
+            parse_query(
+                "SELECT (R.a + T.b) AS x FROM r R, t T "
+                "WHERE R.k = T.k AND R.j = T.j PREFERRING LOWEST(x)"
+            )
+
+    def test_three_tables(self):
+        with pytest.raises(ParseError, match="exactly two"):
+            parse_query(
+                "SELECT (R.a + T.b) AS x FROM r R, t T, u U "
+                "WHERE R.k = T.k PREFERRING LOWEST(x)"
+            )
+
+    def test_computed_without_alias(self):
+        with pytest.raises(ParseError, match="AS alias"):
+            parse_query(
+                "SELECT R.a + T.b FROM r R, t T "
+                "WHERE R.k = T.k PREFERRING LOWEST(x)"
+            )
+
+    def test_no_preferring(self):
+        with pytest.raises(ParseError, match="PREFERRING"):
+            parse_query(
+                "SELECT (R.a + T.b) AS x FROM r R, t T WHERE R.k = T.k"
+            )
+
+    def test_no_mappings(self):
+        with pytest.raises(ParseError, match="no mapping"):
+            parse_query(
+                "SELECT R.id FROM r R, t T WHERE R.k = T.k PREFERRING LOWEST(x)"
+            )
+
+    def test_preference_on_unknown_mapping(self):
+        with pytest.raises(ParseError, match="no mapping defines"):
+            parse_query(
+                "SELECT (R.a + T.b) AS x FROM r R, t T "
+                "WHERE R.k = T.k PREFERRING LOWEST(zzz)"
+            )
+
+    def test_duplicate_output_names(self):
+        with pytest.raises(ParseError, match="duplicate output name"):
+            parse_query(
+                "SELECT (R.a) AS x, (T.b + 0) AS x FROM r R, t T "
+                "WHERE R.k = T.k PREFERRING LOWEST(x)"
+            )
+
+    def test_join_on_same_alias(self):
+        with pytest.raises(ParseError, match="both sides"):
+            parse_query(
+                "SELECT (R.a + T.b) AS x FROM r R, t T "
+                "WHERE R.k = R.j PREFERRING LOWEST(x)"
+            )
+
+    def test_non_equi_join(self):
+        with pytest.raises(ParseError, match="equi-join"):
+            parse_query(
+                "SELECT (R.a + T.b) AS x FROM r R, t T "
+                "WHERE R.k < T.k PREFERRING LOWEST(x)"
+            )
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse_query("SELECT # FROM r R, t T WHERE R.k = T.k")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_query(
+                "SELECT (R.a + T.b) AS x FROM r R, t T "
+                "WHERE R.k = T.k PREFERRING LOWEST(x) extra"
+            )
+
+    def test_position_reported(self):
+        try:
+            parse_query("SELECT ??? FROM r R, t T WHERE R.k = T.k")
+        except ParseError as exc:
+            assert exc.position is not None
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")

@@ -1,0 +1,104 @@
+"""Tests for the preference model (paper §II-A)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.skyline.preferences import (
+    HIGHEST,
+    LOWEST,
+    Direction,
+    ParetoPreference,
+    Preference,
+    all_lowest,
+    highest,
+    lowest,
+)
+
+
+class TestDirection:
+    def test_lowest_normalise_is_identity(self):
+        assert Direction.LOWEST.normalise(5.0) == 5.0
+
+    def test_highest_normalise_negates(self):
+        assert Direction.HIGHEST.normalise(5.0) == -5.0
+
+    def test_denormalise_inverts_normalise(self):
+        for d in Direction:
+            assert d.denormalise(d.normalise(3.25)) == 3.25
+
+    def test_flip_is_involution(self):
+        assert Direction.LOWEST.flip() is Direction.HIGHEST
+        assert Direction.HIGHEST.flip() is Direction.LOWEST
+        for d in Direction:
+            assert d.flip().flip() is d
+
+
+class TestPreferenceConstructors:
+    def test_lowest_helper(self):
+        p = lowest("cost")
+        assert p.attribute == "cost"
+        assert p.direction is LOWEST
+
+    def test_highest_helper(self):
+        p = highest("rating")
+        assert p.direction is HIGHEST
+
+    def test_default_direction_is_lowest(self):
+        assert Preference("x").direction is LOWEST
+
+
+class TestParetoPreference:
+    def test_requires_at_least_one_dimension(self):
+        with pytest.raises(QueryError):
+            ParetoPreference([])
+
+    def test_rejects_duplicate_attributes(self):
+        with pytest.raises(QueryError, match="duplicate"):
+            ParetoPreference([lowest("x"), highest("x")])
+
+    def test_attributes_in_order(self):
+        p = ParetoPreference([lowest("b"), highest("a")])
+        assert p.attributes == ("b", "a")
+
+    def test_dimensions(self):
+        assert ParetoPreference([lowest("x"), lowest("y")]).dimensions == 2
+
+    def test_normalise_mixed_directions(self):
+        p = ParetoPreference([lowest("cost"), highest("rating")])
+        assert p.normalise((10.0, 4.0)) == (10.0, -4.0)
+
+    def test_normalise_rejects_wrong_arity(self):
+        p = ParetoPreference([lowest("cost")])
+        with pytest.raises(QueryError):
+            p.normalise((1.0, 2.0))
+
+    def test_denormalise_round_trips(self):
+        p = ParetoPreference([lowest("a"), highest("b"), lowest("c")])
+        values = (1.5, -2.0, 7.0)
+        assert p.denormalise(p.normalise(values)) == values
+
+    def test_index_of(self):
+        p = ParetoPreference([lowest("a"), highest("b")])
+        assert p.index_of("b") == 1
+
+    def test_index_of_unknown_raises(self):
+        p = ParetoPreference([lowest("a")])
+        with pytest.raises(QueryError, match="not a preference dimension"):
+            p.index_of("zzz")
+
+    def test_equality_and_hash(self):
+        p1 = ParetoPreference([lowest("a"), highest("b")])
+        p2 = ParetoPreference([lowest("a"), highest("b")])
+        p3 = ParetoPreference([lowest("a")])
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+        assert p1 != p3
+
+    def test_iteration_yields_preferences(self):
+        prefs = [lowest("a"), highest("b")]
+        assert list(ParetoPreference(prefs)) == prefs
+
+    def test_all_lowest(self):
+        p = all_lowest(["x", "y", "z"])
+        assert all(pref.direction is LOWEST for pref in p)
+        assert p.attributes == ("x", "y", "z")

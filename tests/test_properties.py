@@ -1,0 +1,118 @@
+"""Property-based tests of the whole-system correctness obligations.
+
+These are the contracts DESIGN.md §4 promises:
+
+1. all algorithms agree with the brute-force oracle,
+2. ProgXe emissions are progressively safe (prefix ⊆ final skyline),
+3. ProgXe is complete (union of emissions == final skyline),
+4. determinism: same seed, same results.
+
+Workload parameters (distribution, size, dimensionality, selectivity, grid
+resolutions) are drawn by hypothesis.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import make_bound, oracle_skyline_keys
+from repro.core.engine import ProgXeEngine
+from repro.core.variants import ALGORITHMS
+from repro.runtime.clock import VirtualClock
+from repro.runtime.runner import run_algorithm
+
+workloads = st.fixed_dictionaries(
+    {
+        "distribution": st.sampled_from(
+            ["independent", "correlated", "anticorrelated"]
+        ),
+        "n": st.integers(20, 90),
+        "d": st.integers(1, 3),
+        "sigma": st.sampled_from([0.05, 0.1, 0.3]),
+        "seed": st.integers(0, 10_000),
+    }
+)
+
+grid_params = st.fixed_dictionaries(
+    {
+        "input_cells": st.integers(1, 4),
+        "output_cells": st.integers(1, 8),
+    }
+)
+
+_prop_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(workloads)
+@_prop_settings
+def test_progxe_matches_oracle(params):
+    bound = make_bound(**params)
+    run = run_algorithm(
+        lambda b, c: ProgXeEngine(b, c), bound
+    )
+    assert run.result_keys == oracle_skyline_keys(bound)
+
+
+@given(workloads, grid_params)
+@_prop_settings
+def test_progxe_correct_for_any_grid_resolution(params, grids):
+    bound = make_bound(**params)
+    engine = ProgXeEngine(bound, VirtualClock(), **grids)
+    assert {r.key() for r in engine.run()} == oracle_skyline_keys(bound)
+
+
+@given(workloads, st.booleans(), st.booleans())
+@_prop_settings
+def test_all_variant_combinations_match_oracle(params, ordering, pushthrough):
+    bound = make_bound(**params)
+    engine = ProgXeEngine(
+        bound, VirtualClock(), ordering=ordering, pushthrough=pushthrough
+    )
+    assert {r.key() for r in engine.run()} == oracle_skyline_keys(bound)
+
+
+@given(workloads)
+@_prop_settings
+def test_progressive_safety(params):
+    """Every emitted prefix is a subset of the final skyline."""
+    bound = make_bound(**params)
+    oracle = oracle_skyline_keys(bound)
+    seen = set()
+    for result in ProgXeEngine(bound, VirtualClock()).run():
+        key = result.key()
+        assert key in oracle, "false positive emission"
+        assert key not in seen, "duplicate emission"
+        seen.add(key)
+    assert seen == oracle, "false negatives: engine dropped results"
+
+
+@given(workloads)
+@_prop_settings
+def test_baselines_match_oracle(params):
+    bound = make_bound(**params)
+    oracle = oracle_skyline_keys(bound)
+    for name in ("JF-SL", "JF-SL+", "SSMJ", "SAJ"):
+        run = run_algorithm(ALGORITHMS[name], bound)
+        assert run.result_keys == oracle, f"{name} disagrees with the oracle"
+
+
+@given(workloads)
+@_prop_settings
+def test_determinism(params):
+    bound = make_bound(**params)
+    a = [r.key() for r in ProgXeEngine(bound, VirtualClock()).run()]
+    b = [r.key() for r in ProgXeEngine(bound, VirtualClock()).run()]
+    assert a == b  # identical emission order, not just identical sets
+
+
+@given(workloads)
+@_prop_settings
+def test_emission_times_monotone(params):
+    """Recorder timestamps never go backwards."""
+    bound = make_bound(**params)
+    run = run_algorithm(lambda b, c: ProgXeEngine(b, c), bound)
+    times = [e.vtime for e in run.recorder.events]
+    assert times == sorted(times)

@@ -1,0 +1,119 @@
+"""Tests for skyline partial push-through pruning."""
+
+import pytest
+
+from tests.conftest import oracle_skyline_keys
+from repro.baselines.pushthrough import (
+    attribute_bounds,
+    derived_preference,
+    group_level_skyline,
+    prune_source,
+    source_level_skyline,
+)
+from repro.data.workloads import SyntheticWorkload
+from repro.query.expressions import Attr
+from repro.query.mapping import MappingFunction, MappingSet
+from repro.query.smj import JoinCondition, SkyMapJoinQuery
+from repro.skyline.preferences import ParetoPreference, all_lowest, lowest
+from repro.storage.table import Table
+
+
+class TestLocalSkylines:
+    def _table(self):
+        rows = [
+            ("a", "j1", 1.0, 9.0),
+            ("b", "j1", 2.0, 2.0),
+            ("c", "j1", 3.0, 3.0),  # dominated by b within j1
+            ("d", "j2", 5.0, 5.0),  # group j2 skyline, not source skyline
+        ]
+        return Table.from_rows("t", ["id", "jkey", "x", "y"], rows)
+
+    def test_source_level_skyline(self):
+        kept = source_level_skyline(self._table(), all_lowest(["x", "y"]))
+        assert {r[0] for r in kept} == {"a", "b"}
+
+    def test_group_level_skyline_keeps_group_champions(self):
+        kept = group_level_skyline(
+            self._table(), "jkey", all_lowest(["x", "y"])
+        )
+        # d survives: it is the best of its group even though globally bad.
+        assert {r[0] for r in kept} == {"a", "b", "d"}
+
+    def test_group_skyline_superset_of_source_skyline(self):
+        table = self._table()
+        pref = all_lowest(["x", "y"])
+        ls_s = {r[0] for r in source_level_skyline(table, pref)}
+        ls_n = {r[0] for r in group_level_skyline(table, "jkey", pref)}
+        assert ls_s <= ls_n
+
+    def test_row_order_preserved(self):
+        kept = group_level_skyline(self._table(), "jkey", all_lowest(["x", "y"]))
+        ids = [r[0] for r in kept]
+        assert ids == sorted(ids, key=lambda i: "abcd".index(i))
+
+    def test_comparison_callback(self):
+        calls = []
+        source_level_skyline(
+            self._table(), all_lowest(["x", "y"]),
+            on_comparison=lambda: calls.append(1),
+        )
+        assert calls
+
+
+class TestPruneSource:
+    def test_prunes_dominated_group_members(self):
+        bound = SyntheticWorkload(n=200, d=2, sigma=0.1, seed=8).bound()
+        result = prune_source(bound, "R")
+        assert result is not None
+        assert result.pruned_count > 0
+        assert result.comparisons > 0
+        assert len(result.kept_rows) + result.pruned_count == result.original_count
+
+    def test_unknown_alias(self):
+        bound = SyntheticWorkload(n=20, d=2, seed=1).bound()
+        with pytest.raises(ValueError):
+            prune_source(bound, "Z")
+
+    def test_returns_none_when_underivable(self):
+        # A non-monotone mapping (product of attributes) blocks push-through.
+        mappings = MappingSet(
+            [MappingFunction("x", Attr("R", "a0") * Attr("T", "b0"))]
+        )
+        query = SkyMapJoinQuery(
+            left_alias="R",
+            right_alias="T",
+            join=JoinCondition("jkey", "jkey"),
+            mappings=mappings,
+            preference=ParetoPreference([lowest("x")]),
+        )
+        tables = SyntheticWorkload(n=30, d=1, seed=2).tables()
+        bound = query.bind(tables)
+        assert derived_preference(bound, "R") is None
+        assert prune_source(bound, "R") is None
+
+    def test_safety_pruning_preserves_final_skyline(self):
+        """The load-bearing property: pruning never loses a final result."""
+        for seed in range(4):
+            wl = SyntheticWorkload(
+                distribution="anticorrelated", n=120, d=2, sigma=0.05, seed=seed
+            )
+            bound = wl.bound()
+            oracle = oracle_skyline_keys(bound)
+            left = prune_source(bound, "R")
+            right = prune_source(bound, "T")
+            kept_left = {id(r) for r in left.kept_rows}
+            kept_right = {id(r) for r in right.kept_rows}
+            for lrow, rrow in oracle:
+                assert id(lrow) in kept_left, "pruned a skyline contributor"
+                assert id(rrow) in kept_right, "pruned a skyline contributor"
+
+
+class TestAttributeBounds:
+    def test_bounds(self):
+        rows = [(1.0, 5.0), (3.0, 2.0)]
+        bounds = attribute_bounds(rows, ["x", "y"], [0, 1])
+        assert bounds == {"x": (1.0, 3.0), "y": (2.0, 5.0)}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            attribute_bounds([], ["x"], [0])

@@ -1,0 +1,141 @@
+"""Tests for the adaptive quad-tree partitioner (paper §III's alternative
+space-partitioning methodology)."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_bound, oracle_skyline_keys
+from repro.core.engine import ProgXeEngine
+from repro.errors import BindingError
+from repro.runtime.clock import VirtualClock
+from repro.storage.quadtree import QuadTreePartitioner
+from repro.storage.table import Table
+
+
+def uniform_table(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = [
+        (f"r{i}", f"J{int(rng.integers(0, 10))}",
+         float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+        for i in range(n)
+    ]
+    return Table.from_rows("t", ["id", "jkey", "a", "b"], rows)
+
+
+def clustered_table(n=200, seed=0):
+    """90% of the mass in one small corner — the case quad-trees exist for."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for i in range(n):
+        if i % 10 == 0:
+            a, b = rng.uniform(0, 100), rng.uniform(0, 100)
+        else:
+            a, b = rng.uniform(0, 10), rng.uniform(0, 10)
+        rows.append((f"r{i}", f"J{int(rng.integers(0, 10))}", float(a), float(b)))
+    return Table.from_rows("t", ["id", "jkey", "a", "b"], rows)
+
+
+class TestConstruction:
+    def test_leaves_cover_all_rows(self):
+        index = QuadTreePartitioner(leaf_capacity=16).partition(
+            uniform_table(), ["a", "b"], "jkey"
+        )
+        assert index.total_rows() == 200
+
+    def test_leaf_capacity_respected(self):
+        index = QuadTreePartitioner(leaf_capacity=16, max_depth=12).partition(
+            uniform_table(), ["a", "b"], "jkey"
+        )
+        for part in index:
+            assert len(part) <= 16
+
+    def test_rows_inside_leaf_boxes(self):
+        table = uniform_table()
+        index = QuadTreePartitioner(leaf_capacity=16).partition(
+            table, ["a", "b"], "jkey"
+        )
+        for part in index:
+            for row in part.rows:
+                for i, attr_idx in enumerate((2, 3)):
+                    assert part.lower[i] - 1e-9 <= row[attr_idx] <= part.upper[i] + 1e-9
+
+    def test_tight_bounds_maintained(self):
+        index = QuadTreePartitioner(leaf_capacity=16).partition(
+            uniform_table(), ["a", "b"], "jkey"
+        )
+        for part in index:
+            ivals = part.attribute_intervals(index.attributes)
+            for i, attr in enumerate(index.attributes):
+                lo, hi = ivals[attr]
+                assert part.lower[i] - 1e-9 <= lo <= hi <= part.upper[i] + 1e-9
+
+    def test_adaptive_depth_on_clustered_data(self):
+        """Dense corner splits deep; uniform data stays shallower per leaf."""
+        capacity = 16
+        clustered = QuadTreePartitioner(leaf_capacity=capacity).partition(
+            clustered_table(), ["a", "b"], "jkey"
+        )
+        # The dense corner must produce several deep, small leaves.
+        deep_leaves = [p for p in clustered if len(p.coords) >= 3]
+        assert deep_leaves
+        # Every deep leaf lives inside the dense corner.
+        for leaf in deep_leaves:
+            assert leaf.upper[0] <= 30.0 and leaf.upper[1] <= 30.0
+
+    def test_duplicate_points_do_not_recurse_forever(self):
+        rows = [("r", "J", 5.0, 5.0)] * 100
+        table = Table.from_rows("t", ["id", "jkey", "a", "b"], rows)
+        index = QuadTreePartitioner(leaf_capacity=4, max_depth=6).partition(
+            table, ["a", "b"], "jkey"
+        )
+        assert index.total_rows() == 100
+
+    def test_signatures_attached(self):
+        index = QuadTreePartitioner(leaf_capacity=32).partition(
+            uniform_table(), ["a", "b"], "jkey"
+        )
+        for part in index:
+            assert part.signature is not None
+            assert part.signature.tuple_count == len(part)
+
+    def test_empty_table_rejected(self):
+        empty = Table.from_rows("t", ["id", "jkey", "a"], [])
+        with pytest.raises(BindingError):
+            QuadTreePartitioner().partition(empty, ["a"], "jkey")
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            QuadTreePartitioner(leaf_capacity=0)
+        with pytest.raises(ValueError):
+            QuadTreePartitioner(max_depth=0)
+
+
+class TestEngineIntegration:
+    @pytest.mark.parametrize("dist", ["correlated", "independent", "anticorrelated"])
+    def test_quadtree_engine_matches_oracle(self, dist):
+        bound = make_bound(dist, n=120, d=2, sigma=0.1, seed=5)
+        engine = ProgXeEngine(bound, VirtualClock(), partitioning="quadtree")
+        assert {r.key() for r in engine.run()} == oracle_skyline_keys(bound)
+
+    def test_quadtree_engine_3d(self):
+        bound = make_bound("independent", n=90, d=3, sigma=0.1, seed=6)
+        engine = ProgXeEngine(
+            bound, VirtualClock(), partitioning="quadtree", leaf_capacity=12
+        )
+        assert {r.key() for r in engine.run()} == oracle_skyline_keys(bound)
+
+    def test_quadtree_progressive_safety(self):
+        bound = make_bound("anticorrelated", n=120, d=2, sigma=0.1, seed=7)
+        oracle = oracle_skyline_keys(bound)
+        engine = ProgXeEngine(bound, VirtualClock(), partitioning="quadtree")
+        for result in engine.run():
+            assert result.key() in oracle
+
+    def test_invalid_partitioning_rejected(self, small_bound):
+        with pytest.raises(ValueError, match="partitioning"):
+            ProgXeEngine(small_bound, VirtualClock(), partitioning="rtree")
+
+    def test_quadtree_on_skewed_join_keys(self):
+        bound = make_bound("independent", n=120, d=2, sigma=0.05, seed=8, skew=1.5)
+        engine = ProgXeEngine(bound, VirtualClock(), partitioning="quadtree")
+        assert {r.key() for r in engine.run()} == oracle_skyline_keys(bound)

@@ -1,0 +1,163 @@
+"""Tests for query rendering and the parse/render round trip."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.query.expressions import Attr, BinOp, Const, Expression, Neg
+from repro.query.parser import parse_query
+from repro.query.render import render_expression, render_number, render_query
+
+Q1 = """
+    SELECT R.id, T.id,
+           (R.uPrice + T.uShipCost) AS tCost,
+           (2 * R.manTime + T.shipTime) AS delay
+    FROM Suppliers R, Transporters T
+    WHERE R.country = T.country AND
+          'P1' IN R.suppliedParts AND R.manCap >= 100K
+    PREFERRING LOWEST(tCost) AND LOWEST(delay)
+"""
+
+
+class TestRenderNumber:
+    def test_integers_plain(self):
+        assert render_number(100000.0) == "100000"
+        assert render_number(0.0) == "0"
+
+    def test_decimals(self):
+        assert render_number(1.5) == "1.5"
+        assert render_number(0.25) == "0.25"
+
+    def test_no_scientific_notation(self):
+        assert "e" not in render_number(1e12)
+        assert "e" not in render_number(1e-6)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(QueryError):
+            render_number(float("inf"))
+        with pytest.raises(QueryError):
+            render_number(float("nan"))
+
+
+# ----------------------------------------------------------------------
+# random expression trees over two aliases
+# ----------------------------------------------------------------------
+_attrs = st.sampled_from(
+    [Attr("R", "a0"), Attr("R", "a1"), Attr("T", "b0"), Attr("T", "b1")]
+)
+_consts = st.floats(0.25, 8.0).map(lambda v: Const(round(v, 3)))
+
+
+def _expressions(depth: int = 3):
+    leaf = st.one_of(_attrs, _consts)
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.sampled_from("+-*"), children, children).map(
+                lambda t: BinOp(t[0], t[1], t[2])
+            ),
+            st.tuples(children, _consts).map(
+                lambda t: BinOp("/", t[0], Const(max(0.5, abs(t[1].value))))
+            ),
+            children.map(Neg),
+        )
+    return st.recursive(leaf, extend, max_leaves=6)
+
+
+class TestExpressionRoundTrip:
+    @given(_expressions())
+    @settings(max_examples=80)
+    def test_rendered_expression_reparses_equal(self, expr: Expression):
+        # The 0 + prefix keeps a bare attribute reference from being read
+        # as a passthrough column instead of a mapping.
+        query = parse_query(
+            f"SELECT (0 + {render_expression(expr)}) AS x, (R.a0 + T.b0) AS base "
+            "FROM r R, t T WHERE R.k = T.k "
+            "PREFERRING LOWEST(x) AND LOWEST(base)"
+        )
+        reparsed = query.mappings["x"].expression
+        env = {
+            ("R", "a0"): 1.25, ("R", "a1"): 2.5,
+            ("T", "b0"): 3.75, ("T", "b1"): 0.5,
+        }
+        assert reparsed.evaluate(env) == pytest.approx(expr.evaluate(env))
+
+    @given(_expressions())
+    @settings(max_examples=40)
+    def test_monotonicity_survives_round_trip(self, expr: Expression):
+        rendered = render_expression(expr)
+        query = parse_query(
+            f"SELECT (0 + {rendered}) AS x, (R.a0 + T.b0) AS base "
+            "FROM r R, t T WHERE R.k = T.k "
+            "PREFERRING LOWEST(x) AND LOWEST(base)"
+        )
+        # 0 + e has exactly e's monotonicity.
+        assert query.mappings["x"].expression.monotonicity() == expr.monotonicity()
+
+
+class TestQueryRoundTrip:
+    def test_q1_round_trip(self):
+        q = parse_query(Q1)
+        rendered = render_query(q)
+        q2 = parse_query(rendered)
+        assert q2.join == q.join
+        assert q2.mappings.names == q.mappings.names
+        assert q2.preference == q.preference
+        assert q2.filters == q.filters
+        assert q2.passthrough == q.passthrough
+        assert q2.table_names == q.table_names
+
+    def test_round_trip_is_fixed_point(self):
+        q = parse_query(Q1)
+        once = render_query(q)
+        twice = render_query(parse_query(once))
+        assert once == twice
+
+    def test_rendered_q1_runs(self):
+        import repro
+
+        tables = repro.SupplyChainWorkload(
+            n_suppliers=80, n_transporters=80, seed=2
+        ).tables()
+        q = parse_query(render_query(parse_query(Q1)))
+        bound = q.bind_by_table_name(
+            {"Suppliers": tables["R"], "Transporters": tables["T"]}
+        )
+        results = list(repro.ProgXeEngine(bound).run())
+        assert results
+
+    def test_mixed_directions_round_trip(self):
+        text = (
+            "SELECT (R.a - T.b) AS profit, (R.c + T.d) AS cost "
+            "FROM x R, y T WHERE R.k = T.k "
+            "PREFERRING HIGHEST(profit) AND LOWEST(cost)"
+        )
+        q = parse_query(text)
+        q2 = parse_query(render_query(q))
+        assert q2.preference == q.preference
+
+    def test_in_list_filter_round_trip(self):
+        text = (
+            "SELECT (R.a + T.b) AS x FROM r R, t T "
+            "WHERE R.k = T.k AND R.cat IN ('u', 'v') PREFERRING LOWEST(x)"
+        )
+        q = parse_query(text)
+        q2 = parse_query(render_query(q))
+        assert q2.filters == q.filters
+
+    def test_quote_in_literal_rejected(self):
+        from repro.query.smj import FilterCondition
+
+        q = parse_query(Q1)
+        bad = q.__class__(
+            left_alias=q.left_alias,
+            right_alias=q.right_alias,
+            join=q.join,
+            mappings=q.mappings,
+            preference=q.preference,
+            filters=(FilterCondition("R", "name", "=", "it's"),),
+            passthrough=q.passthrough,
+            table_names=q.table_names,
+        )
+        with pytest.raises(QueryError, match="quote"):
+            render_query(bad)

@@ -1,0 +1,90 @@
+"""Tests for SaLSa (sort-and-limit skyline, paper reference [3])."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.generator import generate_attributes
+from repro.skyline.bnl import bnl_skyline
+from repro.skyline.salsa import salsa_skyline, salsa_skyline_entries
+
+point_lists = st.lists(
+    st.tuples(
+        st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False)
+    ),
+    min_size=0,
+    max_size=60,
+)
+tied_lists = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=0, max_size=40
+)
+
+
+class TestCorrectness:
+    def test_empty(self):
+        assert salsa_skyline([]) == []
+
+    def test_single(self):
+        assert salsa_skyline([(3.0, 4.0)]) == [(3.0, 4.0)]
+
+    def test_simple(self):
+        pts = [(1.0, 4.0), (2.0, 2.0), (4.0, 1.0), (3.0, 3.0)]
+        assert sorted(salsa_skyline(pts)) == [(1.0, 4.0), (2.0, 2.0), (4.0, 1.0)]
+
+    def test_keeps_equal_vectors(self):
+        assert len(salsa_skyline([(1.0, 1.0), (1.0, 1.0)])) == 2
+
+    @given(point_lists)
+    @settings(max_examples=60)
+    def test_matches_bnl(self, points):
+        assert sorted(map(tuple, salsa_skyline(points))) == sorted(
+            map(tuple, bnl_skyline(points))
+        )
+
+    @given(tied_lists)
+    @settings(max_examples=60)
+    def test_matches_bnl_on_ties(self, points):
+        pts = [tuple(map(float, p)) for p in points]
+        assert sorted(salsa_skyline(pts)) == sorted(map(tuple, bnl_skyline(pts)))
+
+    def test_payloads_carried(self):
+        entries = [((2.0, 2.0), "a"), ((1.0, 1.0), "b")]
+        window, _ = salsa_skyline_entries(entries)
+        assert [p for _, p in window] == ["b"]
+
+
+class TestEarlyStop:
+    def test_stop_point_triggers(self):
+        # (1, 1) has maxC 1 < minC of everything else: scan stops at once.
+        pts = [(1.0, 1.0)] + [(50.0 + i, 60.0 + i) for i in range(50)]
+        window, scanned = salsa_skyline_entries([(p, i) for i, p in enumerate(pts)])
+        assert [vec for vec, _ in window] == [(1.0, 1.0)]
+        assert scanned == 1
+
+    def test_no_stop_on_antidiagonal(self):
+        # Anti-correlated points all share minC ~ 0: no early stop possible.
+        pts = [(float(i), float(50 - i)) for i in range(51)]
+        _, scanned = salsa_skyline_entries([(p, i) for i, p in enumerate(pts)])
+        assert scanned == len(pts)
+
+    def test_stops_early_on_correlated_data(self):
+        rng = np.random.default_rng(4)
+        pts = [tuple(p) for p in generate_attributes("correlated", 1000, 2, rng)]
+        _, scanned = salsa_skyline_entries([(p, i) for i, p in enumerate(pts)])
+        assert scanned < len(pts) * 0.5
+
+    def test_scans_more_on_anticorrelated_data(self):
+        rng = np.random.default_rng(4)
+        corr = [tuple(p) for p in generate_attributes("correlated", 800, 2, rng)]
+        anti = [tuple(p) for p in generate_attributes("anticorrelated", 800, 2, rng)]
+        _, scanned_corr = salsa_skyline_entries([(p, i) for i, p in enumerate(corr)])
+        _, scanned_anti = salsa_skyline_entries([(p, i) for i, p in enumerate(anti)])
+        assert scanned_corr < scanned_anti
+
+    def test_comparison_callback(self):
+        calls = []
+        salsa_skyline(
+            [(1.0, 2.0), (2.0, 1.0), (3.0, 3.0)],
+            on_comparison=lambda: calls.append(1),
+        )
+        assert calls

@@ -1,0 +1,69 @@
+"""Tests for run/report JSON serialisation."""
+
+import json
+
+from repro.core.variants import progxe, progxe_no_order
+from repro.runtime.compare import compare_algorithms
+from repro.runtime.runner import run_algorithm
+from repro.runtime.serialize import (
+    curves_from_json,
+    load_report_json,
+    report_to_dict,
+    run_to_dict,
+    write_report_json,
+)
+
+
+class TestRunToDict:
+    def test_fields(self, small_bound):
+        run = run_algorithm(progxe, small_bound)
+        data = run_to_dict(run)
+        assert data["name"] == "ProgXe"
+        assert data["summary"]["results"] == run.recorder.total_results
+        assert data["operation_counts"]["dominance_cmp"] >= 0
+        assert len(data["emissions"]) == run.recorder.total_results
+
+    def test_json_round_trip(self, small_bound):
+        run = run_algorithm(progxe, small_bound)
+        data = json.loads(json.dumps(run_to_dict(run)))
+        assert data["summary"]["results"] == run.recorder.total_results
+
+    def test_curve_monotone(self, small_bound):
+        run = run_algorithm(progxe, small_bound)
+        curve = run_to_dict(run, curve_points=10)["curve"]
+        counts = [pt["results"] for pt in curve]
+        assert counts == sorted(counts)
+        assert len(curve) == 11
+
+
+class TestReportSerialisation:
+    def test_report_dict(self, small_bound):
+        report = compare_algorithms(
+            {"ProgXe": progxe, "NoOrder": progxe_no_order}, small_bound
+        )
+        data = report_to_dict(report)
+        assert set(data["algorithms"]) == {"ProgXe", "NoOrder"}
+        assert set(data["runs"]) == {"ProgXe", "NoOrder"}
+
+    def test_write_and_load(self, small_bound, tmp_path):
+        report = compare_algorithms({"ProgXe": progxe}, small_bound)
+        path = write_report_json(report, tmp_path / "sub" / "report.json")
+        assert path.exists()
+        loaded = load_report_json(path)
+        assert loaded["algorithms"] == ["ProgXe"]
+
+    def test_curves_from_json(self, small_bound, tmp_path):
+        report = compare_algorithms({"ProgXe": progxe}, small_bound)
+        path = write_report_json(report, tmp_path / "r.json")
+        curves = curves_from_json(load_report_json(path))
+        pts = curves["ProgXe"]
+        assert pts[-1][1] == report.runs["ProgXe"].recorder.total_results
+
+    def test_loaded_curves_render(self, small_bound, tmp_path):
+        from repro.runtime.plots import ascii_curve
+
+        report = compare_algorithms({"ProgXe": progxe}, small_bound)
+        path = write_report_json(report, tmp_path / "r.json")
+        curves = curves_from_json(load_report_json(path))
+        chart = ascii_curve(curves, width=20, height=6)
+        assert "ProgXe" in chart

@@ -1,0 +1,159 @@
+"""Tests for the skyline algorithms: BNL, SFS, divide & conquer.
+
+The central obligation: all three agree with the quadratic oracle on any
+input, including duplicates and ties.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.skyline.bnl import bnl_skyline, bnl_skyline_entries
+from repro.skyline.dnc import dnc_skyline, dnc_skyline_entries
+from repro.skyline.dominance import skyline_indices_bruteforce
+from repro.skyline.sfs import sfs_skyline, sfs_skyline_entries
+
+point_lists = st.lists(
+    st.tuples(
+        st.floats(0, 100, allow_nan=False),
+        st.floats(0, 100, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=60,
+)
+point_lists_3d = st.lists(
+    st.tuples(
+        st.floats(0, 10, allow_nan=False),
+        st.floats(0, 10, allow_nan=False),
+        st.floats(0, 10, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=60,
+)
+# Integer grids force many ties/duplicates.
+tied_lists = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=0, max_size=40
+)
+
+
+def oracle_multiset(points):
+    pts = np.array(points, dtype=float) if points else np.empty((0, 2))
+    idx = skyline_indices_bruteforce(pts) if len(points) else []
+    return sorted(tuple(points[i]) for i in idx)
+
+
+class TestBNL:
+    def test_empty(self):
+        assert bnl_skyline([]) == []
+
+    def test_single(self):
+        assert bnl_skyline([(1.0, 2.0)]) == [(1.0, 2.0)]
+
+    def test_dominated_dropped(self):
+        assert bnl_skyline([(1.0, 1.0), (2.0, 2.0)]) == [(1.0, 1.0)]
+
+    def test_later_dominator_evicts_earlier(self):
+        assert bnl_skyline([(2.0, 2.0), (1.0, 1.0)]) == [(1.0, 1.0)]
+
+    def test_keeps_equal_vectors(self):
+        result = bnl_skyline([(1.0, 1.0), (1.0, 1.0)])
+        assert len(result) == 2
+
+    def test_counts_comparisons(self):
+        count = [0]
+        bnl_skyline([(1.0, 2.0), (2.0, 1.0), (3.0, 3.0)],
+                    on_comparison=lambda: count.__setitem__(0, count[0] + 1))
+        assert count[0] > 0
+
+    @given(point_lists)
+    @settings(max_examples=60)
+    def test_matches_oracle(self, points):
+        assert sorted(map(tuple, bnl_skyline(points))) == oracle_multiset(points)
+
+    @given(tied_lists)
+    @settings(max_examples=60)
+    def test_matches_oracle_on_ties(self, points):
+        got = sorted(tuple(map(float, v)) for v in bnl_skyline(points))
+        want = oracle_multiset([tuple(map(float, p)) for p in points])
+        assert got == want
+
+
+class TestSFS:
+    def test_empty(self):
+        assert sfs_skyline([]) == []
+
+    def test_no_evictions_needed(self):
+        # SFS never revisits accepted tuples; the sorted order guarantees it.
+        assert sorted(sfs_skyline([(3.0, 1.0), (1.0, 3.0), (2.0, 2.0)])) == [
+            (1.0, 3.0), (2.0, 2.0), (3.0, 1.0)
+        ]
+
+    def test_keeps_equal_vectors(self):
+        assert len(sfs_skyline([(2.0, 2.0), (2.0, 2.0)])) == 2
+
+    @given(point_lists)
+    @settings(max_examples=60)
+    def test_matches_oracle(self, points):
+        assert sorted(map(tuple, sfs_skyline(points))) == oracle_multiset(points)
+
+    @given(point_lists_3d)
+    @settings(max_examples=40)
+    def test_matches_bnl_3d(self, points):
+        assert sorted(map(tuple, sfs_skyline(points))) == sorted(
+            map(tuple, bnl_skyline(points))
+        )
+
+
+class TestDnc:
+    def test_empty(self):
+        assert dnc_skyline([]) == []
+
+    def test_small_input_base_case(self):
+        assert sorted(dnc_skyline([(1.0, 4.0), (4.0, 1.0), (2.0, 5.0)])) == [
+            (1.0, 4.0), (4.0, 1.0)
+        ]
+
+    def test_large_input_recursion(self):
+        rng = np.random.default_rng(5)
+        points = [tuple(p) for p in rng.random((200, 2)) * 100]
+        assert sorted(dnc_skyline(points)) == oracle_multiset(points)
+
+    @given(point_lists)
+    @settings(max_examples=40)
+    def test_matches_oracle(self, points):
+        assert sorted(map(tuple, dnc_skyline(points))) == oracle_multiset(points)
+
+    @given(tied_lists)
+    @settings(max_examples=40)
+    def test_matches_oracle_on_ties(self, points):
+        pts = [tuple(map(float, p)) for p in points]
+        assert sorted(dnc_skyline(pts)) == oracle_multiset(pts)
+
+
+class TestPayloadVariants:
+    """The *_entries versions must carry payloads through untouched."""
+
+    def test_bnl_payloads(self):
+        entries = [((2.0, 2.0), "a"), ((1.0, 1.0), "b"), ((0.5, 3.0), "c")]
+        result = bnl_skyline_entries(entries)
+        assert {p for _, p in result} == {"b", "c"}
+
+    def test_sfs_payloads(self):
+        entries = [((2.0, 2.0), "a"), ((1.0, 1.0), "b")]
+        assert [p for _, p in sfs_skyline_entries(entries)] == ["b"]
+
+    def test_dnc_payloads(self):
+        entries = [((2.0, 2.0), i) for i in range(30)]
+        entries.append(((1.0, 1.0), 99))
+        result = dnc_skyline_entries(entries)
+        assert [p for _, p in result] == [99]
+
+    @given(point_lists)
+    @settings(max_examples=30)
+    def test_all_three_agree_with_payloads(self, points):
+        entries = [(p, i) for i, p in enumerate(points)]
+        b = sorted(p for _, p in bnl_skyline_entries(entries))
+        s = sorted(p for _, p in sfs_skyline_entries(entries))
+        d = sorted(p for _, p in dnc_skyline_entries(entries))
+        assert b == s == d

@@ -1,0 +1,52 @@
+"""Tests for the independent verification API."""
+
+from repro.core.engine import ProgXeEngine
+from repro.core.verify import true_skyline_keys, verify_results
+from repro.runtime.clock import VirtualClock
+
+
+class TestVerifyResults:
+    def test_correct_stream_passes(self, small_bound):
+        results = list(ProgXeEngine(small_bound, VirtualClock()).run())
+        report = verify_results(small_bound, results)
+        assert report.ok
+        assert report.received == report.expected == len(results)
+        assert "OK" in report.render()
+
+    def test_missing_results_detected(self, small_bound):
+        results = list(ProgXeEngine(small_bound, VirtualClock()).run())
+        report = verify_results(small_bound, results[:-1])
+        assert not report.ok
+        assert len(report.missing) == 1
+        assert "false negatives (missing): 1" in report.render()
+
+    def test_duplicates_detected(self, small_bound):
+        results = list(ProgXeEngine(small_bound, VirtualClock()).run())
+        report = verify_results(small_bound, results + [results[0]])
+        assert not report.ok
+        assert len(report.duplicated) == 1
+
+    def test_unexpected_results_detected(self, small_bound):
+        results = list(ProgXeEngine(small_bound, VirtualClock()).run())
+        # Fabricate a non-skyline result: a joined pair dominated by all.
+        lrow = small_bound.left_table.rows[0]
+        rrow = small_bound.right_table.rows[0]
+        fake_mapped = tuple(v + 1e9 for v in results[0].mapped)
+        fake = small_bound.make_result(lrow, rrow, fake_mapped)
+        report = verify_results(small_bound, results + [fake])
+        assert not report.ok
+        assert len(report.unexpected) == 1
+
+    def test_true_skyline_matches_conftest_oracle(self, small_bound):
+        from tests.conftest import oracle_skyline_keys
+
+        assert true_skyline_keys(small_bound) == oracle_skyline_keys(small_bound)
+
+    def test_all_algorithms_verify(self, anti_bound):
+        from repro.core.variants import ALGORITHMS
+        from repro.runtime.runner import run_algorithm
+
+        for name, factory in ALGORITHMS.items():
+            run = run_algorithm(factory, anti_bound)
+            report = verify_results(anti_bound, run.results)
+            assert report.ok, f"{name}: {report.render()}"
