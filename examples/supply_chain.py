@@ -28,22 +28,16 @@ def main() -> None:
         n_suppliers=500, n_transporters=500, n_countries=25, seed=11
     )
     tables = workload.tables()
-    query = repro.parse_query(Q1)
-    bound = query.bind_by_table_name(
-        {"Suppliers": tables["R"], "Transporters": tables["T"]}
+    session = (
+        repro.Session()
+        .register_table(tables["R"], "Suppliers")
+        .register_table(tables["T"], "Transporters")
     )
+    bound = session.sql(Q1)
     print(f"suppliers after filters: {len(bound.left_table)}")
     print(f"transporters:            {len(bound.right_table)}")
 
-    report = repro.compare_algorithms(
-        {
-            "ProgXe": repro.progxe,
-            "ProgXe+": repro.progxe_plus,
-            "SSMJ": repro.SkylineSortMergeJoin,
-            "JF-SL": repro.JoinFirstSkylineLater,
-        },
-        bound,
-    )
+    report = session.compare(bound, ["ProgXe", "ProgXe+", "SSMJ", "JF-SL"])
 
     print("\nProgressiveness (virtual time to reach each output fraction):")
     print(report.progressiveness_table())

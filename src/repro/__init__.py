@@ -3,29 +3,45 @@
 
 Reproduction of Raghavan & Rundensteiner, ICDE 2010 / WPI-CS-TR-09-05.
 
-Quickstart::
+The canonical entry point is the **session API**: register tables once, then
+build queries fluently and consume results as a stream::
 
     import repro
 
     workload = repro.SyntheticWorkload(distribution="anticorrelated",
                                        n=500, d=2, sigma=0.01)
-    bound = workload.bound()
-    engine = repro.ProgXeEngine(bound)
-    for result in engine.run():        # results stream out as proven final
+    session = repro.Session().register_tables(workload.tables())
+
+    stream = (
+        session.query()
+        .from_tables("R", "T")
+        .join_on("R.jkey = T.jkey")
+        .map("x0", "R.a0 + T.b0")
+        .map("x1", "R.a1 + T.b1")
+        .preferring(repro.lowest("x0"), repro.lowest("x1"))
+        .execute()                      # -> ResultStream
+    )
+    for result in stream:               # results stream out as proven final
         print(result.outputs)
 
-Or with the paper's SQL surface::
+Streams also support push callbacks (``on_result`` / ``on_progress`` /
+``on_complete``), cooperative ``cancel()``, and ``StreamBudget`` ceilings
+that stop the engine cleanly mid-run — any prefix is provably correct.
+The paper's SQL surface goes through the same session::
 
-    query = repro.parse_query('''
+    stream = session.execute('''
         SELECT R.id, T.id,
                (R.uPrice + T.uShipCost) AS tCost,
                (2 * R.manTime + T.shipTime) AS delay
         FROM Suppliers R, Transporters T
         WHERE R.country = T.country
         PREFERRING LOWEST(tCost) AND LOWEST(delay)
-    ''')
-    bound = query.bind_by_table_name({"Suppliers": suppliers,
-                                      "Transporters": transporters})
+    ''', algorithm="ProgXe+", budget=repro.StreamBudget(max_results=10))
+
+The lower layers remain public: ``ProgXeEngine`` (raw engine, configurable
+via ``EngineConfig``), ``run_algorithm``/``compare_algorithms`` (batch
+harnesses, now shims over the stream layer), and the ``ALGORITHMS`` view
+over the pluggable algorithm registry.
 """
 
 from repro.baselines import (
@@ -37,11 +53,16 @@ from repro.baselines import (
 from repro.core import (
     ALGORITHMS,
     PROGXE_VARIANTS,
+    ExplainReport,
     ProgXeEngine,
+    VerificationReport,
+    explain,
     progxe,
     progxe_no_order,
     progxe_plus,
     progxe_plus_no_order,
+    trace,
+    verify_results,
 )
 from repro.data import (
     RefinementWorkload,
@@ -54,6 +75,7 @@ from repro.errors import (
     ExecutionError,
     ParseError,
     QueryError,
+    RegistryError,
     ReproError,
     SchemaError,
 )
@@ -70,6 +92,16 @@ from repro.query import (
     SkyMapJoinQuery,
     parse_query,
     render_query,
+)
+from repro.session import (
+    AlgorithmRegistry,
+    EngineConfig,
+    QueryBuilder,
+    ResultStream,
+    Session,
+    StreamBudget,
+    StreamStats,
+    default_registry,
 )
 from repro.runtime import (
     ComparisonReport,
@@ -96,46 +128,57 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "AlgorithmRegistry",
     "Attr",
     "BindingError",
     "BoundQuery",
+    "ChainJoin",
     "ComparisonReport",
     "Const",
+    "EngineConfig",
     "ExecutionError",
+    "ExplainReport",
     "HIGHEST",
     "Interval",
     "JoinFirstSkylineLater",
     "JoinFirstSkylineLaterPlus",
     "LOWEST",
-    "ChainJoin",
     "MappingFunction",
     "MappingSet",
     "MultiwayQuery",
     "PROGXE_VARIANTS",
-    "render_query",
     "ParetoPreference",
     "ParseError",
     "Preference",
     "ProgXeEngine",
     "ProgressRecorder",
+    "QueryBuilder",
     "QueryError",
     "RefinementWorkload",
+    "RegistryError",
     "ReproError",
+    "ResultStream",
     "ResultTuple",
     "RunResult",
     "Schema",
     "SchemaError",
+    "Session",
     "SkyMapJoinQuery",
     "SkylineSortMergeJoin",
     "SortedAccessJoin",
+    "StreamBudget",
+    "StreamStats",
     "SupplyChainWorkload",
     "SyntheticWorkload",
     "Table",
     "TravelWorkload",
+    "VerificationReport",
     "VirtualClock",
     "bnl_skyline",
     "compare_algorithms",
+    "default_registry",
     "dominates",
+    "explain",
     "highest",
     "lowest",
     "parse_query",
@@ -143,6 +186,9 @@ __all__ = [
     "progxe_no_order",
     "progxe_plus",
     "progxe_plus_no_order",
+    "render_query",
     "run_algorithm",
     "sfs_skyline",
+    "trace",
+    "verify_results",
 ]

@@ -1,5 +1,11 @@
 """Command-line interface: ``python -m repro <command>``.
 
+All commands are routed through the :class:`~repro.session.service.Session`
+service API — queries execute as :class:`~repro.session.stream.ResultStream`
+handles, so budgets (``--max-vtime``, ``--max-comparisons``,
+``--max-results``) stop the engine cleanly mid-run while keeping every
+already-emitted result provably final.
+
 Commands
 --------
 
@@ -17,6 +23,12 @@ Commands
 
 ``generate``
     Write a synthetic workload's two tables to CSV files.
+
+``explain``
+    Show the ProgXe plan for a workload without executing it.
+
+``algorithms``
+    List the registered algorithms (the pluggable registry behind ``-a``).
 """
 
 from __future__ import annotations
@@ -25,13 +37,11 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.core.variants import ALGORITHMS, PROGXE_VARIANTS
 from repro.data.workloads import SyntheticWorkload
-from repro.errors import ReproError
-from repro.query.parser import parse_query
-from repro.runtime.clock import VirtualClock
-from repro.runtime.compare import compare_algorithms
-from repro.runtime.runner import run_algorithm
+from repro.errors import RegistryError, ReproError
+from repro.session.config import PRESETS, EngineConfig
+from repro.session.service import Session
+from repro.session.stream import StreamBudget
 from repro.storage.table import Table
 
 
@@ -48,6 +58,24 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7, help="RNG seed")
 
 
+def _add_budget_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--max-vtime", type=float, default=None,
+                        help="stop after this much virtual time")
+    parser.add_argument("--max-comparisons", type=int, default=None,
+                        help="stop after this many dominance comparisons")
+    parser.add_argument("--max-results", type=int, default=None,
+                        help="stop after this many results")
+
+
+def _budget(args: argparse.Namespace) -> StreamBudget | None:
+    budget = StreamBudget(
+        max_vtime=getattr(args, "max_vtime", None),
+        max_comparisons=getattr(args, "max_comparisons", None),
+        max_results=getattr(args, "max_results", None),
+    )
+    return None if budget.unlimited else budget
+
+
 def _workload(args: argparse.Namespace) -> SyntheticWorkload:
     return SyntheticWorkload(
         distribution=args.distribution, n=args.n, d=args.d,
@@ -55,44 +83,62 @@ def _workload(args: argparse.Namespace) -> SyntheticWorkload:
     )
 
 
-def _resolve_algorithms(spec: str) -> dict:
+def _session(args: argparse.Namespace) -> Session:
+    config = None
+    preset = getattr(args, "preset", None)
+    if preset:
+        config = EngineConfig.preset(preset)
+    return Session(config=config)
+
+
+def _algorithm_names(session: Session, spec: str) -> list[str]:
     if spec == "all":
-        return dict(ALGORITHMS)
+        return list(session.algorithms())
     if spec == "variants":
-        return dict(PROGXE_VARIANTS)
-    chosen = {}
+        return [
+            entry.name
+            for entry in session.registry.entries()
+            if "progressive" in entry.tags
+        ]
+    names = []
     for name in spec.split(","):
         name = name.strip()
-        if name not in ALGORITHMS:
-            raise SystemExit(
-                f"unknown algorithm {name!r}; available: {', '.join(ALGORITHMS)}"
-            )
-        chosen[name] = ALGORITHMS[name]
-    return chosen
+        try:
+            names.append(session.registry.entry(name).name)
+        except RegistryError as exc:
+            raise SystemExit(str(exc)) from None
+    return names
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    algorithms = _resolve_algorithms(args.algorithm)
-    if len(algorithms) != 1:
-        raise SystemExit("run takes exactly one algorithm; use compare for several")
-    [(name, factory)] = algorithms.items()
+    session = _session(args)
+    [name] = _one_algorithm(session, args.algorithm)
     bound = _workload(args).bound()
-    clock = VirtualClock()
-    algo = factory(bound, clock)
-    count = 0
-    for result in algo.run():
-        count += 1
+    stream = session.execute(bound, algorithm=name, budget=_budget(args))
+    for result in stream:
         if args.stream:
-            print(f"t={clock.now():>12.0f}  {result.outputs}")
-    print(f"{name}: {count} results, total virtual cost {clock.now():.0f}, "
-          f"{clock.count('dominance_cmp')} dominance comparisons")
+            print(f"t={stream.clock.now():>12.0f}  {result.outputs}")
+    stats = stream.stats()
+    print(f"{name}: {stats.results} results, total virtual cost "
+          f"{stats.vtime:.0f}, {stats.dominance_comparisons} dominance "
+          f"comparisons")
+    if stats.stop_reason:
+        print(f"stopped early: {stats.stop_reason}")
     return 0
 
 
+def _one_algorithm(session: Session, spec: str) -> list[str]:
+    names = _algorithm_names(session, spec)
+    if len(names) != 1:
+        raise SystemExit("run takes exactly one algorithm; use compare for several")
+    return names
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
-    algorithms = _resolve_algorithms(args.algorithms)
+    session = _session(args)
+    names = _algorithm_names(session, args.algorithms)
     bound = _workload(args).bound()
-    report = compare_algorithms(algorithms, bound, verify=not args.no_verify)
+    report = session.compare(bound, names, verify=not args.no_verify)
     print("Progressiveness (virtual time to reach each output fraction):")
     print(report.progressiveness_table())
     print("\nTotal execution cost:")
@@ -108,25 +154,27 @@ def _cmd_query(args: argparse.Namespace) -> int:
         text = args.query
     if not text:
         raise SystemExit("provide --query or --query-file")
-    query = parse_query(text)
-    tables = {}
+    session = _session(args)
     for spec in args.table:
         name, _, path = spec.partition("=")
         if not path:
             raise SystemExit(f"--table expects NAME=PATH, got {spec!r}")
-        tables[name] = Table.from_csv(name, path)
-    bound = query.bind_by_table_name(tables)
-    algorithms = _resolve_algorithms(args.algorithm)
-    [(name, factory)] = algorithms.items()
-    run = run_algorithm(factory, bound)
-    for result in run.results[: args.limit] if args.limit else run.results:
-        print(result.outputs)
-    summary = run.summary()
-    print(
-        f"\n{name}: {summary['results']} results, "
-        f"first at t={summary['time_to_first']}, "
-        f"total cost {summary['total_vtime']:.0f}"
+        session.register_table(Table.from_csv(name, path), name)
+    [name] = _one_algorithm(session, args.algorithm)
+    budget = (
+        StreamBudget(max_results=args.limit) if args.limit else None
     )
+    stream = session.execute(text, algorithm=name, budget=budget)
+    for result in stream:
+        print(result.outputs)
+    stats = stream.stats()
+    first = "-" if stats.time_to_first is None else f"{stats.time_to_first:.0f}"
+    print(
+        f"\n{name}: {stats.results} results, first at t={first}, "
+        f"total cost {stats.vtime:.0f}"
+    )
+    if stats.stop_reason:
+        print(f"stopped early: {stats.stop_reason}")
     return 0
 
 
@@ -151,6 +199,18 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_algorithms(args: argparse.Namespace) -> int:
+    session = Session()
+    print(f"{'name':<22}{'configurable':<14}description")
+    for entry in session.registry.entries():
+        extras = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
+        print(
+            f"{entry.name:<22}{'yes' if entry.configurable else 'no':<14}"
+            f"{entry.description}{extras}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -159,10 +219,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    preset_help = f"engine configuration preset: {', '.join(PRESETS)}"
+
     p_run = sub.add_parser("run", help="run one algorithm on a synthetic workload")
     _add_workload_args(p_run)
+    _add_budget_args(p_run)
     p_run.add_argument("--algorithm", "-a", default="ProgXe",
-                       help=f"one of: {', '.join(ALGORITHMS)}")
+                       help="algorithm name (see the 'algorithms' command)")
+    p_run.add_argument("--preset", choices=list(PRESETS), help=preset_help)
     p_run.add_argument("--stream", action="store_true",
                        help="print every result as it is emitted")
     p_run.set_defaults(fn=_cmd_run)
@@ -171,6 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p_cmp)
     p_cmp.add_argument("--algorithms", "-a", default="variants",
                        help="'all', 'variants', or a comma list of names")
+    p_cmp.add_argument("--preset", choices=list(PRESETS), help=preset_help)
     p_cmp.add_argument("--no-verify", action="store_true",
                        help="skip the result-set agreement check")
     p_cmp.set_defaults(fn=_cmd_compare)
@@ -181,8 +246,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--table", action="append", default=[],
                          metavar="NAME=PATH", help="bind table NAME to a CSV file")
     p_query.add_argument("--algorithm", "-a", default="ProgXe")
+    p_query.add_argument("--preset", choices=list(PRESETS), help=preset_help)
     p_query.add_argument("--limit", type=int, default=0,
-                         help="print at most this many results (0 = all)")
+                         help="stop cleanly after this many results (0 = all)")
     p_query.set_defaults(fn=_cmd_query)
 
     p_gen = sub.add_parser("generate", help="write a synthetic workload to CSV")
@@ -198,6 +264,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument("--top", type=int, default=10,
                            help="regions to list, by rank")
     p_explain.set_defaults(fn=_cmd_explain)
+
+    p_algos = sub.add_parser("algorithms", help="list registered algorithms")
+    p_algos.set_defaults(fn=_cmd_algorithms)
     return parser
 
 

@@ -32,6 +32,7 @@ from repro.query.smj import BoundQuery, ResultTuple
 from repro.runtime.clock import VirtualClock
 from repro.storage.grid import GridPartitioner
 from repro.storage.quadtree import QuadTreePartitioner
+from repro.storage.signatures import SIGNATURE_KINDS
 from repro.storage.table import Table
 
 
@@ -83,6 +84,11 @@ class ProgXeEngine:
             raise ValueError(
                 f"partitioning must be 'grid' or 'quadtree', got {partitioning!r}"
             )
+        if signature_kind not in SIGNATURE_KINDS:
+            raise ValueError(
+                f"signature_kind must be one of {SIGNATURE_KINDS}, "
+                f"got {signature_kind!r}"
+            )
         self.bound = bound
         self.clock = clock or VirtualClock()
         self.ordering = ordering
@@ -99,6 +105,26 @@ class ProgXeEngine:
         # Populated during run() for inspection/tests.
         self.stats: dict[str, float | int] = {}
         self.state: ExecutionState | None = None
+
+    @classmethod
+    def from_config(
+        cls,
+        bound: BoundQuery,
+        clock: VirtualClock | None = None,
+        config=None,
+    ) -> "ProgXeEngine":
+        """Build an engine from an :class:`~repro.session.EngineConfig`.
+
+        ``config`` may also be a preset name (see
+        :data:`~repro.session.config.PRESETS`); ``None`` means defaults.
+        """
+        from repro.session.config import EngineConfig
+
+        if config is None:
+            config = EngineConfig()
+        elif isinstance(config, str):
+            config = EngineConfig.preset(config)
+        return cls(bound, clock, **config.engine_kwargs())
 
     # ------------------------------------------------------------------
     def _pruned_tables(self) -> tuple[Table, Table]:

@@ -6,6 +6,12 @@ algorithm registry used by the benchmark harnesses.
 * **ProgXe (No-Order)** — ordering disabled (random region sequence),
   progressive result determination still on.
 * **ProgXe+ (No-Order)** — push-through with random ordering.
+
+``ALGORITHMS`` keeps its historical dict-shaped surface but is now a
+read-only view over the session layer's default
+:class:`~repro.session.registry.AlgorithmRegistry` — registering an
+algorithm there makes it visible here (and to every new
+:class:`~repro.session.service.Session`) without touching this module.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from repro.baselines.ssmj import SkylineSortMergeJoin
 from repro.core.engine import ProgXeEngine
 from repro.query.smj import BoundQuery
 from repro.runtime.clock import VirtualClock
+from repro.session.registry import AlgorithmRegistry, RegistryView
 
 
 def progxe(bound: BoundQuery, clock: VirtualClock, **kwargs) -> ProgXeEngine:
@@ -49,11 +56,62 @@ PROGXE_VARIANTS = {
     "ProgXe+ (No-Order)": progxe_plus_no_order,
 }
 
-#: Every algorithm in the library, by display name.
-ALGORITHMS = {
-    **PROGXE_VARIANTS,
-    "JF-SL": JoinFirstSkylineLater,
-    "JF-SL+": JoinFirstSkylineLaterPlus,
-    "SSMJ": SkylineSortMergeJoin,
-    "SAJ": SortedAccessJoin,
-}
+
+def populate_registry(registry: AlgorithmRegistry) -> AlgorithmRegistry:
+    """Register every built-in algorithm, in the historical display order."""
+    registry.register(
+        "ProgXe", progxe, aliases=("progxe",), configurable=True,
+        description="look-ahead + ProgOrder + ProgDetermine (the paper)",
+        tags=("progressive",),
+    )
+    registry.register(
+        "ProgXe+", progxe_plus, aliases=("progxe+", "progxe_plus"),
+        configurable=True,
+        description="ProgXe with skyline partial push-through",
+        tags=("progressive",),
+    )
+    registry.register(
+        "ProgXe (No-Order)", progxe_no_order, aliases=("progxe-no-order",),
+        configurable=True,
+        description="ProgXe with random region ordering (ablation)",
+        tags=("progressive", "ablation"),
+    )
+    registry.register(
+        "ProgXe+ (No-Order)", progxe_plus_no_order,
+        aliases=("progxe+-no-order",), configurable=True,
+        description="ProgXe+ with random region ordering (ablation)",
+        tags=("progressive", "ablation"),
+    )
+    registry.register(
+        "JF-SL", JoinFirstSkylineLater, aliases=("jfsl",),
+        description="blocking baseline: full join, then skyline",
+        tags=("baseline", "blocking"),
+    )
+    registry.register(
+        "JF-SL+", JoinFirstSkylineLaterPlus, aliases=("jfsl+", "jfsl_plus"),
+        description="JF-SL with push-through pre-pruning",
+        tags=("baseline", "blocking"),
+    )
+    registry.register(
+        "SSMJ", SkylineSortMergeJoin, aliases=("ssmj",),
+        description="skyline sort-merge join (state of the art, §VI-C)",
+        tags=("baseline",),
+    )
+    registry.register(
+        "SAJ", SortedAccessJoin, aliases=("saj",),
+        description="sorted-access join baseline",
+        tags=("baseline",),
+    )
+    return registry
+
+
+def _default_registry() -> AlgorithmRegistry:
+    from repro.session.registry import default_registry
+
+    return default_registry()
+
+
+#: Every algorithm in the library, by display name.  A live read-only view
+#: over the default registry; the dict-style surface (iteration, lookup,
+#: ``items()``) is unchanged.
+ALGORITHMS = RegistryView(_default_registry)

@@ -41,6 +41,17 @@ class BindingError(ReproError):
     """A query could not be bound to the supplied tables."""
 
 
+class RegistryError(ReproError, KeyError):
+    """An algorithm name could not be resolved against a registry.
+
+    Derives from :class:`KeyError` so mapping-style lookups
+    (``registry["nope"]``) fail the way dictionary users expect.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep the message.
+        return self.args[0] if self.args else ""
+
+
 class ExecutionError(ReproError):
     """An internal invariant was violated during query execution.
 

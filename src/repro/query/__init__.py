@@ -9,7 +9,12 @@ from repro.query.multiway import (
     MultiwayQuery,
     MultiwayResult,
 )
-from repro.query.parser import parse_query
+from repro.query.parser import (
+    parse_condition,
+    parse_expression,
+    parse_preference,
+    parse_query,
+)
 from repro.query.render import render_query
 from repro.query.smj import (
     BoundQuery,
@@ -41,6 +46,9 @@ __all__ = [
     "PassThrough",
     "ResultTuple",
     "SkyMapJoinQuery",
+    "parse_condition",
+    "parse_expression",
+    "parse_preference",
     "parse_query",
 ]
 

@@ -414,3 +414,44 @@ class _Parser:
 def parse_query(text: str) -> SkyMapJoinQuery:
     """Parse an SMJ query string into a :class:`SkyMapJoinQuery`."""
     return _Parser(text).parse()
+
+
+def _parse_fragment(text: str, production):
+    """Run one grammar production over ``text``, requiring full consumption."""
+    parser = _Parser(text)
+    node = production(parser)
+    tok = parser._peek()
+    if tok.kind != "eof":
+        raise ParseError(f"unexpected trailing input {tok.value!r}", tok.pos)
+    return node
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a standalone mapping expression, e.g. ``"R.uPrice + T.uShipCost"``.
+
+    The grammar is the parser's select-expression production: ``+ - * /``,
+    parentheses, unary minus, ``alias.attr`` references and numeric literals
+    (with the paper's ``K``/``M`` suffixes).
+    """
+    return _parse_fragment(text, _Parser._expression)
+
+
+def parse_preference(text: str) -> Preference:
+    """Parse one preference term, e.g. ``"LOWEST(tCost)"`` (case-insensitive)."""
+    return _parse_fragment(text, _Parser._preference)
+
+
+def parse_condition(text: str) -> FilterCondition | JoinCondition:
+    """Parse one WHERE-clause condition.
+
+    A cross-alias equality like ``"R.country = T.country"`` yields a
+    :class:`JoinCondition` (attribute order follows the text); anything else
+    — ``"R.manCap >= 100K"``, ``"R.part IN ('P1', 'P2')"``, the paper's
+    ``"'P1' IN R.suppliedParts"`` membership test — yields the corresponding
+    :class:`FilterCondition`.
+    """
+    raw = _parse_fragment(text, lambda p: p._condition(set()))
+    if isinstance(raw, FilterCondition):
+        return raw
+    _lalias, lattr, _ralias, rattr = raw
+    return JoinCondition(lattr, rattr)

@@ -33,9 +33,16 @@ DEFAULT_WEIGHTS: dict[str, float] = {
 
 
 class VirtualClock:
-    """Weighted operation counter posing as a clock."""
+    """Weighted operation counter posing as a clock.
 
-    __slots__ = ("weights", "counts", "_time")
+    A *tripwire* may be installed (see :meth:`set_tripwire`): a zero-argument
+    callable invoked after every charge.  The session layer uses it to abort
+    an algorithm cooperatively mid-run — the tripwire raises once a budget is
+    exhausted or the stream is cancelled, and the exception propagates out of
+    the algorithm's generator at its very next unit of charged work.
+    """
+
+    __slots__ = ("weights", "counts", "_time", "_tripwire")
 
     def __init__(self, weights: Mapping[str, float] | None = None) -> None:
         self.weights = dict(DEFAULT_WEIGHTS)
@@ -43,11 +50,18 @@ class VirtualClock:
             self.weights.update(weights)
         self.counts: dict[str, int] = {}
         self._time = 0.0
+        self._tripwire = None
 
     def charge(self, kind: str, units: int = 1) -> None:
         """Record ``units`` operations of ``kind``."""
         self.counts[kind] = self.counts.get(kind, 0) + units
         self._time += self.weights.get(kind, 1.0) * units
+        if self._tripwire is not None:
+            self._tripwire()
+
+    def set_tripwire(self, hook) -> None:
+        """Install (or with ``None``, remove) the post-charge hook."""
+        self._tripwire = hook
 
     def charger(self, kind: str):
         """A zero-argument callback charging one ``kind`` op (for hot loops)."""

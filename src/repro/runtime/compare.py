@@ -9,7 +9,7 @@ and total execution cost (Figures 10d–f, 13).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.errors import ExecutionError
 from repro.query.smj import BoundQuery
@@ -109,18 +109,26 @@ def _fmt(value: float | None) -> str:
 
 
 def compare_algorithms(
-    factories: Mapping[str, AlgorithmFactory],
+    factories: Mapping[str, AlgorithmFactory] | Iterable[str],
     bound: BoundQuery,
     *,
     verify: bool = True,
 ) -> ComparisonReport:
     """Run all ``factories`` on ``bound`` and collect a report.
 
-    Each algorithm gets a fresh :class:`VirtualClock` so costs are
-    independent.  With ``verify`` (default) the report checks all final
-    result sets are identical — the completeness/correctness obligation all
-    algorithms share.
+    ``factories`` is a name → factory mapping, or an iterable of names
+    resolved against the default algorithm registry (compatibility shim
+    over the session layer — :meth:`repro.Session.compare` is the
+    service-level equivalent).  Each algorithm gets a fresh
+    :class:`VirtualClock` so costs are independent.  With ``verify``
+    (default) the report checks all final result sets are identical — the
+    completeness/correctness obligation all algorithms share.
     """
+    if not isinstance(factories, Mapping):
+        from repro.session.registry import default_registry
+
+        registry = default_registry()
+        factories = {name: registry.resolve(name) for name in factories}
     runs = {
         name: run_algorithm(factory, bound) for name, factory in factories.items()
     }

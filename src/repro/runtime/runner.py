@@ -69,20 +69,21 @@ def run_algorithm(
     bound: BoundQuery,
     *,
     clock: VirtualClock | None = None,
+    budget=None,
 ) -> RunResult:
-    """Run one algorithm to completion, recording every emission."""
+    """Run one algorithm, recording every emission.
+
+    Compatibility shim over the session layer: builds a
+    :class:`~repro.session.stream.ResultStream`, drains it, and adapts the
+    outcome.  An optional :class:`~repro.session.stream.StreamBudget` stops
+    the run cleanly once a ceiling is hit; the partial prefix it returns is
+    still provably correct.  Prefer
+    :meth:`repro.Session.execute` for streaming consumption.
+    """
+    from repro.session.stream import ResultStream
+
     clock = clock or VirtualClock()
     algorithm = factory(bound, clock)
-    recorder = ProgressRecorder(clock)
-    results: list[ResultTuple] = []
-    for result in algorithm.run():
-        recorder.record()
-        results.append(result)
-    recorder.finish()
-    return RunResult(
-        name=getattr(algorithm, "name", type(algorithm).__name__),
-        results=results,
-        recorder=recorder,
-        clock=clock,
-        algorithm=algorithm,
-    )
+    stream = ResultStream(algorithm, clock, budget=budget)
+    stream.drain()
+    return stream.to_run_result()

@@ -1,0 +1,115 @@
+"""Validated engine configuration.
+
+:class:`~repro.core.engine.ProgXeEngine` grew ten keyword arguments; every
+call site that wanted to thread "use bloom signatures and a quadtree" through
+a harness had to forward them all.  :class:`EngineConfig` consolidates the
+sprawl into one immutable, validated object with named presets, convertible
+back into the engine's keyword form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+
+from repro.errors import QueryError
+from repro.storage.signatures import SIGNATURE_KINDS
+
+#: Input-partitioning strategies understood by the engine.
+PARTITIONING_KINDS: tuple[str, ...] = ("grid", "quadtree")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Every tunable of the ProgXe engine, validated at construction.
+
+    Parameters mirror :class:`~repro.core.engine.ProgXeEngine`:
+
+    ordering:
+        Rank regions by benefit/cost (ProgOrder) instead of randomly.
+    pushthrough:
+        Apply skyline partial push-through to both sources first (the "+"
+        variants).
+    input_cells / output_cells:
+        Grid resolutions; ``None`` picks the dimension-dependent default.
+    signature_kind:
+        Join-value signature: ``"exact"`` or ``"bloom"``.
+    partitioning:
+        ``"grid"`` or ``"quadtree"`` input partitioning.
+    leaf_capacity:
+        Quadtree leaf capacity; ``None`` derives it from input size.
+    seed:
+        RNG seed for the random-order ablation.
+    verify:
+        Check the progressive-completeness invariant at end of run.
+    """
+
+    ordering: bool = True
+    pushthrough: bool = False
+    input_cells: int | None = None
+    output_cells: int | None = None
+    signature_kind: str = "exact"
+    partitioning: str = "grid"
+    leaf_capacity: int | None = None
+    seed: int = 0
+    verify: bool = True
+
+    def __post_init__(self) -> None:
+        if self.signature_kind not in SIGNATURE_KINDS:
+            raise QueryError(
+                f"signature_kind must be one of {SIGNATURE_KINDS}, "
+                f"got {self.signature_kind!r}"
+            )
+        if self.partitioning not in PARTITIONING_KINDS:
+            raise QueryError(
+                f"partitioning must be one of {PARTITIONING_KINDS}, "
+                f"got {self.partitioning!r}"
+            )
+        for name in ("input_cells", "output_cells", "leaf_capacity"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise QueryError(f"{name} must be >= 1, got {value}")
+
+    # ------------------------------------------------------------------
+    # conversion
+    # ------------------------------------------------------------------
+    def engine_kwargs(self) -> dict:
+        """The full ``ProgXeEngine(bound, clock, **kwargs)`` keyword set."""
+        return asdict(self)
+
+    def variant_kwargs(self) -> dict:
+        """Keywords safe to pass a ProgXe *variant* factory.
+
+        The variants (``progxe``, ``progxe_plus``, …) fix ``ordering`` and
+        ``pushthrough`` themselves, so those two are omitted.
+        """
+        kwargs = asdict(self)
+        del kwargs["ordering"], kwargs["pushthrough"]
+        return kwargs
+
+    def with_options(self, **changes) -> "EngineConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def preset(cls, name: str) -> "EngineConfig":
+        """A named configuration preset; see :data:`PRESETS`."""
+        try:
+            return PRESETS[name]
+        except KeyError:
+            raise QueryError(
+                f"unknown preset {name!r}; available: {', '.join(PRESETS)}"
+            ) from None
+
+
+#: Named presets: the paper's default setup, the push-through "+" variant,
+#: a memory-lean setup (bloom signatures, quadtree partitioning that adapts
+#: to skew), and a production profile that skips the end-of-run verification.
+PRESETS: dict[str, EngineConfig] = {
+    "default": EngineConfig(),
+    "progressive-plus": EngineConfig(pushthrough=True),
+    "low-memory": EngineConfig(signature_kind="bloom", partitioning="quadtree"),
+    "production": EngineConfig(pushthrough=True, verify=False),
+}

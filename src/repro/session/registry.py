@@ -1,0 +1,229 @@
+"""Pluggable algorithm registry.
+
+The library historically exposed its algorithms through a frozen
+module-level dict (``repro.core.variants.ALGORITHMS``).  The registry keeps
+that surface working — ``ALGORITHMS`` is now a read-only
+:class:`RegistryView` over the default registry — while letting callers
+register their own progressive algorithms, resolve them by name or alias,
+and give each :class:`~repro.session.service.Session` an isolated copy to
+mutate freely.
+
+An *entry* couples a display name with an
+:data:`~repro.runtime.runner.AlgorithmFactory` — any
+``(bound, clock) -> algorithm`` callable whose product exposes ``run()``
+yielding results progressively.  Entries flagged ``configurable`` accept the
+extra keyword arguments of an :class:`~repro.session.config.EngineConfig`
+(the ProgXe variants do; the blocking baselines do not).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import RegistryError
+from repro.runtime.runner import AlgorithmFactory
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered algorithm: factory plus registration metadata."""
+
+    name: str
+    factory: AlgorithmFactory
+    aliases: tuple[str, ...] = ()
+    configurable: bool = False
+    description: str = ""
+    tags: tuple[str, ...] = ()
+
+
+class AlgorithmRegistry:
+    """Mutable name → algorithm-factory mapping with aliases.
+
+    Canonical names preserve registration order (so views iterate the way
+    the old ``ALGORITHMS`` dict did); aliases resolve case-insensitively on
+    top of an exact-match fast path.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, RegistryEntry] = {}
+        self._aliases: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        factory: AlgorithmFactory,
+        *,
+        aliases: tuple[str, ...] | list[str] = (),
+        configurable: bool = False,
+        description: str = "",
+        tags: tuple[str, ...] = (),
+        overwrite: bool = False,
+    ) -> RegistryEntry:
+        """Add an algorithm under ``name`` (plus optional ``aliases``).
+
+        Raises :class:`RegistryError` on a name/alias collision unless
+        ``overwrite`` is set.
+        """
+        if not name:
+            raise RegistryError("algorithm name must be non-empty")
+        entry = RegistryEntry(
+            name=name,
+            factory=factory,
+            aliases=tuple(aliases),
+            configurable=configurable,
+            description=description,
+            tags=tuple(tags),
+        )
+        # With overwrite, only the same-name entry may be replaced; a name or
+        # alias colliding with a *different* entry always raises (silently
+        # stealing another entry's alias would corrupt the alias table).
+        replaced = self._entries.get(name) if overwrite else None
+        taken = set(self._entries) | set(self._aliases)
+        if replaced is not None:
+            taken -= {replaced.name, *replaced.aliases}
+        for label in (name, *entry.aliases):
+            if label in taken:
+                hint = "" if overwrite else "; pass overwrite=True to replace it"
+                raise RegistryError(
+                    f"algorithm name {label!r} is already registered{hint}"
+                )
+        if replaced is not None:
+            self.unregister(name)
+        self._entries[name] = entry
+        for alias in entry.aliases:
+            self._aliases[alias] = name
+        return entry
+
+    def unregister(self, name: str, *, missing_ok: bool = False) -> None:
+        """Remove an algorithm and all its aliases."""
+        entry = self._entries.pop(name, None)
+        if entry is None:
+            if missing_ok:
+                return
+            raise RegistryError(f"no algorithm registered under {name!r}")
+        for alias in entry.aliases:
+            self._aliases.pop(alias, None)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def entry(self, name: str) -> RegistryEntry:
+        """Resolve ``name`` (canonical, alias, or case-insensitive match)."""
+        if name in self._entries:
+            return self._entries[name]
+        if name in self._aliases:
+            return self._entries[self._aliases[name]]
+        folded = name.casefold()
+        for label, canonical in self._label_map().items():
+            if label.casefold() == folded:
+                return self._entries[canonical]
+        raise RegistryError(
+            f"unknown algorithm {name!r}; registered: {', '.join(self.names())}"
+        )
+
+    def resolve(self, name: str) -> AlgorithmFactory:
+        """The factory registered under ``name``."""
+        return self.entry(name).factory
+
+    def names(self) -> tuple[str, ...]:
+        """Canonical algorithm names, in registration order."""
+        return tuple(self._entries)
+
+    def entries(self) -> tuple[RegistryEntry, ...]:
+        """All entries, in registration order."""
+        return tuple(self._entries.values())
+
+    def __contains__(self, name: object) -> bool:
+        if not isinstance(name, str):
+            return False
+        try:
+            self.entry(name)
+        except RegistryError:
+            return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def _label_map(self) -> dict[str, str]:
+        labels = {name: name for name in self._entries}
+        labels.update(self._aliases)
+        return labels
+
+    # ------------------------------------------------------------------
+    # derived registries / views
+    # ------------------------------------------------------------------
+    def copy(self) -> "AlgorithmRegistry":
+        """An independent registry with the same entries."""
+        clone = AlgorithmRegistry()
+        clone._entries = dict(self._entries)
+        clone._aliases = dict(self._aliases)
+        return clone
+
+    def view(self) -> "RegistryView":
+        """A read-only mapping view (name → factory) over this registry."""
+        return RegistryView(lambda: self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AlgorithmRegistry({list(self._entries)})"
+
+
+class RegistryView(Mapping):
+    """Read-only ``name -> factory`` mapping over a (lazily bound) registry.
+
+    The provider indirection lets ``repro.core.variants.ALGORITHMS`` be a
+    view over :func:`default_registry` without creating an import cycle
+    between :mod:`repro.core` and :mod:`repro.session` at load time.
+    """
+
+    __slots__ = ("_provider",)
+
+    def __init__(self, provider: Callable[[], AlgorithmRegistry]) -> None:
+        self._provider = provider
+
+    def _registry(self) -> AlgorithmRegistry:
+        return self._provider()
+
+    def __getitem__(self, name: str) -> AlgorithmFactory:
+        return self._registry().resolve(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._registry().names())
+
+    def __len__(self) -> int:
+        return len(self._registry())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._registry()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RegistryView({list(self)})"
+
+
+_default: AlgorithmRegistry | None = None
+
+
+def default_registry() -> AlgorithmRegistry:
+    """The process-wide registry holding the library's built-in algorithms.
+
+    Populated on first use from :mod:`repro.core.variants` (imported lazily
+    to keep the session layer importable before the core package finishes
+    loading).  Mutating it changes what ``repro.ALGORITHMS`` exposes;
+    sessions take a :meth:`~AlgorithmRegistry.copy` instead.
+    """
+    global _default
+    if _default is None:
+        registry = AlgorithmRegistry()
+        from repro.core import variants
+
+        variants.populate_registry(registry)
+        _default = registry
+    return _default

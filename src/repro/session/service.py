@@ -1,0 +1,273 @@
+"""The session facade: the canonical way to use the library.
+
+A :class:`Session` holds named tables and an isolated
+:class:`~repro.session.registry.AlgorithmRegistry` copy, accepts queries in
+any of the library's forms — fluent builder chains, the paper's SQL surface,
+pre-built logical or bound queries — and executes them progressively,
+returning :class:`~repro.session.stream.ResultStream` handles::
+
+    session = (
+        repro.Session()
+        .register_table(suppliers, "Suppliers")
+        .register_table(transporters, "Transporters")
+    )
+    stream = session.execute(Q1_SQL, algorithm="ProgXe+",
+                             budget=repro.StreamBudget(max_results=10))
+    for result in stream:
+        ...  # provably-final results, the moment they are known
+
+The batch helpers (:meth:`Session.run`, :meth:`Session.compare`) drain
+streams into the legacy :class:`~repro.runtime.runner.RunResult` /
+:class:`~repro.runtime.compare.ComparisonReport` shapes, so everything built
+on those keeps working.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import BindingError, QueryError
+from repro.query.parser import parse_query
+from repro.query.smj import BoundQuery, SkyMapJoinQuery
+from repro.runtime.clock import VirtualClock
+from repro.runtime.compare import ComparisonReport
+from repro.runtime.runner import AlgorithmFactory, RunResult
+from repro.session.builder import QueryBuilder
+from repro.session.config import EngineConfig
+from repro.session.registry import AlgorithmRegistry, default_registry
+from repro.session.stream import ResultStream, StreamBudget
+from repro.storage.table import Table
+
+#: Algorithm used when ``execute()`` is not told otherwise.
+DEFAULT_ALGORITHM = "ProgXe"
+
+
+class Session:
+    """Service entry point: tables + algorithms + execution.
+
+    Parameters
+    ----------
+    registry:
+        Algorithm registry to use.  Defaults to an isolated copy of
+        :func:`~repro.session.registry.default_registry`, so
+        :meth:`register_algorithm` never leaks into other sessions or the
+        global ``repro.ALGORITHMS`` view.
+    config:
+        Default :class:`EngineConfig` applied when ``execute()`` receives
+        none.
+    clock_weights:
+        Optional per-operation cost weights for the virtual clocks this
+        session creates (see :data:`~repro.runtime.clock.DEFAULT_WEIGHTS`).
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: AlgorithmRegistry | None = None,
+        config: EngineConfig | None = None,
+        clock_weights: Mapping[str, float] | None = None,
+    ) -> None:
+        self.registry = (
+            registry if registry is not None else default_registry().copy()
+        )
+        self.config = config or EngineConfig()
+        self.clock_weights = dict(clock_weights) if clock_weights else None
+        self._tables: dict[str, Table] = {}
+
+    # ------------------------------------------------------------------
+    # tables
+    # ------------------------------------------------------------------
+    def register_table(self, table: Table, name: str | None = None) -> "Session":
+        """Register ``table`` under ``name`` (default: the table's own name)."""
+        self._tables[name or table.name] = table
+        return self
+
+    def register_tables(self, tables: Mapping[str, Table]) -> "Session":
+        """Register several tables at once."""
+        for name, table in tables.items():
+            self.register_table(table, name)
+        return self
+
+    def table(self, name: str) -> Table:
+        """Look up a registered table."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise BindingError(
+                f"no table registered under {name!r}; "
+                f"registered: {sorted(self._tables)}"
+            ) from None
+
+    @property
+    def tables(self) -> dict[str, Table]:
+        """Snapshot of the registered tables (name → table)."""
+        return dict(self._tables)
+
+    # ------------------------------------------------------------------
+    # algorithms
+    # ------------------------------------------------------------------
+    def register_algorithm(
+        self, name: str, factory: AlgorithmFactory, **kwargs
+    ) -> "Session":
+        """Register an algorithm with this session's registry.
+
+        Keyword arguments are those of
+        :meth:`~repro.session.registry.AlgorithmRegistry.register`
+        (``aliases``, ``configurable``, ``description``, ``overwrite`` …).
+        """
+        self.registry.register(name, factory, **kwargs)
+        return self
+
+    def algorithms(self) -> tuple[str, ...]:
+        """Canonical names of the algorithms this session can execute."""
+        return self.registry.names()
+
+    # ------------------------------------------------------------------
+    # query construction
+    # ------------------------------------------------------------------
+    def query(self) -> QueryBuilder:
+        """Start a fluent :class:`QueryBuilder` attached to this session."""
+        return QueryBuilder(session=self)
+
+    def sql(self, text: str) -> BoundQuery:
+        """Parse the paper's SQL surface and bind against registered tables."""
+        return self.bind(parse_query(text))
+
+    def bind(self, query: SkyMapJoinQuery) -> BoundQuery:
+        """Bind a logical query against this session's tables.
+
+        FROM-clause table names take precedence (parser-built queries);
+        otherwise the query's aliases are looked up directly.
+        """
+        if query.table_names:
+            return query.bind_by_table_name(self._tables)
+        return query.bind(self._tables)
+
+    def _coerce_bound(self, query) -> BoundQuery:
+        if isinstance(query, BoundQuery):
+            return query
+        if isinstance(query, QueryBuilder):
+            return query.bind()
+        if isinstance(query, SkyMapJoinQuery):
+            return self.bind(query)
+        if isinstance(query, str):
+            return self.sql(query)
+        raise QueryError(
+            f"cannot execute {type(query).__name__!r}: expected a BoundQuery, "
+            "SkyMapJoinQuery, QueryBuilder, or SQL string"
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query,
+        *,
+        algorithm: str | AlgorithmFactory = DEFAULT_ALGORITHM,
+        config: EngineConfig | str | None = None,
+        budget: StreamBudget | None = None,
+        clock: VirtualClock | None = None,
+    ) -> ResultStream:
+        """Start a progressive execution; returns a lazy :class:`ResultStream`.
+
+        Parameters
+        ----------
+        query:
+            A :class:`BoundQuery`, logical :class:`SkyMapJoinQuery`,
+            :class:`QueryBuilder`, or SQL string.
+        algorithm:
+            Registered algorithm name (or alias), or a raw factory callable.
+        config:
+            :class:`EngineConfig` (or preset name) for configurable
+            algorithms; falls back to the session default.  Passing an
+            explicit config to a non-configurable algorithm raises.
+        budget:
+            Execution ceilings; the stream stops cleanly when one is hit.
+        clock:
+            Virtual clock to charge; a fresh one is created by default.
+        """
+        bound = self._coerce_bound(query)
+        clock = clock or VirtualClock(self.clock_weights)
+        if isinstance(config, str):
+            config = EngineConfig.preset(config)
+        if callable(algorithm) and not isinstance(algorithm, str):
+            factory, name, configurable = algorithm, None, False
+            if config is not None:
+                raise QueryError(
+                    "config is only supported for registered algorithm names; "
+                    "apply the configuration inside the factory instead"
+                )
+        else:
+            entry = self.registry.entry(algorithm)
+            factory, name, configurable = entry.factory, entry.name, entry.configurable
+            if config is not None and not configurable:
+                raise QueryError(
+                    f"algorithm {entry.name!r} does not accept an EngineConfig"
+                )
+        if configurable:
+            effective = config or self.config
+            instance = factory(bound, clock, **effective.variant_kwargs())
+        else:
+            instance = factory(bound, clock)
+        return ResultStream(instance, clock, name=name, budget=budget)
+
+    def run(self, query, **kwargs) -> RunResult:
+        """Execute to completion; return the legacy batch :class:`RunResult`."""
+        stream = self.execute(query, **kwargs)
+        stream.drain()
+        return stream.to_run_result()
+
+    def compare(
+        self,
+        query,
+        algorithms: Iterable[str] | Mapping[str, AlgorithmFactory] | None = None,
+        *,
+        config: EngineConfig | str | None = None,
+        budget: StreamBudget | None = None,
+        verify: bool = True,
+    ) -> ComparisonReport:
+        """Run several algorithms on one query and collect a report.
+
+        ``algorithms`` is a list of registered names (default: all of them)
+        or an explicit name → factory mapping.  Each run gets a fresh clock;
+        with ``verify`` (default) the final result sets must agree — skipped
+        automatically when a ``budget`` is set, since truncated runs
+        legitimately stop early.
+        """
+        bound = self._coerce_bound(query)
+        if algorithms is None:
+            names: Iterable[str] = self.registry.names()
+        else:
+            names = algorithms
+        runs: dict[str, RunResult] = {}
+        if isinstance(names, Mapping):
+            items = list(names.items())
+        else:
+            items = [(name, None) for name in names]
+        for name, factory in items:
+            if factory is None:
+                # Configuration only applies to configurable entries; a mixed
+                # comparison silently runs baselines unconfigured.
+                cfg = config
+                if cfg is not None and not self.registry.entry(name).configurable:
+                    cfg = None
+                stream = self.execute(
+                    bound, algorithm=name, config=cfg, budget=budget
+                )
+            else:
+                stream = self.execute(
+                    bound, algorithm=factory, config=config, budget=budget
+                )
+            stream.drain()
+            runs[name] = stream.to_run_result()
+        report = ComparisonReport(runs)
+        if verify and budget is None:
+            report.verify_agreement()
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Session(tables={sorted(self._tables)}, "
+            f"algorithms={list(self.registry.names())})"
+        )

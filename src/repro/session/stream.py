@@ -1,0 +1,335 @@
+"""Streaming result handles.
+
+A :class:`ResultStream` wraps a progressive algorithm's ``run()`` generator
+with the service-level controls a long-lived session needs:
+
+* **pull** iteration (``for result in stream``) — lazy, one result at a time,
+* **push** callbacks — ``on_result`` / ``on_progress`` / ``on_complete``,
+* **cooperative cancellation** — :meth:`ResultStream.cancel` stops the
+  engine at its next unit of charged work; no further results are emitted,
+* **budgets** — virtual-time, dominance-comparison, result-count and
+  wall-clock ceilings (:class:`StreamBudget`) that stop the engine cleanly
+  mid-run.
+
+Because every algorithm in the library only ever yields *provably final*
+results, any prefix a cancelled or budget-stopped stream produced is
+correct — it is exactly what the paper's progressive contract promises.
+Partial progressiveness statistics stay available via
+:meth:`ResultStream.stats`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.errors import QueryError
+from repro.query.smj import ResultTuple
+from repro.runtime.clock import VirtualClock
+from repro.runtime.recorder import EmissionEvent, ProgressRecorder
+from repro.runtime.runner import RunResult
+
+#: Terminal / lifecycle states of a stream.
+PENDING = "pending"
+RUNNING = "running"
+COMPLETED = "completed"
+CANCELLED = "cancelled"
+BUDGET_EXHAUSTED = "budget_exhausted"
+
+
+class _StreamInterrupt(Exception):
+    """Internal signal raised by the clock tripwire to unwind the engine."""
+
+    def __init__(self, state: str, reason: str) -> None:
+        super().__init__(reason)
+        self.state = state
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class StreamBudget:
+    """Execution ceilings for one stream; ``None`` means unlimited.
+
+    max_vtime:
+        Stop once the virtual clock passes this many cost units.
+    max_comparisons:
+        Stop once this many dominance comparisons were charged.
+    max_results:
+        Stop after emitting this many results.
+    max_wall_seconds:
+        Stop after this much real time.
+    """
+
+    max_vtime: float | None = None
+    max_comparisons: int | None = None
+    max_results: int | None = None
+    max_wall_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_vtime", "max_comparisons", "max_results", "max_wall_seconds"
+        ):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise QueryError(f"{name} must be positive, got {value}")
+
+    @property
+    def unlimited(self) -> bool:
+        """True when no ceiling is set."""
+        return (
+            self.max_vtime is None
+            and self.max_comparisons is None
+            and self.max_results is None
+            and self.max_wall_seconds is None
+        )
+
+    def exceeded(
+        self,
+        clock: VirtualClock,
+        emitted: int,
+        wall_elapsed: Callable[[], float],
+    ) -> str | None:
+        """The first exhausted ceiling, as a human-readable reason.
+
+        ``wall_elapsed`` is a thunk: this method runs on every clock charge
+        while a budget is active, so the ``perf_counter`` read is paid only
+        when a wall-clock ceiling is actually set.
+        """
+        if self.max_vtime is not None and clock.now() >= self.max_vtime:
+            return f"virtual time budget ({self.max_vtime:g}) exhausted"
+        if (
+            self.max_comparisons is not None
+            and clock.count("dominance_cmp") >= self.max_comparisons
+        ):
+            return (
+                f"dominance comparison budget ({self.max_comparisons}) exhausted"
+            )
+        if self.max_results is not None and emitted >= self.max_results:
+            return f"result budget ({self.max_results}) exhausted"
+        if (
+            self.max_wall_seconds is not None
+            and wall_elapsed() >= self.max_wall_seconds
+        ):
+            return f"wall-clock budget ({self.max_wall_seconds:g}s) exhausted"
+        return None
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """Progressiveness snapshot of a (possibly still partial) stream."""
+
+    state: str
+    results: int
+    vtime: float
+    wall_seconds: float
+    time_to_first: float | None
+    auc: float
+    batches: int
+    dominance_comparisons: int
+    stop_reason: str | None
+
+    @property
+    def completed(self) -> bool:
+        """True when the underlying algorithm ran to natural completion."""
+        return self.state == COMPLETED
+
+
+class ResultStream:
+    """Handle over one progressive algorithm execution.
+
+    Results are produced lazily: iterate (or :meth:`drain`) to advance the
+    engine.  Registered callbacks fire in emission order, interleaved with
+    iteration.  The stream is single-use — once terminal, iteration yields
+    nothing further.
+    """
+
+    def __init__(
+        self,
+        algorithm: Any,
+        clock: VirtualClock,
+        *,
+        name: str | None = None,
+        budget: StreamBudget | None = None,
+    ) -> None:
+        self.algorithm = algorithm
+        self.clock = clock
+        self.name = name or getattr(algorithm, "name", type(algorithm).__name__)
+        self.budget = budget
+        self.recorder = ProgressRecorder(clock)
+        self.results: list[ResultTuple] = []
+        self._gen: Iterator[ResultTuple] | None = None
+        self._state = PENDING
+        self._stop_reason: str | None = None
+        self._cancel_reason: str | None = None
+        self._wall_start = time.perf_counter()
+        self._on_result: list[Callable[[ResultTuple], None]] = []
+        self._on_progress: list[Callable[[EmissionEvent], None]] = []
+        self._on_complete: list[Callable[[StreamStats], None]] = []
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """One of pending / running / completed / cancelled / budget_exhausted."""
+        return self._state
+
+    @property
+    def finished(self) -> bool:
+        """True once the stream reached any terminal state."""
+        return self._state in (COMPLETED, CANCELLED, BUDGET_EXHAUSTED)
+
+    @property
+    def cancelled(self) -> bool:
+        return self._state == CANCELLED
+
+    def cancel(self, reason: str = "cancelled by caller") -> None:
+        """Request cooperative cancellation.
+
+        Safe to call at any point, including from an ``on_result`` callback;
+        no further results are emitted after the current one.  If the engine
+        is mid-computation the clock tripwire unwinds it at its next charged
+        operation.
+        """
+        if self.finished:
+            return
+        self._cancel_reason = reason
+        if self._state == PENDING:
+            self._finalize(CANCELLED, reason)
+
+    # ------------------------------------------------------------------
+    # callbacks (chainable)
+    # ------------------------------------------------------------------
+    def on_result(self, callback: Callable[[ResultTuple], None]) -> "ResultStream":
+        """Register ``callback(result)`` for every emission, in order."""
+        self._on_result.append(callback)
+        return self
+
+    def on_progress(
+        self, callback: Callable[[EmissionEvent], None]
+    ) -> "ResultStream":
+        """Register ``callback(event)`` with the emission's index/timestamps."""
+        self._on_progress.append(callback)
+        return self
+
+    def on_complete(self, callback: Callable[[StreamStats], None]) -> "ResultStream":
+        """Register ``callback(stats)`` for the (single) terminal transition."""
+        self._on_complete.append(callback)
+        return self
+
+    # ------------------------------------------------------------------
+    # iteration
+    # ------------------------------------------------------------------
+    def __iter__(self) -> "ResultStream":
+        return self
+
+    def __next__(self) -> ResultTuple:
+        if self.finished:
+            raise StopIteration
+        if self._gen is None:
+            self._gen = self.algorithm.run()
+            self._state = RUNNING
+        stop = self._pre_pull_stop()
+        if stop is not None:
+            self._stop(*stop)
+            raise StopIteration
+        self.clock.set_tripwire(self._tripwire)
+        try:
+            result = next(self._gen)
+        except StopIteration:
+            self._finalize(COMPLETED, None)
+            raise
+        except _StreamInterrupt as interrupt:
+            self._stop(interrupt.state, interrupt.reason)
+            raise StopIteration from None
+        finally:
+            self.clock.set_tripwire(None)
+        self.results.append(result)
+        self.recorder.record()
+        event = self.recorder.events[-1]
+        for callback in self._on_result:
+            callback(result)
+        for callback in self._on_progress:
+            callback(event)
+        return result
+
+    def drain(self) -> list[ResultTuple]:
+        """Consume the stream to its end; return *all* results emitted."""
+        for _ in self:
+            pass
+        return self.results
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> StreamStats:
+        """Progressiveness snapshot — valid mid-stream and after any stop."""
+        rec = self.recorder
+        return StreamStats(
+            state=self._state,
+            results=rec.total_results,
+            vtime=self.clock.now(),
+            wall_seconds=time.perf_counter() - self._wall_start,
+            time_to_first=rec.time_to_first(),
+            auc=rec.progressiveness_auc(),
+            batches=rec.batch_count(),
+            dominance_comparisons=self.clock.count("dominance_cmp"),
+            stop_reason=self._stop_reason,
+        )
+
+    def to_run_result(self) -> RunResult:
+        """Adapt to the legacy :class:`~repro.runtime.runner.RunResult`."""
+        return RunResult(
+            name=self.name,
+            results=self.results,
+            recorder=self.recorder,
+            clock=self.clock,
+            algorithm=self.algorithm,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _pre_pull_stop(self) -> tuple[str, str] | None:
+        if self._cancel_reason is not None:
+            return (CANCELLED, self._cancel_reason)
+        if self.budget is not None:
+            reason = self.budget.exceeded(
+                self.clock, len(self.results), self._wall_elapsed
+            )
+            if reason is not None:
+                return (BUDGET_EXHAUSTED, reason)
+        return None
+
+    def _tripwire(self) -> None:
+        if self._cancel_reason is not None:
+            raise _StreamInterrupt(CANCELLED, self._cancel_reason)
+        if self.budget is not None:
+            reason = self.budget.exceeded(
+                self.clock, len(self.results), self._wall_elapsed
+            )
+            if reason is not None:
+                raise _StreamInterrupt(BUDGET_EXHAUSTED, reason)
+
+    def _wall_elapsed(self) -> float:
+        return time.perf_counter() - self._wall_start
+
+    def _stop(self, state: str, reason: str) -> None:
+        if self._gen is not None:
+            self._gen.close()
+        self._finalize(state, reason)
+
+    def _finalize(self, state: str, reason: str | None) -> None:
+        self._state = state
+        self._stop_reason = reason
+        self.recorder.finish()
+        stats = self.stats()
+        for callback in self._on_complete:
+            callback(stats)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResultStream({self.name!r}, state={self._state}, "
+            f"results={len(self.results)})"
+        )

@@ -130,6 +130,11 @@ class BloomSignature:
         return f"BloomSignature({self.tuple_count} tuples, {self.bloom!r})"
 
 
+#: Signature kinds understood by :func:`build_signature` (and validated by
+#: the engine / :class:`~repro.session.EngineConfig` before partitioning).
+SIGNATURE_KINDS: tuple[str, ...] = ("exact", "bloom")
+
+
 def build_signature(values: Iterable[Hashable], kind: str = "exact",
                     *, num_bits: int = 256, num_hashes: int = 3) -> JoinSignature:
     """Factory: build a signature of the requested ``kind``.
@@ -140,4 +145,6 @@ def build_signature(values: Iterable[Hashable], kind: str = "exact",
         return ExactSignature(values)
     if kind == "bloom":
         return BloomSignature(values, num_bits=num_bits, num_hashes=num_hashes)
-    raise ValueError(f"unknown signature kind {kind!r}; use 'exact' or 'bloom'")
+    raise ValueError(
+        f"unknown signature kind {kind!r}; use one of {SIGNATURE_KINDS}"
+    )

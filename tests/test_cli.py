@@ -122,6 +122,59 @@ class TestGenerateAndQuery:
         assert "error:" in capsys.readouterr().err
 
 
+class TestBudgets:
+    def test_run_with_result_budget(self, capsys):
+        assert main(
+            ["run", "-n", "80", "--sigma", "0.1", "--max-results", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ProgXe: 2 results" in out
+        assert "stopped early: result budget (2) exhausted" in out
+
+    def test_run_with_vtime_budget(self, capsys):
+        assert main(
+            ["run", "-n", "80", "--sigma", "0.1", "--max-vtime", "300"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "stopped early: virtual time budget" in out
+
+    def test_run_with_preset(self, capsys):
+        assert main(
+            ["run", "-n", "80", "--sigma", "0.1", "--preset", "low-memory"]
+        ) == 0
+        assert "ProgXe:" in capsys.readouterr().out
+
+    def test_query_limit_stops_early(self, tmp_path, capsys):
+        prefix = str(tmp_path / "wl")
+        main(["generate", "-n", "60", "--sigma", "0.1", "--prefix", prefix])
+        capsys.readouterr()
+        assert main(
+            [
+                "query",
+                "--query",
+                "SELECT (R.a0 + T.b0) AS x FROM R R, T T "
+                "WHERE R.jkey = T.jkey PREFERRING LOWEST(x)",
+                "--table", f"R={prefix}_R.csv",
+                "--table", f"T={prefix}_T.csv",
+                "--limit", "1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 results" in out
+
+
+class TestAlgorithms:
+    def test_listing(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "ProgXe+" in out and "SSMJ" in out
+        assert "aliases" in out
+
+    def test_run_accepts_alias(self, capsys):
+        assert main(["run", "-n", "60", "--sigma", "0.1", "-a", "ssmj"]) == 0
+        assert "SSMJ:" in capsys.readouterr().out
+
+
 class TestExplain:
     def test_explain_renders_plan(self, capsys):
         assert main(["explain", "-n", "80", "--sigma", "0.1"]) == 0

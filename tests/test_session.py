@@ -1,0 +1,524 @@
+"""Tests for the repro.session service layer.
+
+Covers the ISSUE's acceptance semantics: a cancelled stream emits no
+further results, budget exhaustion yields a partial-but-correct prefix with
+partial stats populated, and callbacks fire in emission order — plus the
+registry, config, builder and session surfaces around them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.variants import ALGORITHMS
+from repro.errors import BindingError, QueryError, RegistryError
+from repro.runtime.clock import VirtualClock
+from repro.session import (
+    BUDGET_EXHAUSTED,
+    CANCELLED,
+    COMPLETED,
+    AlgorithmRegistry,
+    EngineConfig,
+    QueryBuilder,
+    ResultStream,
+    Session,
+    StreamBudget,
+    default_registry,
+)
+from tests.conftest import oracle_skyline_keys
+
+
+def make_session(bound_workload):
+    session = Session()
+    session.register_tables(bound_workload.tables())
+    return session
+
+
+@pytest.fixture
+def workload():
+    return repro.SyntheticWorkload(
+        distribution="independent", n=120, d=2, sigma=0.05, seed=42
+    )
+
+
+@pytest.fixture
+def session(workload):
+    return make_session(workload)
+
+
+@pytest.fixture
+def bound(workload):
+    return workload.bound()
+
+
+# ---------------------------------------------------------------------------
+# AlgorithmRegistry
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_default_registry_has_all_builtins(self):
+        names = default_registry().names()
+        assert names == (
+            "ProgXe", "ProgXe+", "ProgXe (No-Order)", "ProgXe+ (No-Order)",
+            "JF-SL", "JF-SL+", "SSMJ", "SAJ",
+        )
+
+    def test_algorithms_view_tracks_registry(self):
+        # The historical dict surface still works.
+        assert "ProgXe" in ALGORITHMS
+        assert list(ALGORITHMS) == list(default_registry().names())
+        assert dict(ALGORITHMS)["SSMJ"] is ALGORITHMS["SSMJ"]
+        assert len(ALGORITHMS) == len(default_registry())
+
+    def test_alias_and_case_insensitive_resolution(self):
+        registry = default_registry()
+        assert registry.resolve("progxe+") is registry.resolve("ProgXe+")
+        assert registry.resolve("ssmj") is registry.resolve("SSMJ")
+        assert registry.entry("jfsl").name == "JF-SL"
+
+    def test_unknown_name_raises_registry_error(self):
+        with pytest.raises(RegistryError, match="unknown algorithm"):
+            default_registry().resolve("Nonsense")
+        with pytest.raises(KeyError):  # RegistryError is a KeyError
+            ALGORITHMS["Nonsense"]
+
+    def test_duplicate_registration_rejected(self):
+        registry = AlgorithmRegistry()
+        registry.register("A", lambda b, c: None)
+        with pytest.raises(RegistryError, match="already registered"):
+            registry.register("A", lambda b, c: None)
+        registry.register("A", lambda b, c: None, overwrite=True)
+
+    def test_session_registry_is_isolated(self, session, bound):
+        session.register_algorithm(
+            "Mine", lambda b, c: repro.ProgXeEngine(b, c)
+        )
+        assert "Mine" in session.registry
+        assert "Mine" not in default_registry()
+        run = session.run(bound, algorithm="Mine")
+        assert run.result_keys == oracle_skyline_keys(bound)
+
+    def test_unregister(self):
+        registry = default_registry().copy()
+        registry.unregister("SAJ")
+        assert "SAJ" not in registry
+        assert "saj" not in registry
+        with pytest.raises(RegistryError):
+            registry.unregister("SAJ")
+
+    def test_overwrite_cannot_steal_another_entrys_alias(self):
+        registry = AlgorithmRegistry()
+        registry.register("A", lambda b, c: None, aliases=("x",))
+        with pytest.raises(RegistryError, match="'x' is already registered"):
+            registry.register(
+                "B", lambda b, c: None, aliases=("x",), overwrite=True
+            )
+        # A and its alias are intact.
+        assert registry.entry("x").name == "A"
+
+    def test_overwrite_replaces_own_aliases(self):
+        registry = AlgorithmRegistry()
+        registry.register("A", lambda b, c: None, aliases=("old",))
+        registry.register("A", lambda b, c: None, aliases=("new",),
+                          overwrite=True)
+        assert registry.entry("new").name == "A"
+        with pytest.raises(RegistryError):
+            registry.entry("old")
+
+
+# ---------------------------------------------------------------------------
+# EngineConfig
+# ---------------------------------------------------------------------------
+class TestEngineConfig:
+    def test_defaults_match_engine_defaults(self, bound):
+        engine = repro.ProgXeEngine.from_config(bound)
+        assert engine.ordering and not engine.pushthrough
+        assert engine.signature_kind == "exact"
+
+    def test_invalid_signature_kind(self):
+        with pytest.raises(QueryError, match="signature_kind"):
+            EngineConfig(signature_kind="blom")
+
+    def test_invalid_partitioning(self):
+        with pytest.raises(QueryError, match="partitioning"):
+            EngineConfig(partitioning="octree")
+
+    def test_invalid_cells(self):
+        with pytest.raises(QueryError, match="output_cells"):
+            EngineConfig(output_cells=0)
+
+    def test_engine_init_rejects_bad_signature_kind(self, bound):
+        with pytest.raises(ValueError, match="signature_kind"):
+            repro.ProgXeEngine(bound, signature_kind="blomm")
+
+    def test_presets(self):
+        assert EngineConfig.preset("default") == EngineConfig()
+        assert EngineConfig.preset("progressive-plus").pushthrough
+        low = EngineConfig.preset("low-memory")
+        assert low.signature_kind == "bloom" and low.partitioning == "quadtree"
+        assert not EngineConfig.preset("production").verify
+        with pytest.raises(QueryError, match="unknown preset"):
+            EngineConfig.preset("warp-speed")
+
+    def test_with_options_revalidates(self):
+        config = EngineConfig().with_options(partitioning="quadtree")
+        assert config.partitioning == "quadtree"
+        with pytest.raises(QueryError):
+            config.with_options(signature_kind="nope")
+
+    def test_variant_kwargs_omit_variant_choices(self):
+        kwargs = EngineConfig().variant_kwargs()
+        assert "ordering" not in kwargs and "pushthrough" not in kwargs
+        assert kwargs["signature_kind"] == "exact"
+
+    def test_config_flows_into_engine(self, session, bound):
+        stream = session.execute(
+            bound, config=EngineConfig(partitioning="quadtree")
+        )
+        stream.drain()
+        assert stream.algorithm.partitioning == "quadtree"
+
+    def test_config_by_preset_name(self, session, bound):
+        stream = session.execute(bound, config="low-memory")
+        stream.drain()
+        assert stream.algorithm.signature_kind == "bloom"
+
+    def test_config_rejected_for_baselines(self, session, bound):
+        with pytest.raises(QueryError, match="does not accept"):
+            session.execute(bound, algorithm="SSMJ", config=EngineConfig())
+
+
+# ---------------------------------------------------------------------------
+# ResultStream semantics
+# ---------------------------------------------------------------------------
+class TestResultStream:
+    def test_pull_iteration_matches_oracle(self, session, bound):
+        stream = session.execute(bound)
+        results = list(stream)
+        assert stream.state == COMPLETED
+        assert {r.key() for r in results} == oracle_skyline_keys(bound)
+        assert stream.stats().completed
+
+    def test_cancel_mid_stream_emits_no_further_results(self, session, bound):
+        stream = session.execute(bound)
+        first = next(iter(stream))
+        assert first is not None
+        stream.cancel()
+        remaining = list(stream)
+        assert remaining == []
+        assert stream.state == CANCELLED
+        assert len(stream.results) == 1
+        # Terminal: iterating again yields nothing.
+        assert list(stream) == []
+
+    def test_cancel_from_on_result_callback(self, session, bound):
+        stream = session.execute(bound)
+        stream.on_result(lambda r: stream.cancel("enough"))
+        results = stream.drain()
+        assert len(results) == 1
+        assert stream.state == CANCELLED
+        assert stream.stats().stop_reason == "enough"
+
+    def test_cancel_before_start(self, session, bound):
+        stream = session.execute(bound)
+        stream.cancel()
+        assert list(stream) == []
+        assert stream.state == CANCELLED
+        assert stream.results == []
+
+    def test_result_budget_yields_exact_prefix(self, session, bound):
+        full = session.execute(bound).drain()
+        assert len(full) > 3
+        stream = session.execute(bound, budget=StreamBudget(max_results=3))
+        partial = stream.drain()
+        assert stream.state == BUDGET_EXHAUSTED
+        assert len(partial) == 3
+        # The budgeted prefix is exactly the first results of the full run.
+        assert [r.key() for r in partial] == [r.key() for r in full[:3]]
+
+    def test_budget_prefix_is_provably_final(self, session, bound):
+        # Every result a budgeted stream emitted belongs to the true skyline.
+        oracle = oracle_skyline_keys(bound)
+        stream = session.execute(
+            bound, budget=StreamBudget(max_comparisons=200)
+        )
+        partial = stream.drain()
+        assert {r.key() for r in partial} <= oracle
+
+    def test_vtime_budget_stops_engine_mid_run(self, session, bound):
+        unlimited = session.run(bound)
+        horizon = unlimited.recorder.total_vtime
+        stream = session.execute(
+            bound, budget=StreamBudget(max_vtime=horizon / 4)
+        )
+        stream.drain()
+        assert stream.state == BUDGET_EXHAUSTED
+        stats = stream.stats()
+        assert "virtual time budget" in stats.stop_reason
+        assert len(stream.results) < unlimited.recorder.total_results
+        # The tripwire stops within one charge of the ceiling, not at the
+        # end of the run.
+        assert stats.vtime < horizon
+
+    def test_partial_stats_populated_after_budget_stop(self, session, bound):
+        stream = session.execute(bound, budget=StreamBudget(max_results=2))
+        stream.drain()
+        stats = stream.stats()
+        assert stats.results == 2
+        assert stats.state == BUDGET_EXHAUSTED
+        assert stats.time_to_first is not None
+        assert stats.time_to_first <= stats.vtime
+        assert 0.0 <= stats.auc <= 1.0
+        assert stats.batches >= 1
+        assert stats.dominance_comparisons > 0
+        assert "result budget" in stats.stop_reason
+
+    def test_callbacks_fire_in_emission_order(self, session, bound):
+        events: list[tuple[str, int]] = []
+        stream = session.execute(bound)
+        stream.on_result(
+            lambda r: events.append(("result", len(stream.results)))
+        ).on_progress(
+            lambda e: events.append(("progress", e.index))
+        ).on_complete(
+            lambda s: events.append(("complete", s.results))
+        )
+        results = stream.drain()
+        n = len(results)
+        expected: list[tuple[str, int]] = []
+        for i in range(1, n + 1):
+            expected.append(("result", i))
+            expected.append(("progress", i))
+        expected.append(("complete", n))
+        assert events == expected
+
+    def test_on_complete_fires_once_on_cancel(self, session, bound):
+        seen = []
+        stream = session.execute(bound).on_complete(lambda s: seen.append(s))
+        next(iter(stream))
+        stream.cancel()
+        list(stream)
+        list(stream)
+        assert len(seen) == 1
+        assert seen[0].state == CANCELLED
+
+    def test_progress_events_carry_monotonic_vtime(self, session, bound):
+        vtimes = []
+        stream = session.execute(bound).on_progress(
+            lambda e: vtimes.append(e.vtime)
+        )
+        stream.drain()
+        assert vtimes == sorted(vtimes)
+
+    def test_to_run_result_round_trip(self, session, bound):
+        stream = session.execute(bound)
+        stream.drain()
+        run = stream.to_run_result()
+        assert run.name == "ProgXe"
+        assert run.result_keys == oracle_skyline_keys(bound)
+        assert run.summary()["results"] == len(stream.results)
+
+    def test_budget_validation(self):
+        with pytest.raises(QueryError, match="positive"):
+            StreamBudget(max_results=0)
+        assert StreamBudget().unlimited
+        assert not StreamBudget(max_vtime=10.0).unlimited
+
+    def test_wall_clock_budget(self, session, bound):
+        # An (absurdly small) wall budget still yields a clean stop.
+        stream = session.execute(
+            bound, budget=StreamBudget(max_wall_seconds=1e-9)
+        )
+        stream.drain()
+        assert stream.state == BUDGET_EXHAUSTED
+        assert "wall-clock" in stream.stats().stop_reason
+
+    def test_stream_works_for_baselines(self, session, bound):
+        stream = session.execute(bound, algorithm="SSMJ")
+        results = stream.drain()
+        assert stream.state == COMPLETED
+        assert {r.key() for r in results} == oracle_skyline_keys(bound)
+
+
+# ---------------------------------------------------------------------------
+# QueryBuilder
+# ---------------------------------------------------------------------------
+class TestQueryBuilder:
+    def build(self, session):
+        return (
+            session.query()
+            .from_tables("R", "T")
+            .join_on("R.jkey = T.jkey")
+            .map("x0", "R.a0 + T.b0")
+            .map("x1", "R.a1 + T.b1")
+            .select(("R.id", "left_id"), ("T.id", "right_id"))
+            .preferring(repro.lowest("x0"), "LOWEST(x1)")
+        )
+
+    def test_builder_matches_workload_query(self, session, bound):
+        built = self.build(session).bind()
+        run = session.run(built)
+        assert run.result_keys == oracle_skyline_keys(bound)
+
+    def test_execute_through_session(self, session, bound):
+        stream = self.build(session).execute(algorithm="ProgXe+")
+        results = stream.drain()
+        assert {r.key() for r in results} == oracle_skyline_keys(bound)
+
+    def test_string_expressions_and_table_objects(self, workload):
+        tables = workload.tables()
+        builder = (
+            QueryBuilder()
+            .from_tables(tables["R"], tables["T"])
+            .join_on("jkey", "jkey")
+            .map("sum0", repro.Attr("R", "a0") + repro.Attr("T", "b0"))
+            .preferring("lowest(sum0)")
+        )
+        bound = builder.bind()
+        assert bound.skyline_dimension_count == 1
+
+    def test_where_forms(self, session):
+        builder = (
+            self.build(session)
+            .where("R.a0 <= 90")
+            .where("T.b1", "<=", 95.0)
+        )
+        bound = builder.bind()
+        assert all(row[2] <= 90 for row in bound.left_table.rows)
+
+    def test_join_on_reversed_alias_order(self, session):
+        builder = (
+            session.query()
+            .from_tables("R", "T")
+            .join_on("T.jkey = R.jkey")
+            .map("x0", "R.a0 + T.b0")
+            .preferring("LOWEST(x0)")
+        )
+        query = builder.build()
+        assert query.join.left_attr == "jkey"
+
+    def test_builder_validation_errors(self, session):
+        with pytest.raises(QueryError, match="from_tables"):
+            session.query().join_on("R.jkey = T.jkey")
+        with pytest.raises(QueryError, match="join condition"):
+            session.query().from_tables("R", "T").build()
+        with pytest.raises(QueryError, match="mapping"):
+            (session.query().from_tables("R", "T")
+             .join_on("R.jkey = T.jkey").build())
+        with pytest.raises(QueryError, match="preference"):
+            (session.query().from_tables("R", "T")
+             .join_on("R.jkey = T.jkey").map("x", "R.a0 + T.b0").build())
+
+    def test_unattached_builder_cannot_resolve_names(self):
+        with pytest.raises(QueryError, match="not\\s"):
+            QueryBuilder().from_tables("R", "T")
+
+    def test_where_rejects_join_condition(self, session):
+        with pytest.raises(QueryError, match="join_on"):
+            self.build(session).where("R.jkey = T.jkey")
+
+
+# ---------------------------------------------------------------------------
+# Session
+# ---------------------------------------------------------------------------
+class TestSession:
+    def test_sql_execution(self, session, bound):
+        stream = session.execute(
+            "SELECT R.id, T.id, (R.a0 + T.b0) AS x0, (R.a1 + T.b1) AS x1 "
+            "FROM R R, T T WHERE R.jkey = T.jkey "
+            "PREFERRING LOWEST(x0) AND LOWEST(x1)"
+        )
+        results = stream.drain()
+        assert {r.key() for r in results} == oracle_skyline_keys(bound)
+
+    def test_execute_accepts_logical_query(self, session, workload, bound):
+        run = session.run(workload.query())
+        assert run.result_keys == oracle_skyline_keys(bound)
+
+    def test_execute_accepts_factory(self, session, bound):
+        run = session.run(bound, algorithm=repro.progxe_plus)
+        assert run.result_keys == oracle_skyline_keys(bound)
+
+    def test_execute_rejects_unknown_shape(self, session):
+        with pytest.raises(QueryError, match="cannot execute"):
+            session.execute(42)
+
+    def test_unknown_table(self, session):
+        with pytest.raises(BindingError, match="no table registered"):
+            session.table("Missing")
+
+    def test_compare_by_names(self, session, bound):
+        report = session.compare(bound, ["ProgXe", "SSMJ", "JF-SL"])
+        assert set(report.runs) == {"ProgXe", "SSMJ", "JF-SL"}
+        # verify_agreement ran without raising: all result sets agree.
+
+    def test_compare_with_budget_skips_verification(self, session, bound):
+        report = session.compare(
+            bound, ["ProgXe", "JF-SL"], budget=StreamBudget(max_results=1)
+        )
+        assert all(
+            len(run.results) <= 1 for run in report.runs.values()
+        )
+
+    def test_compare_with_config_ignores_baselines(self, session, bound):
+        report = session.compare(
+            bound, ["ProgXe", "SSMJ"],
+            config=EngineConfig(partitioning="quadtree"),
+        )
+        assert report.runs["ProgXe"].algorithm.partitioning == "quadtree"
+
+    def test_compare_mapping_with_config_raises_not_ignores(self, session, bound):
+        # Raw factories cannot receive a config; better loud than silently
+        # running with defaults.
+        with pytest.raises(QueryError, match="registered algorithm names"):
+            session.compare(
+                bound, {"ProgXe": repro.progxe},
+                config=EngineConfig(partitioning="quadtree"),
+            )
+
+    def test_clock_weights_propagate(self, bound, workload):
+        session = Session(clock_weights={"dominance_cmp": 10.0})
+        session.register_tables(workload.tables())
+        stream = session.execute(bound)
+        stream.drain()
+        assert stream.clock.weights["dominance_cmp"] == 10.0
+
+    def test_run_algorithm_budget_shim(self, bound):
+        run = repro.run_algorithm(
+            repro.progxe, bound, budget=StreamBudget(max_results=2)
+        )
+        assert len(run.results) == 2
+
+    def test_compare_algorithms_accepts_names(self, bound):
+        report = repro.compare_algorithms(["ProgXe", "SSMJ"], bound)
+        assert set(report.runs) == {"ProgXe", "SSMJ"}
+
+
+# ---------------------------------------------------------------------------
+# parser fragments used by the builder
+# ---------------------------------------------------------------------------
+class TestParserFragments:
+    def test_parse_expression(self):
+        expr = repro.query.parse_expression("2 * R.manTime + T.shipTime")
+        assert ("R", "manTime") in expr.attributes()
+
+    def test_parse_expression_rejects_trailing(self):
+        with pytest.raises(repro.ParseError, match="trailing"):
+            repro.query.parse_expression("R.a + T.b extra")
+
+    def test_parse_preference(self):
+        pref = repro.query.parse_preference("highest(profit)")
+        assert pref.attribute == "profit"
+        assert pref.direction is repro.HIGHEST
+
+    def test_parse_condition_filter(self):
+        cond = repro.query.parse_condition("R.manCap >= 100K")
+        assert cond.op == ">=" and cond.literal == 100_000.0
+
+    def test_parse_condition_membership(self):
+        cond = repro.query.parse_condition("'P1' IN R.suppliedParts")
+        assert cond.op == "contains"
+
+    def test_parse_condition_join(self):
+        cond = repro.query.parse_condition("R.country = T.country")
+        assert cond == repro.query.JoinCondition("country", "country")
