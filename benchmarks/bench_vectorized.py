@@ -1,0 +1,220 @@
+"""Benchmark: vectorized columnar kernels vs the scalar reference loops.
+
+Unlike the figure-reproduction benches (which report deterministic virtual
+time), this bench measures *wall-clock* seconds: its entire point is that
+the matrix formulation of the dominance/window kernels makes the same
+work run faster on real hardware.  Two layers are measured:
+
+* **kernels** — scalar ``bnl_skyline`` / ``sfs_skyline`` vs their
+  block/matrix counterparts ``vectorized_skyline`` /
+  ``vectorized_sfs_skyline`` on synthetic point clouds at 10k/100k tuples;
+* **engine** — a full ProgXe run with ``use_vectorized`` off vs on at a
+  smaller scale (the engine does join + look-ahead work beyond the kernels,
+  so its speedup is necessarily more modest than the raw kernels').
+
+Every measurement asserts that scalar and vectorized produce *identical*
+result multisets — the scalar path is the oracle.  Results land in
+``BENCH_vectorized.json`` at the repository root so the project's
+performance trajectory is recorded alongside the code.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_vectorized.py            # full run
+    PYTHONPATH=src python benchmarks/bench_vectorized.py --smoke    # CI scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from collections import Counter
+
+import numpy as np
+
+from repro.core.engine import ProgXeEngine
+from repro.data.workloads import SyntheticWorkload
+from repro.runtime.clock import VirtualClock
+from repro.skyline.bnl import bnl_skyline
+from repro.skyline.sfs import sfs_skyline
+from repro.skyline.vectorized import vectorized_sfs_skyline, vectorized_skyline
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_vectorized.json"
+SEED = 20100301  # shared with the figure benches
+
+#: (workload label, dimension, generator) — anticorrelated data has a huge
+#: skyline, so it is only run at the smaller sizes (the scalar loop is
+#: quadratic in the window there).
+KERNEL_WORKLOADS = {
+    "independent-3d": ("independent", 3),
+    "anticorrelated-2d": ("anticorrelated", 2),
+}
+
+KERNELS = {
+    "bnl": (bnl_skyline, vectorized_skyline),
+    "sfs": (sfs_skyline, vectorized_sfs_skyline),
+}
+
+
+def generate_points(distribution: str, n: int, d: int, rng) -> np.ndarray:
+    """Synthetic minimisation-space point cloud."""
+    if distribution == "independent":
+        return rng.random((n, d))
+    if distribution == "anticorrelated":
+        # Points near the hyperplane sum(x) = d/2: large skylines.
+        base = rng.random((n, 1))
+        noise = rng.normal(scale=0.05, size=(n, d))
+        pts = 0.5 + (base - 0.5) * np.ones((1, d)) * np.linspace(1, -1, d) + noise
+        return np.clip(pts, 0.0, 1.0)
+    raise ValueError(f"unknown distribution {distribution!r}")
+
+
+def multiset(vectors) -> Counter:
+    return Counter(tuple(float(x) for x in v) for v in vectors)
+
+
+def time_call(fn, *args):
+    start = time.perf_counter()
+    out = fn(*args)
+    return out, time.perf_counter() - start
+
+
+def bench_kernels(sizes: list[int], anticorrelated_cap: int) -> list[dict]:
+    entries = []
+    rng = np.random.default_rng(SEED)
+    for label, (distribution, d) in KERNEL_WORKLOADS.items():
+        for n in sizes:
+            if distribution == "anticorrelated" and n > anticorrelated_cap:
+                continue
+            pts = generate_points(distribution, n, d, rng)
+            pts_rows = [tuple(row) for row in pts.tolist()]
+            for kernel, (scalar_fn, vector_fn) in KERNELS.items():
+                scalar_out, scalar_s = time_call(scalar_fn, pts_rows)
+                vector_out, vector_s = time_call(vector_fn, pts)
+                identical = multiset(scalar_out) == multiset(vector_out)
+                assert identical, (
+                    f"{label} n={n} {kernel}: vectorized skyline differs "
+                    f"from the scalar oracle"
+                )
+                entry = {
+                    "layer": "kernel",
+                    "workload": label,
+                    "kernel": kernel,
+                    "n": n,
+                    "d": d,
+                    "skyline_size": len(scalar_out),
+                    "scalar_seconds": round(scalar_s, 4),
+                    "vectorized_seconds": round(vector_s, 4),
+                    "speedup": round(scalar_s / vector_s, 2) if vector_s else None,
+                    "identical": identical,
+                }
+                entries.append(entry)
+                print(
+                    f"  {label:>18}  n={n:>7,}  {kernel}  "
+                    f"scalar {scalar_s:8.3f}s  vectorized {vector_s:8.3f}s  "
+                    f"speedup {entry['speedup']:>7}x  "
+                    f"|skyline|={len(scalar_out)}"
+                )
+    return entries
+
+
+def bench_engine(n: int) -> list[dict]:
+    """Full ProgXe run, scalar vs vectorized batch path."""
+    bound = SyntheticWorkload(
+        distribution="independent", n=n, d=3, sigma=0.05, seed=SEED
+    ).bound()
+    entries = []
+    results = {}
+    timings = {}
+    for mode, flag in (("scalar", False), ("vectorized", True)):
+        engine = ProgXeEngine(bound, VirtualClock(), use_vectorized=flag)
+        out, seconds = time_call(lambda e=engine: list(e.run()))
+        results[mode] = {r.key() for r in out}
+        timings[mode] = seconds
+    assert results["scalar"] == results["vectorized"], (
+        "engine scalar/vectorized result sets differ"
+    )
+    speedup = (
+        round(timings["scalar"] / timings["vectorized"], 2)
+        if timings["vectorized"]
+        else None
+    )
+    entries.append(
+        {
+            "layer": "engine",
+            "workload": "independent-3d",
+            "n": n,
+            "d": 3,
+            "results": len(results["scalar"]),
+            "scalar_seconds": round(timings["scalar"], 4),
+            "vectorized_seconds": round(timings["vectorized"], 4),
+            "speedup": speedup,
+            "identical": True,
+        }
+    )
+    print(
+        f"  {'engine (ProgXe)':>18}  n={n:>7,}  full  "
+        f"scalar {timings['scalar']:8.3f}s  "
+        f"vectorized {timings['vectorized']:8.3f}s  speedup {speedup:>7}x"
+    )
+    return entries
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[10_000, 100_000],
+        help="kernel input sizes (default: 10000 100000)",
+    )
+    parser.add_argument(
+        "--engine-n", type=int, default=8_000,
+        help="per-source tuples for the full-engine comparison",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny CI scale: equality assertions only, no JSON written "
+        "unless --out is given explicitly",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help=f"output JSON path (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = [500, 2_000] if args.smoke else args.sizes
+    engine_n = 300 if args.smoke else args.engine_n
+    anticorrelated_cap = max(sizes) if args.smoke else 10_000
+
+    print("vectorized-vs-scalar kernel benchmark")
+    print(f"  sizes={sizes}  engine_n={engine_n}  seed={SEED}")
+    entries = bench_kernels(sizes, anticorrelated_cap)
+    entries += bench_engine(engine_n)
+
+    kernel_at_max = [
+        e for e in entries
+        if e["layer"] == "kernel" and e["n"] == max(sizes)
+    ]
+    best = max(e["speedup"] for e in kernel_at_max)
+    print(f"  best kernel speedup at n={max(sizes):,}: {best}x")
+
+    out_path = args.out or (None if args.smoke else DEFAULT_OUT)
+    if out_path is not None:
+        payload = {
+            "benchmark": "vectorized columnar kernels vs scalar reference",
+            "command": "PYTHONPATH=src python benchmarks/bench_vectorized.py",
+            "seed": SEED,
+            "sizes": sizes,
+            "numpy": np.__version__,
+            "python": sys.version.split()[0],
+            "entries": entries,
+        }
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"  wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -79,6 +79,7 @@ class ProgXeEngine:
         leaf_capacity: int | None = None,
         seed: int = 0,
         verify: bool = True,
+        use_vectorized: bool = True,
     ) -> None:
         if partitioning not in ("grid", "quadtree"):
             raise ValueError(
@@ -98,6 +99,7 @@ class ProgXeEngine:
         self.leaf_capacity = leaf_capacity
         self.seed = seed
         self.verify = verify
+        self.use_vectorized = use_vectorized
         self.input_cells = input_cells
         self.output_cells = output_cells
         base = "ProgXe+" if pushthrough else "ProgXe"
@@ -216,7 +218,9 @@ class ProgXeEngine:
                 break
             if region.done:
                 continue
-            for vector, lrow, rrow, mapped in process_region(state, region):
+            for vector, lrow, rrow, mapped in process_region(
+                state, region, use_vectorized=self.use_vectorized
+            ):
                 yield bound.make_result(lrow, rrow, mapped)
             region.processed = True
             processed += 1

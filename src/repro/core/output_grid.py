@@ -58,6 +58,7 @@ class OutputCell:
         "cone_upper",
         "strict_upper",
         "region_ids",
+        "_vcache",
     )
 
     def __init__(self, coords: tuple[int, ...], lower: tuple[float, ...]) -> None:
@@ -73,6 +74,28 @@ class OutputCell:
         self.cone_upper: list["OutputCell"] = []
         self.strict_upper: list["OutputCell"] = []
         self.region_ids: list[int] = []
+        self._vcache: np.ndarray | None = None
+
+    def invalidate_vectors(self) -> None:
+        """Drop the cached vector matrix; call after mutating ``entries``."""
+        self._vcache = None
+
+    def vector_matrix(self) -> np.ndarray | None:
+        """Entry vectors as a cached ``(len(entries), d)`` float matrix.
+
+        ``None`` when the cell is empty.  Every site that mutates
+        ``entries`` must call :meth:`invalidate_vectors`; callers must
+        treat the returned array as read-only.
+        """
+        entries = self.entries
+        if not entries:
+            self._vcache = None
+            return None
+        cache = self._vcache
+        if cache is None:
+            cache = np.asarray([e[0] for e in entries], dtype=float)
+            self._vcache = cache
+        return cache
 
     @property
     def emittable(self) -> bool:
@@ -136,6 +159,19 @@ class OutputGrid:
                 c = k - 1
             out.append(c)
         return tuple(out)
+
+    def coords_matrix(self, vectors: np.ndarray) -> np.ndarray:
+        """Batched :meth:`coords_of`: ``(n, d)`` points → ``(n, d)`` int coords.
+
+        Identical arithmetic to the scalar path (truncation then clamping
+        agrees with flooring once clamped to ``[0, k-1]``), so batch and
+        per-tuple insertion route every vector to the same cell.
+        """
+        pts = np.asarray(vectors, dtype=float)
+        lo = np.asarray(self.lower)
+        w = np.asarray(self.widths)
+        c = np.floor((pts - lo) / w).astype(np.int64)
+        return np.clip(c, 0, self.cells_per_dim - 1)
 
     def cell_lower(self, coords: Sequence[int]) -> tuple[float, ...]:
         """Attribute-space lower corner of a cell."""

@@ -23,12 +23,17 @@ tuple-insertion path used by tuple-level processing.
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from repro.core.output_grid import CellEntry, OutputCell, OutputGrid
 from repro.core.regions import OutputRegion
 from repro.errors import ExecutionError
 from repro.query.smj import BoundQuery
 from repro.runtime.clock import VirtualClock
 from repro.skyline.dominance import dominates
+from repro.skyline.vectorized import dominates_matrix, skyline_mask
 
 
 class ExecutionState:
@@ -103,6 +108,7 @@ class ExecutionState:
             self.clock.charge("discard", len(cell.entries))
             self.live_entries -= len(cell.entries)
             cell.entries = []
+            cell.invalidate_vectors()
         for rid in cell.region_ids:
             region = self.regions[rid]
             region.unmarked_covered -= 1
@@ -190,6 +196,7 @@ class ExecutionState:
                     return
         self.live_entries -= len(cell.entries) - len(survivors)
         cell.entries = survivors
+        cell.invalidate_vectors()
 
         # (2) The newcomer survived: evict dominated entries upstream.
         for uc in cell.cone_upper:
@@ -203,6 +210,7 @@ class ExecutionState:
             if len(kept) != len(uc.entries):
                 self.live_entries -= len(uc.entries) - len(kept)
                 uc.entries = kept
+                uc.invalidate_vectors()
 
         # (3) Mark every strictly-dominated cell (Example 3 at tuple
         # granularity): anything ever falling there is dominated by the
@@ -222,10 +230,174 @@ class ExecutionState:
                 self.mark_cell(sc)
 
         cell.entries.append((vector, lrow, rrow, mapped))
+        cell.invalidate_vectors()
         self.inserted += 1
         self.live_entries += 1
         if self.live_entries > self.peak_live_entries:
             self.peak_live_entries = self.live_entries
+
+    # ------------------------------------------------------------------
+    # batched tuple insertion (the vectorized §III-B path)
+    # ------------------------------------------------------------------
+    def insert_batch(
+        self,
+        vectors: np.ndarray,
+        lrows: Sequence[tuple],
+        rrows: Sequence[tuple],
+        mapped: np.ndarray,
+    ) -> None:
+        """Insert a chunk of mapped join results with matrix kernels.
+
+        Semantically equivalent to calling :meth:`insert` per tuple — the
+        surviving entry sets, evictions, markings and cascades are
+        identical (dominance is transitive, so the outcome is
+        order-independent) — but every dominance test runs as one numpy
+        broadcast per cell group and comparisons are charged to the clock
+        in bulk.  A budget tripwire can therefore fire mid-batch; that is
+        safe because nothing is emitted from here (the caller drains
+        emissions only after the batch returns), so any previously yielded
+        prefix remains provably final.
+        """
+        clock = self.clock
+        grid = self.grid
+        n = len(lrows)
+        if n == 0:
+            return
+        coords = grid.coords_matrix(vectors)
+        groups: dict[tuple[int, ...], list[int]] = {}
+        for i, key in enumerate(map(tuple, coords.tolist())):
+            groups.setdefault(key, []).append(i)
+
+        for key, idx in groups.items():
+            cell = grid.cells.get(key)
+            if cell is None:
+                raise ExecutionError(
+                    f"mapped result batch fell into inactive cell {key}; "
+                    "region covering is broken"
+                )
+            b = len(idx)
+            if cell.marked:
+                clock.charge("discard", b)
+                self.discarded_on_arrival += b
+                continue
+            if cell.reg_count <= 0:
+                raise ExecutionError(
+                    f"tuple batch arrived in settled cell {cell!r}; "
+                    "RegCount accounting broken"
+                )
+            cand = vectors[idx]  # (b, d)
+
+            # (1) Dominator filtering in stages of decreasing kill rate,
+            # each stage shrinking the candidate set the next one tests —
+            # the bulk analogue of the scalar path's short-circuiting.
+            # Stage order is free: dominance is transitive, so the final
+            # survivor set is order-independent (an eliminated candidate's
+            # victims are also its dominator's victims).
+            #
+            # (1a) intra-batch: candidates of one region pair are often
+            # mutually dominating.  The sweep kernel is O(s·b) for a local
+            # skyline of size s — far below the b² of a full pairwise
+            # matrix — and reports the pairs it actually tested.
+            live = np.arange(b, dtype=np.intp)
+            if b > 1:
+                tested: list[int] = []
+                live = live[skyline_mask(cand, on_comparisons=tested.append)]
+                clock.charge("dominance_cmp", sum(tested))
+            # (1b) the cell's own entries (charged both directions,
+            # mirroring the scalar path's paired dominates() calls).
+            own = cell.entries
+            own_mat = cell.vector_matrix()
+            if own_mat is not None and live.size:
+                clock.charge("dominance_cmp", 2 * live.size * len(own))
+                hit = dominates_matrix(own_mat, cand[live]).any(axis=0)
+                live = live[~hit]
+            # (1c) the lower cone, pooled into one matrix / one kernel
+            # (per-cell matrices are cached on the cells).
+            if live.size:
+                cone_mats = [
+                    m
+                    for m in (lc.vector_matrix() for lc in cell.cone_lower)
+                    if m is not None
+                ]
+                if cone_mats:
+                    cone = (
+                        np.concatenate(cone_mats)
+                        if len(cone_mats) > 1
+                        else cone_mats[0]
+                    )
+                    clock.charge("dominance_cmp", live.size * cone.shape[0])
+                    hit = dominates_matrix(cone, cand[live]).any(axis=0)
+                    live = live[~hit]
+            surv_idx = [idx[i] for i in live]
+            self.dominated_on_arrival += b - len(surv_idx)
+            if not surv_idx:
+                continue
+            surv = vectors[surv_idx]
+            s = len(surv_idx)
+
+            # (2) Evict dominated entries: same cell plus the upper cone,
+            # again pooled into one kernel call and split back per cell.
+            targets: list[OutputCell] = []
+            evict_mats: list[np.ndarray] = []
+            if own_mat is not None:
+                targets.append(cell)
+                evict_mats.append(own_mat)
+            for uc in cell.cone_upper:
+                m = uc.vector_matrix()
+                if m is not None:
+                    targets.append(uc)
+                    evict_mats.append(m)
+            if targets:
+                evict_pool = (
+                    np.concatenate(evict_mats)
+                    if len(evict_mats) > 1
+                    else evict_mats[0]
+                )
+                upper_total = evict_pool.shape[0] - len(own)
+                if upper_total:
+                    clock.charge("dominance_cmp", s * upper_total)
+                kill = dominates_matrix(surv, evict_pool).any(axis=0)
+                pos = 0
+                for target, mat in zip(targets, evict_mats):
+                    size = mat.shape[0]
+                    part = kill[pos : pos + size]
+                    pos += size
+                    if part.any():
+                        kept = [
+                            e for e, k in zip(target.entries, part) if not k
+                        ]
+                        self.live_entries -= len(target.entries) - len(kept)
+                        target.entries = kept
+                        target.invalidate_vectors()
+
+            # (3) Mark strictly-dominated cells.  One surviving candidate
+            # with some dimension strictly below the cell's lower corner
+            # suffices, so testing the per-dimension minimum over the
+            # survivors is exact.
+            unmarked = [sc for sc in cell.strict_upper if not sc.marked]
+            if unmarked:
+                clock.charge("partition_op", len(unmarked))
+                surv_min = surv.min(axis=0)
+                lowers = np.asarray([sc.lower for sc in unmarked], dtype=float)
+                to_mark = (surv_min[None, :] < lowers).any(axis=1)
+                for sc, hit in zip(unmarked, to_mark):
+                    if hit and not sc.marked:
+                        self.mark_cell(sc)
+
+            for i in surv_idx:
+                cell.entries.append(
+                    (
+                        tuple(vectors[i].tolist()),
+                        lrows[i],
+                        rrows[i],
+                        tuple(np.asarray(mapped[i]).tolist()),
+                    )
+                )
+            cell.invalidate_vectors()
+            self.inserted += s
+            self.live_entries += s
+            if self.live_entries > self.peak_live_entries:
+                self.peak_live_entries = self.live_entries
 
     # ------------------------------------------------------------------
     # invariants

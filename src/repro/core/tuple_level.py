@@ -6,6 +6,20 @@ insertion path of :class:`~repro.core.progdetermine.ExecutionState`.
 Implemented as a generator so results that become safely emittable *during*
 the region's processing (via marking cascades) reach the caller
 immediately.
+
+Two implementations share the generator contract:
+
+* the **scalar** path — the reference implementation: one hash-join probe,
+  one mapping evaluation and one grid insertion per tuple, every dominance
+  comparison charged individually;
+* the **vectorized** path — accumulates partition-sized chunks of joined
+  pairs, evaluates the mapping expressions columnarly
+  (:meth:`~repro.query.smj.BoundQuery.map_rows_batch`) and inserts through
+  the matrix kernels of :meth:`ExecutionState.insert_batch`, charging the
+  clock in bulk.  Budgets and cancellation still work: the clock tripwire
+  fires inside bulk charges, and because emissions are only drained (and
+  yielded) between batches, any prefix produced before an interrupt is
+  provably final.
 """
 
 from __future__ import annotations
@@ -17,9 +31,17 @@ from repro.core.output_grid import CellEntry
 from repro.core.progdetermine import ExecutionState
 from repro.core.regions import OutputRegion
 
+#: Joined pairs accumulated before a vectorized flush.  Partition-pair
+#: outputs smaller than this are processed as a single batch.
+DEFAULT_BATCH_SIZE = 1024
+
 
 def process_region(
-    state: ExecutionState, region: OutputRegion
+    state: ExecutionState,
+    region: OutputRegion,
+    *,
+    use_vectorized: bool = False,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> Iterator[CellEntry]:
     """Generate, map and insert the region's join results.
 
@@ -35,46 +57,109 @@ def process_region(
         state.clock.charge("discard")
         return
 
-    bound = state.bound
-    clock = state.clock
     state.active_region = region
     try:
-        left_rows = region.left_partition.rows
-        right_rows = region.right_partition.rows
-
-        # Hash join within the partition pair, building on the smaller side.
-        if len(left_rows) <= len(right_rows):
-            build_rows, probe_rows = left_rows, right_rows
-            build_key = bound.left_join_index
-            probe_key = bound.right_join_index
-            build_is_left = True
+        if use_vectorized:
+            yield from _process_vectorized(state, region, batch_size)
         else:
-            build_rows, probe_rows = right_rows, left_rows
-            build_key = bound.right_join_index
-            probe_key = bound.left_join_index
-            build_is_left = False
-
-        table: dict = defaultdict(list)
-        for row in build_rows:
-            clock.charge("join_build")
-            table[row[build_key]].append(row)
-
-        for prow in probe_rows:
-            clock.charge("join_probe")
-            matches = table.get(prow[probe_key])
-            if not matches:
-                continue
-            for brow in matches:
-                clock.charge("join_result")
-                if build_is_left:
-                    lrow, rrow = brow, prow
-                else:
-                    lrow, rrow = prow, brow
-                mapped = bound.map_pair(lrow, rrow)
-                clock.charge("map")
-                state.insert(bound.vector_of(mapped), lrow, rrow, mapped)
-            emissions = state.drain_emissions()
-            if emissions:
-                yield from emissions
+            yield from _process_scalar(state, region)
     finally:
         state.active_region = None
+
+
+def _join_sides(state: ExecutionState, region: OutputRegion):
+    """Hash-join orientation: build on the smaller partition side."""
+    bound = state.bound
+    left_rows = region.left_partition.rows
+    right_rows = region.right_partition.rows
+    if len(left_rows) <= len(right_rows):
+        return (
+            left_rows, right_rows,
+            bound.left_join_index, bound.right_join_index, True,
+        )
+    return (
+        right_rows, left_rows,
+        bound.right_join_index, bound.left_join_index, False,
+    )
+
+
+def _process_scalar(
+    state: ExecutionState, region: OutputRegion
+) -> Iterator[CellEntry]:
+    bound = state.bound
+    clock = state.clock
+    build_rows, probe_rows, build_key, probe_key, build_is_left = _join_sides(
+        state, region
+    )
+
+    table: dict = defaultdict(list)
+    for row in build_rows:
+        clock.charge("join_build")
+        table[row[build_key]].append(row)
+
+    for prow in probe_rows:
+        clock.charge("join_probe")
+        matches = table.get(prow[probe_key])
+        if not matches:
+            continue
+        for brow in matches:
+            clock.charge("join_result")
+            if build_is_left:
+                lrow, rrow = brow, prow
+            else:
+                lrow, rrow = prow, brow
+            mapped = bound.map_pair(lrow, rrow)
+            clock.charge("map")
+            state.insert(bound.vector_of(mapped), lrow, rrow, mapped)
+        emissions = state.drain_emissions()
+        if emissions:
+            yield from emissions
+
+
+def _process_vectorized(
+    state: ExecutionState, region: OutputRegion, batch_size: int
+) -> Iterator[CellEntry]:
+    bound = state.bound
+    clock = state.clock
+    build_rows, probe_rows, build_key, probe_key, build_is_left = _join_sides(
+        state, region
+    )
+
+    table: dict = defaultdict(list)
+    clock.charge("join_build", len(build_rows))
+    for row in build_rows:
+        table[row[build_key]].append(row)
+
+    pend_l: list[tuple] = []
+    pend_r: list[tuple] = []
+
+    def flush() -> Iterator[CellEntry]:
+        n = len(pend_l)
+        clock.charge("join_result", n)
+        mapped = bound.map_rows_batch(pend_l, pend_r)
+        clock.charge("map", n)
+        vectors = bound.vectors_of_batch(mapped)
+        state.insert_batch(vectors, pend_l, pend_r, mapped)
+        pend_l.clear()
+        pend_r.clear()
+        emissions = state.drain_emissions()
+        if emissions:
+            yield from emissions
+
+    clock.charge("join_probe", len(probe_rows))
+    for prow in probe_rows:
+        matches = table.get(prow[probe_key])
+        if not matches:
+            continue
+        if build_is_left:
+            for brow in matches:
+                pend_l.append(brow)
+                pend_r.append(prow)
+        else:
+            for brow in matches:
+                pend_l.append(prow)
+                pend_r.append(brow)
+        if len(pend_l) >= batch_size:
+            yield from flush()
+    if pend_l:
+        yield from flush()

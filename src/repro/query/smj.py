@@ -279,6 +279,49 @@ class BoundQuery:
         return ResultTuple(lrow, rrow, mapped, self.vector_of(mapped), outputs)
 
     # ------------------------------------------------------------------
+    # batched (columnar) evaluation
+    # ------------------------------------------------------------------
+    def map_rows_batch(self, lrows: Sequence[Row], rrows: Sequence[Row]):
+        """Columnar Map: mapped values for a chunk of joined pairs.
+
+        ``lrows[i]`` joins with ``rrows[i]``; returns an ``(n, k)`` float64
+        matrix whose rows are what :meth:`map_pair` returns per pair.  The
+        compiled mapping closures are pure arithmetic over indexable rows,
+        so feeding them :class:`~repro.storage.column_batch.ColumnBatch`
+        pseudo-rows evaluates every mapping over the whole chunk in one
+        vectorized pass.
+        """
+        import numpy as np
+
+        from repro.storage.column_batch import ColumnBatch
+
+        n = len(lrows)
+        lbatch = ColumnBatch(
+            lrows, len(self.left_table.schema.columns), self.left_map_indices
+        )
+        rbatch = ColumnBatch(
+            rrows, len(self.right_table.schema.columns), self.right_map_indices
+        )
+        raw = self._map_fn(lbatch, rbatch)
+        cols = []
+        for c in raw:
+            arr = np.asarray(c, dtype=float)
+            if arr.ndim == 0:  # constant-valued mapping dimension
+                arr = np.full(n, float(arr))
+            cols.append(arr)
+        return np.column_stack(cols)
+
+    def vectors_of_batch(self, mapped):
+        """Batched :meth:`vector_of`: ``(n, k)`` mapped → ``(n, d)`` vectors."""
+        import numpy as np
+
+        dims = list(self.skyline_dims)
+        signs = np.asarray(
+            [self.dimension_signs[i] for i in dims], dtype=float
+        )
+        return np.asarray(mapped, dtype=float)[:, dims] * signs
+
+    # ------------------------------------------------------------------
     # look-ahead support
     # ------------------------------------------------------------------
     def interval_env(

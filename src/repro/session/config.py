@@ -41,6 +41,10 @@ class EngineConfig:
         RNG seed for the random-order ablation.
     verify:
         Check the progressive-completeness invariant at end of run.
+    use_vectorized:
+        Process partition-sized chunks through the columnar batch kernels
+        (default).  ``False`` selects the per-tuple scalar path, kept as
+        the reference implementation.
     """
 
     ordering: bool = True
@@ -52,6 +56,7 @@ class EngineConfig:
     leaf_capacity: int | None = None
     seed: int = 0
     verify: bool = True
+    use_vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.signature_kind not in SIGNATURE_KINDS:
@@ -106,10 +111,12 @@ class EngineConfig:
 
 #: Named presets: the paper's default setup, the push-through "+" variant,
 #: a memory-lean setup (bloom signatures, quadtree partitioning that adapts
-#: to skew), and a production profile that skips the end-of-run verification.
+#: to skew), a production profile that skips the end-of-run verification,
+#: and the scalar reference path (per-tuple kernels, for oracle comparison).
 PRESETS: dict[str, EngineConfig] = {
     "default": EngineConfig(),
     "progressive-plus": EngineConfig(pushthrough=True),
     "low-memory": EngineConfig(signature_kind="bloom", partitioning="quadtree"),
     "production": EngineConfig(pushthrough=True, verify=False),
+    "scalar-reference": EngineConfig(use_vectorized=False),
 }

@@ -4,7 +4,9 @@ A :class:`ResultStream` wraps a progressive algorithm's ``run()`` generator
 with the service-level controls a long-lived session needs:
 
 * **pull** iteration (``for result in stream``) — lazy, one result at a time,
-* **push** callbacks — ``on_result`` / ``on_progress`` / ``on_complete``,
+* **push** callbacks — ``on_result`` / ``on_progress`` / ``on_complete``;
+  a raising callback is never silently dropped: it propagates to the
+  iterating caller unless an ``on_error`` handler is registered,
 * **cooperative cancellation** — :meth:`ResultStream.cancel` stops the
   engine at its next unit of charged work; no further results are emitted,
 * **budgets** — virtual-time, dominance-comparison, result-count and
@@ -166,6 +168,7 @@ class ResultStream:
         self._on_result: list[Callable[[ResultTuple], None]] = []
         self._on_progress: list[Callable[[EmissionEvent], None]] = []
         self._on_complete: list[Callable[[StreamStats], None]] = []
+        self._on_error: list[Callable[[BaseException], None]] = []
 
     # ------------------------------------------------------------------
     # state
@@ -218,6 +221,30 @@ class ResultStream:
         self._on_complete.append(callback)
         return self
 
+    def on_error(
+        self, callback: Callable[[BaseException], None]
+    ) -> "ResultStream":
+        """Register ``callback(exception)`` for exceptions raised by the
+        other callbacks.
+
+        Callback exceptions are never silently swallowed: without an
+        ``on_error`` handler they re-raise to the iterating caller; with
+        one (or more), every handler receives the exception and iteration
+        continues.
+        """
+        self._on_error.append(callback)
+        return self
+
+    def _dispatch(self, callback: Callable, argument) -> None:
+        """Invoke one user callback, routing failures through ``on_error``."""
+        try:
+            callback(argument)
+        except Exception as exc:
+            if not self._on_error:
+                raise
+            for handler in self._on_error:
+                handler(exc)
+
     # ------------------------------------------------------------------
     # iteration
     # ------------------------------------------------------------------
@@ -249,9 +276,9 @@ class ResultStream:
         self.recorder.record()
         event = self.recorder.events[-1]
         for callback in self._on_result:
-            callback(result)
+            self._dispatch(callback, result)
         for callback in self._on_progress:
-            callback(event)
+            self._dispatch(callback, event)
         return result
 
     def drain(self) -> list[ResultTuple]:
@@ -326,7 +353,7 @@ class ResultStream:
         self.recorder.finish()
         stats = self.stats()
         for callback in self._on_complete:
-            callback(stats)
+            self._dispatch(callback, stats)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -29,6 +29,14 @@ from repro.skyline.preferences import (
     lowest,
 )
 from repro.skyline.sfs import sfs_skyline, sfs_skyline_entries
+from repro.skyline.vectorized import (
+    dominated_by_any,
+    dominates_matrix,
+    pareto_mask,
+    skyline_mask,
+    vectorized_sfs_skyline,
+    vectorized_skyline,
+)
 
 __all__ = [
     "Direction",
@@ -45,18 +53,24 @@ __all__ = [
     "compare",
     "dnc_skyline",
     "dnc_skyline_entries",
+    "dominated_by_any",
     "dominated_mask",
     "dominates",
+    "dominates_matrix",
     "dominating_mask",
     "expected_maxima_harmonic",
     "expected_skyline_size",
     "harmonic",
     "highest",
     "lowest",
+    "pareto_mask",
     "salsa_skyline",
     "salsa_skyline_entries",
     "sfs_skyline",
     "sfs_skyline_entries",
     "skyline_indices_bruteforce",
+    "skyline_mask",
+    "vectorized_sfs_skyline",
+    "vectorized_skyline",
     "weakly_dominates",
 ]

@@ -24,8 +24,18 @@ class Dominance(enum.Enum):
     INCOMPARABLE = "incomparable"
 
 
+def _check_lengths(u: Sequence[float], v: Sequence[float]) -> None:
+    """Unequal-length vectors are a caller bug, never a tie to truncate."""
+    if len(u) != len(v):
+        raise ValueError(
+            f"dominance comparison of unequal-length vectors: "
+            f"{len(u)} vs {len(v)} dimensions"
+        )
+
+
 def dominates(u: Sequence[float], v: Sequence[float]) -> bool:
     """Return ``True`` iff ``u`` dominates ``v`` (Definition 1)."""
+    _check_lengths(u, v)
     strict = False
     for a, b in zip(u, v):
         if a > b:
@@ -37,6 +47,7 @@ def dominates(u: Sequence[float], v: Sequence[float]) -> bool:
 
 def weakly_dominates(u: Sequence[float], v: Sequence[float]) -> bool:
     """Return ``True`` iff ``u <= v`` component-wise (equality allowed)."""
+    _check_lengths(u, v)
     for a, b in zip(u, v):
         if a > b:
             return False
@@ -45,6 +56,7 @@ def weakly_dominates(u: Sequence[float], v: Sequence[float]) -> bool:
 
 def compare(u: Sequence[float], v: Sequence[float]) -> Dominance:
     """Classify the dominance relationship between two vectors."""
+    _check_lengths(u, v)
     u_better = False
     v_better = False
     for a, b in zip(u, v):

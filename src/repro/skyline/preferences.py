@@ -126,6 +126,31 @@ class ParetoPreference:
             d.denormalise(v) for d, v in zip(self._directions, vector)
         )
 
+    def signs(self) -> tuple[int, ...]:
+        """Per-dimension normalisation sign: ``+1`` LOWEST, ``-1`` HIGHEST."""
+        return tuple(
+            1 if d is Direction.LOWEST else -1 for d in self._directions
+        )
+
+    def normalise_batch(self, values):
+        """Batched :meth:`normalise`: an ``(n, d)`` matrix of raw values to
+        an ``(n, d)`` minimisation-space matrix in one vectorized pass.
+        """
+        import numpy as np
+
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        if arr.shape[1] != len(self._directions):
+            raise QueryError(
+                f"expected {len(self._directions)} columns, got {arr.shape[1]}"
+            )
+        return arr * np.asarray(self.signs(), dtype=float)
+
+    def denormalise_batch(self, vectors):
+        """Invert :meth:`normalise_batch` (the signs are involutive)."""
+        return self.normalise_batch(vectors)
+
     def index_of(self, attribute: str) -> int:
         """Dimension index of ``attribute`` (raises :class:`QueryError`)."""
         try:

@@ -1,0 +1,235 @@
+"""Vectorized (block/matrix) dominance kernels.
+
+The per-tuple functions in :mod:`repro.skyline.dominance` are the reference
+semantics; this module provides their columnar counterparts, formulated as
+numpy broadcasts so a candidate block is compared against an entire window
+in one kernel invocation instead of a Python loop.  This is the standard
+route to scaling dominance-based operators (see the flexible-skyline
+surveys in PAPERS.md) and is what the engine's batched probe path and the
+``bench_vectorized`` benchmark build on.
+
+Conventions shared with the scalar code:
+
+* all vectors live in normalised minimisation space (lower is better),
+* ``u`` dominates ``v`` iff ``u <= v`` everywhere and ``u < v`` somewhere
+  (Definition 1) — in particular, equal vectors never dominate each other,
+  so duplicates always survive together.
+
+Comparison accounting is *bulk*: every kernel accepts an optional
+``on_comparisons(count)`` callback invoked once per matrix operation with
+the number of vector pairs tested, so callers can charge a
+:class:`~repro.runtime.clock.VirtualClock` without per-pair call overhead.
+The bulk counts are honest (no short-circuiting), so a vectorized run
+charges at least as many comparisons as the scalar reference for the same
+work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+#: Bulk comparison-count callback: called with the number of pairs tested.
+OnComparisons = Callable[[int], None]
+
+#: Default candidate block size: bounds peak broadcast memory at roughly
+#: ``block * window * d`` booleans while keeping kernel launches rare.
+DEFAULT_BLOCK = 1024
+
+
+def as_matrix(vectors, dimensions: int | None = None) -> np.ndarray:
+    """Coerce a vector collection into a contiguous ``(n, d)`` float matrix.
+
+    Accepts anything :func:`numpy.asarray` does (lists of tuples, an
+    existing matrix).  An empty input needs ``dimensions`` to produce a
+    well-shaped ``(0, d)`` result.
+    """
+    arr = np.asarray(vectors, dtype=float)
+    if arr.size == 0:
+        d = dimensions if dimensions is not None else (
+            arr.shape[1] if arr.ndim == 2 else 0
+        )
+        return arr.reshape(0, d)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D vector matrix, got shape {arr.shape}")
+    return arr
+
+
+def dominates_matrix(u, v) -> np.ndarray:
+    """Pairwise dominance: ``out[i, j]`` iff ``u[i]`` dominates ``v[j]``.
+
+    ``u`` is ``(n, d)``, ``v`` is ``(m, d)``; the result is an ``(n, m)``
+    boolean matrix computed in one broadcast — the matrix counterpart of
+    :func:`repro.skyline.dominance.dominates`.
+    """
+    U = as_matrix(u)
+    V = as_matrix(v, dimensions=U.shape[1])
+    if U.shape[1] != V.shape[1]:
+        raise ValueError(
+            f"dominance comparison of unequal-width matrices: "
+            f"{U.shape[1]} vs {V.shape[1]} dimensions"
+        )
+    if U.shape[0] == 0 or V.shape[0] == 0:
+        return np.zeros((U.shape[0], V.shape[0]), dtype=bool)
+    le = U[:, None, :] <= V[None, :, :]  # (n, m, d)
+    lt = U[:, None, :] < V[None, :, :]
+    return le.all(axis=2) & lt.any(axis=2)
+
+
+def dominated_by_any(
+    points,
+    window,
+    *,
+    block_size: int = DEFAULT_BLOCK,
+    on_comparisons: OnComparisons | None = None,
+) -> np.ndarray:
+    """Mask over ``points``: which are dominated by *some* row of ``window``.
+
+    The candidate side is processed in blocks of ``block_size`` so peak
+    broadcast memory stays bounded at ``block_size * len(window)`` pairs.
+    """
+    P = as_matrix(points)
+    W = as_matrix(window, dimensions=P.shape[1])
+    n = P.shape[0]
+    out = np.zeros(n, dtype=bool)
+    if n == 0 or W.shape[0] == 0:
+        return out
+    for start in range(0, n, block_size):
+        stop = min(n, start + block_size)
+        if on_comparisons is not None:
+            on_comparisons(W.shape[0] * (stop - start))
+        out[start:stop] = dominates_matrix(W, P[start:stop]).any(axis=0)
+    return out
+
+
+def pareto_mask(
+    points,
+    *,
+    block_size: int = DEFAULT_BLOCK,
+    on_comparisons: OnComparisons | None = None,
+) -> np.ndarray:
+    """Mask over ``points``: which rows no other row dominates.
+
+    Duplicated (identical) vectors all survive — equal points do not
+    dominate each other under Definition 1, matching
+    :func:`repro.skyline.dominance.skyline_indices_bruteforce`.  A point
+    never dominates itself, so no self-exclusion is needed.
+    """
+    P = as_matrix(points)
+    n = P.shape[0]
+    dominated = np.zeros(n, dtype=bool)
+    for start in range(0, n, block_size):
+        stop = min(n, start + block_size)
+        if on_comparisons is not None:
+            on_comparisons(n * (stop - start))
+        dominated[start:stop] = dominates_matrix(P, P[start:stop]).any(axis=0)
+    return ~dominated
+
+
+def _sum_order(P: np.ndarray) -> np.ndarray:
+    """Stable sort permutation by coordinate sum — SFS order.
+
+    A dominator has a strictly smaller coordinate sum, so after this sort
+    no vector can be dominated by a later one.  Sum alone (no lexicographic
+    tie-breaking) suffices: equal-sum vectors cannot dominate each other
+    either, and the sweep handles duplicates by explicit equality.  A
+    single-key stable argsort is several times cheaper than a full lexsort
+    at the 100k scale.
+    """
+    return np.argsort(P.sum(axis=1), kind="stable")
+
+
+def _sorted_sweep(S: np.ndarray, on_comparisons: OnComparisons | None) -> np.ndarray:
+    """Skyline positions of a sum-sorted matrix via a vectorized sweep.
+
+    The head of the remaining window is always a confirmed skyline member
+    (nothing later in sum order can dominate it, and equal-sum dominance is
+    impossible), so each step keeps the head and tests it against the whole
+    tail in one broadcast — ``|skyline|`` kernel launches in total, the
+    window algorithm with a matrix inner loop.  Identical vectors never
+    dominate each other, so duplicate heads survive as subsequent heads.
+    """
+    kept: list[int] = []
+    pos = np.arange(S.shape[0], dtype=np.intp)
+    work = S
+    while work.shape[0]:
+        ref = work[0]
+        kept.append(int(pos[0]))
+        tail = work[1:]
+        if not tail.shape[0]:
+            break
+        if on_comparisons is not None:
+            on_comparisons(tail.shape[0])
+        # Tail survivors: strictly better somewhere, or identical to the
+        # head (duplicates never dominate each other).
+        survive = (tail < ref).any(axis=1) | (tail == ref).all(axis=1)
+        work = tail[survive]
+        pos = pos[1:][survive]
+    return np.asarray(kept, dtype=np.intp)
+
+
+def skyline_mask(
+    points,
+    *,
+    on_comparisons: OnComparisons | None = None,
+) -> np.ndarray:
+    """Skyline membership mask via a vectorized BNL sweep.
+
+    Skyline membership does not depend on input order, so the kernel is
+    free to sort internally into SFS (coordinate-sum) order: every sweep
+    reference is then a confirmed skyline member, the sweep runs exactly
+    ``|skyline|`` broadcasts of one candidate against the whole remaining
+    window, and the resulting mask is scattered back to input positions.
+    Total work is ``O(s · n · d)`` element operations at numpy throughput.
+
+    Semantically identical to :func:`repro.skyline.bnl.bnl_skyline` (the
+    returned set, duplicates included, is the same); returns a boolean mask
+    so payloads can be recovered by index.
+    """
+    P = as_matrix(points)
+    n = P.shape[0]
+    keep = np.zeros(n, dtype=bool)
+    if n == 0:
+        return keep
+    order = _sum_order(P)
+    kept_sorted = _sorted_sweep(P[order], on_comparisons)
+    keep[order[kept_sorted]] = True
+    return keep
+
+
+def vectorized_skyline(
+    points,
+    *,
+    on_comparisons: OnComparisons | None = None,
+) -> np.ndarray:
+    """Skyline of ``points`` as an ``(s, d)`` matrix, in input order.
+
+    Matrix counterpart of :func:`repro.skyline.bnl.bnl_skyline` /
+    :func:`repro.skyline.sfs.sfs_skyline`: the returned *set* of vectors is
+    identical (duplicates included), only the internal order of comparisons
+    differs.
+    """
+    P = as_matrix(points)
+    return P[skyline_mask(P, on_comparisons=on_comparisons)]
+
+
+def vectorized_sfs_skyline(
+    points,
+    *,
+    on_comparisons: OnComparisons | None = None,
+) -> np.ndarray:
+    """Sort-Filter-Skyline with a vectorized filtering sweep.
+
+    Sorts by coordinate sum (mirroring the monotone scoring function of
+    :func:`repro.skyline.sfs.sfs_skyline`) so no vector can be dominated
+    by a later one: every sweep reference is then a confirmed skyline
+    member and the sweep runs exactly ``|skyline|`` broadcasts.
+    """
+    P = as_matrix(points)
+    if P.shape[0] == 0:
+        return P
+    S = P[_sum_order(P)]
+    return S[_sorted_sweep(S, on_comparisons)]

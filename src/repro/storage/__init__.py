@@ -1,6 +1,7 @@
 """Storage substrate: tables, schemas, grid partitioning and signatures."""
 
 from repro.storage.bloom import BloomFilter
+from repro.storage.column_batch import ColumnBatch
 from repro.storage.grid import GridPartitioner, InputGrid, project_rows
 from repro.storage.partition import InputPartition
 from repro.storage.quadtree import QuadTreeIndex, QuadTreePartitioner
@@ -16,6 +17,7 @@ from repro.storage.table import Row, Table
 __all__ = [
     "BloomFilter",
     "BloomSignature",
+    "ColumnBatch",
     "ExactSignature",
     "GridPartitioner",
     "InputGrid",

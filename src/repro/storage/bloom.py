@@ -28,26 +28,47 @@ def _hash_pair(value: Hashable) -> tuple[int, int]:
     )
 
 
+def _round_up_pow2(n: int) -> int:
+    """Smallest power of two ``>= n``."""
+    return 1 << (n - 1).bit_length()
+
+
 class BloomFilter:
-    """Fixed-size Bloom filter with double hashing."""
+    """Fixed-size Bloom filter with double hashing.
+
+    ``num_bits`` is rounded up to a power of two: the double-hashing probe
+    sequence ``(h1 + i * h2) mod m`` only guarantees ``k`` *distinct* probe
+    positions when the (odd-forced) stride ``h2`` is coprime with ``m``,
+    which an odd stride ensures exactly when ``m`` is a power of two.  With
+    a composite modulus sharing an odd factor with the stride, probes cycle
+    through a subgroup and silently degrade the filter to fewer effective
+    hashes.
+    """
 
     __slots__ = ("num_bits", "num_hashes", "_bits", "count")
 
     def __init__(self, num_bits: int = 256, num_hashes: int = 3) -> None:
         if num_bits <= 0 or num_hashes <= 0:
             raise ValueError("num_bits and num_hashes must be positive")
-        self.num_bits = num_bits
+        self.num_bits = _round_up_pow2(num_bits)
         self.num_hashes = num_hashes
         self._bits = 0
         self.count = 0
 
     @classmethod
     def for_capacity(cls, capacity: int, error_rate: float = 0.01) -> "BloomFilter":
-        """Size a filter for ``capacity`` insertions at ``error_rate`` FPR."""
+        """Size a filter for ``capacity`` insertions at ``error_rate`` FPR.
+
+        The theoretically optimal bit count is rounded up to a power of two
+        (see the class docstring), and the hash count is derived from the
+        *rounded* size so the two parameters stay matched.
+        """
         capacity = max(1, capacity)
         if not 0.0 < error_rate < 1.0:
             raise ValueError("error_rate must be in (0, 1)")
-        m = max(8, math.ceil(-capacity * math.log(error_rate) / (math.log(2) ** 2)))
+        m = _round_up_pow2(
+            max(8, math.ceil(-capacity * math.log(error_rate) / (math.log(2) ** 2)))
+        )
         k = max(1, round(m / capacity * math.log(2)))
         return cls(num_bits=m, num_hashes=k)
 

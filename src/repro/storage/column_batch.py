@@ -1,0 +1,167 @@
+"""Columnar batches: contiguous numpy views over chunks of row tuples.
+
+The library's storage substrate is row tuples (:class:`~repro.storage.table.Table`),
+which is the right shape for hash joins over arbitrary values — but the
+preference/mapping hot paths do arithmetic over a handful of numeric
+columns, and per-tuple Python evaluation caps throughput.  A
+:class:`ColumnBatch` materialises the *needed* column positions of a chunk
+of rows as contiguous ``float64`` arrays while keeping the original tuples
+around, and — crucially — supports integer indexing (``batch[i]`` returns
+the column array at schema position ``i``).  Code compiled against row
+tuples, such as the mapping closures from
+:meth:`repro.query.expressions.Expression.compile`, therefore evaluates
+over an entire batch in one vectorized pass without recompilation.
+
+Join keys are carried as a separate column that is *not* coerced to float
+(join domains may be strings or other hashables); it is exposed both as a
+list (for dict-based hash joins) and best-effort as a numpy array.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.storage.table import Row, Table
+
+
+class ColumnBatch:
+    """A chunk of rows with selected columns materialised as numpy arrays.
+
+    Parameters
+    ----------
+    rows:
+        The row tuples of the chunk (kept by reference for round-tripping).
+    width:
+        Schema width — number of columns each row has.
+    indices:
+        Schema positions to materialise as ``float64`` arrays.  Only these
+        positions are indexable on the batch; asking for any other column
+        raises :class:`~repro.errors.SchemaError`.
+    key_index:
+        Optional schema position of the join key, materialised without
+        numeric coercion.
+    """
+
+    __slots__ = ("rows", "width", "_columns", "_key_index", "_keys")
+
+    def __init__(
+        self,
+        rows: Sequence[Row] | Iterable[Row],
+        width: int,
+        indices: Sequence[int] = (),
+        key_index: int | None = None,
+    ) -> None:
+        self.rows: list[Row] = list(rows)
+        self.width = width
+        n = len(self.rows)
+        self._columns: dict[int, np.ndarray] = {}
+        for i in indices:
+            if not 0 <= i < width:
+                raise SchemaError(
+                    f"column index {i} out of range for width {width}"
+                )
+            self._columns[i] = np.asarray(
+                [row[i] for row in self.rows], dtype=float
+            )
+        self._key_index = key_index
+        self._keys: list[Any] | None = (
+            [row[key_index] for row in self.rows] if key_index is not None else None
+        )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_table(
+        cls,
+        table: Table,
+        columns: Sequence[str],
+        key_column: str | None = None,
+    ) -> "ColumnBatch":
+        """Columnar view of a whole table, columns named instead of indexed."""
+        indices = [table.schema.index(c) for c in columns]
+        key_index = table.schema.index(key_column) if key_column else None
+        return cls(table.rows, len(table.schema), indices, key_index)
+
+    # ------------------------------------------------------------------
+    # row-compatible access (what compiled closures use)
+    # ------------------------------------------------------------------
+    def __getitem__(self, index: int) -> np.ndarray:
+        try:
+            return self._columns[index]
+        except KeyError:
+            raise SchemaError(
+                f"column {index} not materialised in this batch; "
+                f"available: {sorted(self._columns)}"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # ------------------------------------------------------------------
+    # columnar access
+    # ------------------------------------------------------------------
+    def column(self, index: int) -> np.ndarray:
+        """The materialised array at schema position ``index``."""
+        return self[index]
+
+    def matrix(self, indices: Sequence[int] | None = None) -> np.ndarray:
+        """Materialised columns stacked into an ``(n, len(indices))`` matrix.
+
+        ``None`` stacks every materialised column in ascending position
+        order.
+        """
+        cols = sorted(self._columns) if indices is None else list(indices)
+        if not cols:
+            return np.empty((len(self.rows), 0), dtype=float)
+        return np.column_stack([self[i] for i in cols])
+
+    @property
+    def join_keys(self) -> list[Any]:
+        """Raw (uncoerced) join-key values, aligned with ``rows``."""
+        if self._keys is None:
+            raise SchemaError("batch was built without a join-key column")
+        return self._keys
+
+    def join_key_array(self) -> np.ndarray:
+        """Join keys as a numpy array (``object`` dtype for non-float domains).
+
+        Only genuinely numeric keys are packed as ``float64``; numeric-
+        *looking* strings (``"01"`` vs ``"1"``) keep their identity via
+        ``object`` dtype instead of being parsed into colliding floats.
+        """
+        keys = self.join_keys
+        if all(isinstance(k, (int, float)) and not isinstance(k, bool)
+               for k in keys):
+            return np.asarray(keys, dtype=float)
+        return np.asarray(keys, dtype=object)
+
+    # ------------------------------------------------------------------
+    # round-trip
+    # ------------------------------------------------------------------
+    def to_rows(self) -> list[Row]:
+        """The original row tuples (the batch is a view, not a copy)."""
+        return list(self.rows)
+
+    def take(self, indices: Sequence[int] | np.ndarray) -> "ColumnBatch":
+        """A sub-batch of the given row positions (columns re-sliced)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        rows = [self.rows[i] for i in idx]
+        sub = ColumnBatch.__new__(ColumnBatch)
+        sub.rows = rows
+        sub.width = self.width
+        sub._columns = {i: col[idx] for i, col in self._columns.items()}
+        sub._key_index = self._key_index
+        sub._keys = (
+            [self._keys[i] for i in idx] if self._keys is not None else None
+        )
+        return sub
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ColumnBatch({len(self.rows)} rows, width={self.width}, "
+            f"columns={sorted(self._columns)})"
+        )

@@ -155,3 +155,49 @@ class TestBuildSignature:
     def test_unknown_kind(self):
         with pytest.raises(ValueError, match="unknown signature kind"):
             build_signature([], "magic")
+
+
+class TestProbeDistinctness:
+    """Regression: the odd-stride double-hashing trick only guarantees
+    distinct probe indices when ``num_bits`` is a power of two; requested
+    sizes are now rounded up accordingly."""
+
+    def test_num_bits_rounded_to_power_of_two(self):
+        for requested in (3, 100, 250, 1000):
+            bf = BloomFilter(num_bits=requested)
+            m = bf.num_bits
+            assert m >= requested
+            assert m & (m - 1) == 0, f"{m} is not a power of two"
+
+    def test_power_of_two_sizes_unchanged(self):
+        for m in (8, 64, 256, 4096):
+            assert BloomFilter(num_bits=m).num_bits == m
+
+    def test_for_capacity_yields_power_of_two(self):
+        for capacity in (1, 10, 100, 5000):
+            m = BloomFilter.for_capacity(capacity).num_bits
+            assert m & (m - 1) == 0
+
+    def test_all_probe_indices_distinct_for_non_pow2_requests(self):
+        # Request awkward sizes; after rounding, every value's k probe
+        # positions must be pairwise distinct (the full-cycle guarantee).
+        for requested in (12, 100, 384, 1000):
+            bf = BloomFilter(num_bits=requested, num_hashes=5)
+            for i in range(200):
+                positions = list(bf._positions(f"value-{i}"))
+                assert len(set(positions)) == bf.num_hashes
+
+    def test_rounding_keeps_soundness(self):
+        # Identical value sets must still report a possible intersection...
+        a = BloomFilter(num_bits=1000, num_hashes=4)
+        b = BloomFilter(num_bits=1000, num_hashes=4)
+        a.update(f"a{i}" for i in range(20))
+        b.update(f"a{i}" for i in range(20))
+        assert a.may_intersect(b)
+        # ...and sparse disjoint sets are (with these parameters) still
+        # provably disjoint via the AND of the rounded-size filters.
+        c = BloomFilter(num_bits=100_000, num_hashes=4)
+        d = BloomFilter(num_bits=100_000, num_hashes=4)
+        c.add("only-in-c")
+        d.add("only-in-d")
+        assert not c.may_intersect(d)

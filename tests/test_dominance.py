@@ -128,3 +128,34 @@ class TestBruteforceSkyline:
 
     def test_single_point(self):
         assert skyline_indices_bruteforce(np.array([[5.0, 5.0]])) == [0]
+
+
+class TestUnequalLengthRejection:
+    """Regression: unequal-length vectors used to be silently truncated by
+    ``zip``, turning a caller bug into a wrong dominance verdict."""
+
+    def test_dominates_rejects_unequal_lengths(self):
+        with pytest.raises(ValueError, match="unequal-length"):
+            dominates((1.0, 2.0), (1.0, 2.0, 3.0))
+
+    def test_dominates_rejects_longer_left(self):
+        # Pre-fix this returned False (truncated to the common prefix);
+        # now it is an error either way round.
+        with pytest.raises(ValueError, match="2 vs 1"):
+            dominates((1.0, 2.0), (1.0,))
+
+    def test_weakly_dominates_rejects_unequal_lengths(self):
+        with pytest.raises(ValueError, match="unequal-length"):
+            weakly_dominates((1.0,), (1.0, 2.0))
+
+    def test_compare_rejects_unequal_lengths(self):
+        with pytest.raises(ValueError, match="unequal-length"):
+            compare((1.0, 2.0, 3.0), (1.0, 2.0))
+
+    @given(vectors, vectors)
+    def test_any_length_mismatch_raises(self, u, v):
+        if len(u) == len(v):
+            return
+        for fn in (dominates, weakly_dominates, compare):
+            with pytest.raises(ValueError):
+                fn(u, v)

@@ -522,3 +522,119 @@ class TestParserFragments:
     def test_parse_condition_join(self):
         cond = repro.query.parse_condition("R.country = T.country")
         assert cond == repro.query.JoinCondition("country", "country")
+
+
+# ---------------------------------------------------------------------------
+# vectorized batch path: budgets and callback error surfacing
+# ---------------------------------------------------------------------------
+class TestVectorizedBatchBudgets:
+    """Budget enforcement on the batched (columnar) execution path.
+
+    The vectorized engine charges dominance comparisons in bulk, so a
+    comparison budget can trip in the middle of a batch; the stream must
+    still stop cleanly and everything already emitted must be provably
+    final (a subset of the true skyline).
+    """
+
+    def test_comparison_budget_trips_mid_batch(self, session, bound):
+        oracle = oracle_skyline_keys(bound)
+        full = session.execute(
+            bound, config=EngineConfig(use_vectorized=True)
+        ).drain()
+        assert {r.key() for r in full} == oracle
+        # Walk the budget down so at least one run stops mid-execution.
+        stopped = 0
+        for max_cmp in (5000, 1000, 200, 50, 10):
+            stream = session.execute(
+                bound,
+                config=EngineConfig(use_vectorized=True),
+                budget=StreamBudget(max_comparisons=max_cmp),
+            )
+            partial = stream.drain()
+            if stream.state == BUDGET_EXHAUSTED:
+                stopped += 1
+                assert "comparison budget" in stream.stats().stop_reason
+                assert len(partial) < len(full)
+            # The emitted prefix is provably final regardless of where the
+            # bulk charge tripped the wire.
+            assert {r.key() for r in partial} <= oracle
+        assert stopped > 0
+
+    def test_vtime_budget_trips_mid_batch(self, session, bound):
+        oracle = oracle_skyline_keys(bound)
+        horizon = session.run(
+            bound, config=EngineConfig(use_vectorized=True)
+        ).recorder.total_vtime
+        stream = session.execute(
+            bound,
+            config=EngineConfig(use_vectorized=True),
+            budget=StreamBudget(max_vtime=horizon / 3),
+        )
+        partial = stream.drain()
+        assert stream.state == BUDGET_EXHAUSTED
+        assert {r.key() for r in partial} <= oracle
+
+    def test_scalar_and_vectorized_streams_agree(self, session, bound):
+        vec = session.execute(
+            bound, config=EngineConfig(use_vectorized=True)
+        ).drain()
+        sca = session.execute(
+            bound, config=EngineConfig(use_vectorized=False)
+        ).drain()
+        assert {r.key() for r in vec} == {r.key() for r in sca}
+
+    def test_scalar_reference_preset(self):
+        config = EngineConfig.preset("scalar-reference")
+        assert config.use_vectorized is False
+        assert EngineConfig().use_vectorized is True
+
+
+class TestCallbackErrorSurfacing:
+    """A raising on_result callback must never be silently lost."""
+
+    def test_raising_on_result_propagates_by_default(self, session, bound):
+        def boom(result):
+            raise RuntimeError("callback exploded")
+
+        stream = session.execute(bound).on_result(boom)
+        with pytest.raises(RuntimeError, match="callback exploded"):
+            stream.drain()
+
+    def test_raising_on_progress_propagates_by_default(self, session, bound):
+        stream = session.execute(bound).on_progress(
+            lambda e: (_ for _ in ()).throw(ValueError("progress boom"))
+        )
+        with pytest.raises(ValueError, match="progress boom"):
+            stream.drain()
+
+    def test_raising_on_complete_propagates_by_default(self, session, bound):
+        def boom(stats):
+            raise RuntimeError("complete boom")
+
+        stream = session.execute(bound).on_complete(boom)
+        with pytest.raises(RuntimeError, match="complete boom"):
+            stream.drain()
+
+    def test_on_error_routes_exception_and_stream_continues(
+        self, session, bound
+    ):
+        captured: list[BaseException] = []
+
+        def boom(result):
+            raise RuntimeError("routed")
+
+        stream = (
+            session.execute(bound)
+            .on_result(boom)
+            .on_error(lambda exc: captured.append(exc))
+        )
+        results = stream.drain()
+        assert stream.state == COMPLETED
+        assert len(results) > 0
+        # One routed exception per emission, none swallowed.
+        assert len(captured) == len(results)
+        assert all(isinstance(e, RuntimeError) for e in captured)
+
+    def test_on_error_is_chainable(self, session, bound):
+        stream = session.execute(bound)
+        assert stream.on_error(lambda exc: None) is stream

@@ -1,0 +1,299 @@
+"""Tests for the columnar batch layer: vectorized kernels, ColumnBatch,
+batched mapping/normalisation, and scalar/vectorized engine agreement.
+
+The scalar implementations are the reference oracle throughout: every
+property test asserts the vectorized kernels produce *identical* result
+sets on randomized inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import ProgXeEngine
+from repro.core.verify import verify_results
+from repro.data.workloads import SupplyChainWorkload, SyntheticWorkload
+from repro.errors import SchemaError
+from repro.runtime.clock import VirtualClock
+from repro.skyline.bnl import bnl_skyline
+from repro.skyline.dominance import dominates, skyline_indices_bruteforce
+from repro.skyline.preferences import ParetoPreference, highest, lowest
+from repro.skyline.sfs import sfs_skyline
+from repro.skyline.vectorized import (
+    as_matrix,
+    dominated_by_any,
+    dominates_matrix,
+    pareto_mask,
+    skyline_mask,
+    vectorized_sfs_skyline,
+    vectorized_skyline,
+)
+from repro.storage.column_batch import ColumnBatch
+from repro.storage.table import Table
+
+# Small-domain float coordinates: collisions (ties/duplicates) are likely,
+# which is exactly where dominance edge cases live.
+coord = st.integers(min_value=0, max_value=6).map(float)
+
+
+def point_matrix(min_rows=0, max_rows=40, d=3):
+    return st.lists(
+        st.tuples(*[coord] * d), min_size=min_rows, max_size=max_rows
+    )
+
+
+def multiset(vectors) -> dict:
+    out: dict[tuple, int] = {}
+    for v in vectors:
+        key = tuple(float(x) for x in v)
+        out[key] = out.get(key, 0) + 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# dominates_matrix
+# ---------------------------------------------------------------------------
+class TestDominatesMatrix:
+    @given(point_matrix(1, 12), point_matrix(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scalar_dominates_pairwise(self, us, vs):
+        mat = dominates_matrix(us, vs)
+        for i, u in enumerate(us):
+            for j, v in enumerate(vs):
+                assert bool(mat[i, j]) == dominates(u, v)
+
+    def test_empty_sides(self):
+        assert dominates_matrix(np.empty((0, 3)), [(1.0, 2.0, 3.0)]).shape == (0, 1)
+        assert dominates_matrix([(1.0, 2.0, 3.0)], np.empty((0, 3))).shape == (1, 0)
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError, match="unequal-width"):
+            dominates_matrix([(1.0, 2.0)], [(1.0, 2.0, 3.0)])
+
+    def test_equal_vectors_do_not_dominate(self):
+        mat = dominates_matrix([(1.0, 2.0)], [(1.0, 2.0)])
+        assert not mat.any()
+
+
+# ---------------------------------------------------------------------------
+# masks
+# ---------------------------------------------------------------------------
+class TestMasks:
+    @given(point_matrix(1, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_pareto_mask_matches_bruteforce(self, pts):
+        mask = pareto_mask(pts)
+        expected = set(skyline_indices_bruteforce(np.asarray(pts)))
+        assert set(np.nonzero(mask)[0]) == expected
+
+    @given(point_matrix(1, 20), point_matrix(0, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_dominated_by_any_matches_scalar(self, pts, window):
+        mask = dominated_by_any(pts, np.asarray(window).reshape(-1, 3))
+        for i, p in enumerate(pts):
+            expected = any(dominates(w, p) for w in window)
+            assert bool(mask[i]) == expected
+
+    def test_block_size_does_not_change_result(self):
+        rng = np.random.default_rng(0)
+        pts = rng.integers(0, 5, size=(200, 3)).astype(float)
+        full = pareto_mask(pts)
+        assert (pareto_mask(pts, block_size=7) == full).all()
+
+    def test_skyline_mask_agrees_with_pareto_mask(self):
+        rng = np.random.default_rng(0)
+        pts = rng.integers(0, 5, size=(200, 3)).astype(float)
+        assert (skyline_mask(pts) == pareto_mask(pts)).all()
+
+
+# ---------------------------------------------------------------------------
+# whole-input skylines vs the scalar algorithms
+# ---------------------------------------------------------------------------
+class TestVectorizedSkylines:
+    @given(point_matrix(0, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_block_bnl_equals_scalar_bnl(self, pts):
+        expected = multiset(bnl_skyline(pts))
+        got = multiset(vectorized_skyline(np.asarray(pts).reshape(-1, 3)))
+        assert got == expected
+
+    @given(point_matrix(0, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_sfs_equals_scalar_sfs(self, pts):
+        expected = multiset(sfs_skyline(pts))
+        got = multiset(vectorized_sfs_skyline(np.asarray(pts).reshape(-1, 3)))
+        assert got == expected
+
+    def test_comparison_accounting_is_bulk(self):
+        rng = np.random.default_rng(1)
+        pts = rng.random((300, 3))
+        counts: list[int] = []
+        vectorized_skyline(pts, on_comparisons=counts.append)
+        # Few large charges, not one per pair.
+        assert len(counts) < 100
+        assert sum(counts) > len(pts)
+
+    def test_duplicates_all_survive(self):
+        pts = np.array([[1.0, 2.0], [1.0, 2.0], [3.0, 4.0]])
+        sky = vectorized_skyline(pts)
+        assert multiset(sky) == {(1.0, 2.0): 2}
+
+    def test_as_matrix_empty_needs_dimensions(self):
+        assert as_matrix([], dimensions=4).shape == (0, 4)
+
+
+# ---------------------------------------------------------------------------
+# ColumnBatch
+# ---------------------------------------------------------------------------
+class TestColumnBatch:
+    def make(self):
+        rows = [(1.0, "a", 10.0), (2.0, "b", 20.0), (3.0, "a", 30.0)]
+        return ColumnBatch(rows, width=3, indices=[0, 2], key_index=1), rows
+
+    def test_round_trip(self):
+        batch, rows = self.make()
+        assert batch.to_rows() == rows
+        assert len(batch) == 3
+
+    def test_indexing_returns_contiguous_columns(self):
+        batch, _ = self.make()
+        assert np.array_equal(batch[0], [1.0, 2.0, 3.0])
+        assert np.array_equal(batch[2], [10.0, 20.0, 30.0])
+        assert batch[0].dtype == np.float64
+
+    def test_unmaterialised_column_raises(self):
+        batch, _ = self.make()
+        with pytest.raises(SchemaError, match="not materialised"):
+            batch[1]
+
+    def test_join_keys_uncoerced(self):
+        batch, _ = self.make()
+        assert batch.join_keys == ["a", "b", "a"]
+        assert batch.join_key_array().dtype == object
+
+    def test_numeric_join_keys_become_float_array(self):
+        batch = ColumnBatch([(5, 1.0), (7, 2.0)], width=2, key_index=0)
+        assert batch.join_key_array().dtype == np.float64
+
+    def test_numeric_looking_string_keys_keep_identity(self):
+        # "01" and "1" are distinct join keys; float coercion would merge
+        # them.
+        batch = ColumnBatch([("01", 1.0), ("1", 2.0)], width=2, key_index=0)
+        arr = batch.join_key_array()
+        assert arr.dtype == object
+        assert list(arr) == ["01", "1"]
+
+    def test_missing_key_column_raises(self):
+        batch = ColumnBatch([(1.0,)], width=1, indices=[0])
+        with pytest.raises(SchemaError, match="join-key"):
+            batch.join_keys
+
+    def test_matrix_and_take(self):
+        batch, _ = self.make()
+        assert batch.matrix().shape == (3, 2)
+        sub = batch.take([2, 0])
+        assert sub.to_rows() == [batch.rows[2], batch.rows[0]]
+        assert np.array_equal(sub[0], [3.0, 1.0])
+        assert sub.join_keys == ["a", "a"]
+
+    def test_from_table(self):
+        table = Table.from_rows(
+            "T", ["k", "x", "y"], [("p", 1.0, 2.0), ("q", 3.0, 4.0)]
+        )
+        batch = ColumnBatch.from_table(table, ["x", "y"], key_column="k")
+        assert np.array_equal(batch[1], [1.0, 3.0])
+        assert batch.join_keys == ["p", "q"]
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(SchemaError, match="out of range"):
+            ColumnBatch([(1.0,)], width=1, indices=[3])
+
+
+# ---------------------------------------------------------------------------
+# batched mapping and normalisation
+# ---------------------------------------------------------------------------
+class TestBatchedMapping:
+    @pytest.fixture(scope="class")
+    def bound(self):
+        return SupplyChainWorkload(
+            n_suppliers=60, n_transporters=60, seed=11
+        ).bound()
+
+    def test_map_rows_batch_matches_map_pair(self, bound):
+        lrows = bound.left_table.rows[:25]
+        rrows = bound.right_table.rows[:25]
+        batch = bound.map_rows_batch(lrows, rrows)
+        assert batch.shape == (25, len(bound.query.mappings.names))
+        for i, (lrow, rrow) in enumerate(zip(lrows, rrows)):
+            expected = bound.map_pair(lrow, rrow)
+            assert batch[i] == pytest.approx(expected)
+
+    def test_vectors_of_batch_matches_vector_of(self, bound):
+        lrows = bound.left_table.rows[:25]
+        rrows = bound.right_table.rows[:25]
+        batch = bound.map_rows_batch(lrows, rrows)
+        vectors = bound.vectors_of_batch(batch)
+        for i, (lrow, rrow) in enumerate(zip(lrows, rrows)):
+            expected = bound.vector_of(bound.map_pair(lrow, rrow))
+            assert vectors[i] == pytest.approx(expected)
+
+    def test_empty_chunk(self, bound):
+        batch = bound.map_rows_batch([], [])
+        assert batch.shape == (0, len(bound.query.mappings.names))
+        assert bound.vectors_of_batch(batch).shape == (
+            0, bound.skyline_dimension_count
+        )
+
+    def test_normalise_batch_matches_scalar(self):
+        pref = ParetoPreference([lowest("cost"), highest("quality")])
+        values = np.array([[10.0, 3.0], [20.0, 5.0], [0.0, 0.0]])
+        batch = pref.normalise_batch(values)
+        for i, row in enumerate(values):
+            assert tuple(batch[i]) == pref.normalise(tuple(row))
+        # The signs are involutive.
+        assert np.array_equal(pref.denormalise_batch(batch), values)
+
+    def test_normalise_batch_width_check(self):
+        pref = ParetoPreference([lowest("cost")])
+        with pytest.raises(Exception, match="expected 1 columns"):
+            pref.normalise_batch(np.zeros((2, 3)))
+
+
+# ---------------------------------------------------------------------------
+# engine: scalar path vs vectorized path on randomized workloads
+# ---------------------------------------------------------------------------
+class TestEngineAgreement:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("distribution", ["independent", "anticorrelated"])
+    def test_scalar_and_vectorized_skylines_identical(self, distribution, seed):
+        bound = SyntheticWorkload(
+            distribution=distribution, n=90, d=3, sigma=0.1, seed=seed
+        ).bound()
+        vec = list(
+            ProgXeEngine(bound, VirtualClock(), use_vectorized=True).run()
+        )
+        sca = list(
+            ProgXeEngine(bound, VirtualClock(), use_vectorized=False).run()
+        )
+        assert {r.key() for r in vec} == {r.key() for r in sca}
+        assert verify_results(bound, vec).ok
+
+    def test_vectorized_is_default_and_verified(self):
+        bound = SyntheticWorkload(
+            distribution="independent", n=100, d=4, sigma=0.1, seed=9
+        ).bound()
+        engine = ProgXeEngine(bound, VirtualClock())
+        assert engine.use_vectorized is True
+        assert verify_results(bound, list(engine.run())).ok
+
+    def test_vectorized_charges_bulk_comparisons(self):
+        bound = SyntheticWorkload(
+            distribution="independent", n=80, d=2, sigma=0.1, seed=5
+        ).bound()
+        clock = VirtualClock()
+        list(ProgXeEngine(bound, clock, use_vectorized=True).run())
+        assert clock.count("dominance_cmp") > 0
+        assert clock.count("map") > 0
