@@ -45,7 +45,7 @@ def test_ablation_lookahead_report(stats, benchmark):
             f"({s['regions_discarded'] / s['regions_total']:.0%})\n"
             f"cells:   {s['marked_cells']}/{s['active_cells']} marked "
             f"({s['marked_cells'] / s['active_cells']:.0%})\n"
-            f"arrivals discarded without comparison: "
+            "arrivals discarded without comparison: "
             f"{s['arrival_discard_share']:.0%}"
         )
     path = write_result("ablation_lookahead", *sections)

@@ -20,7 +20,6 @@ import pytest
 from benchmarks.harness import banner, write_result
 from repro.core.engine import ProgXeEngine
 from repro.data.workloads import SyntheticWorkload
-from repro.runtime.clock import VirtualClock
 from repro.runtime.runner import run_algorithm
 from repro.storage.table import Table
 from repro.query.expressions import Attr

@@ -71,7 +71,7 @@ def test_fig12_pushthrough_pruning_collapses_at_d5(panels):
     assert prune is not None
     kept_fraction = len(prune.kept_rows) / prune.original_count
     assert kept_fraction > 0.8, (
-        f"push-through should be nearly powerless at d=5, kept "
+        "push-through should be nearly powerless at d=5, kept "
         f"{kept_fraction:.0%}"
     )
 

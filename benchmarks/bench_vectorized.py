@@ -97,7 +97,7 @@ def bench_kernels(sizes: list[int], anticorrelated_cap: int) -> list[dict]:
                 identical = multiset(scalar_out) == multiset(vector_out)
                 assert identical, (
                     f"{label} n={n} {kernel}: vectorized skyline differs "
-                    f"from the scalar oracle"
+                    "from the scalar oracle"
                 )
                 entry = {
                     "layer": "kernel",

@@ -43,7 +43,7 @@ def main() -> None:
     jf = repro.run_algorithm(repro.JoinFirstSkylineLater, bound)
     at_jf_first = px.recorder.results_by(jf.recorder.time_to_first())
     print(
-        f"\nby the time JF-SL reports its first result "
+        "\nby the time JF-SL reports its first result "
         f"(t={jf.recorder.time_to_first():.0f}), ProgXe has already delivered "
         f"{at_jf_first}/{px.recorder.total_results} answers"
     )

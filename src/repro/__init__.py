@@ -53,8 +53,12 @@ from repro.baselines import (
 from repro.core import (
     ALGORITHMS,
     PROGXE_VARIANTS,
+    ExecutionKernel,
     ExplainReport,
+    KernelSnapshot,
     ProgXeEngine,
+    QueryPlan,
+    StepReport,
     VerificationReport,
     explain,
     progxe,
@@ -97,7 +101,10 @@ from repro.session import (
     AlgorithmRegistry,
     EngineConfig,
     QueryBuilder,
+    QueryScheduler,
     ResultStream,
+    ScheduledQuery,
+    SchedulerConfig,
     Session,
     StreamBudget,
     StreamStats,
@@ -137,7 +144,9 @@ __all__ = [
     "Const",
     "EngineConfig",
     "ExecutionError",
+    "ExecutionKernel",
     "ExplainReport",
+    "KernelSnapshot",
     "HIGHEST",
     "Interval",
     "JoinFirstSkylineLater",
@@ -154,6 +163,8 @@ __all__ = [
     "ProgressRecorder",
     "QueryBuilder",
     "QueryError",
+    "QueryPlan",
+    "QueryScheduler",
     "RefinementWorkload",
     "RegistryError",
     "ReproError",
@@ -164,8 +175,11 @@ __all__ = [
     "SchemaError",
     "Session",
     "SkyMapJoinQuery",
+    "ScheduledQuery",
+    "SchedulerConfig",
     "SkylineSortMergeJoin",
     "SortedAccessJoin",
+    "StepReport",
     "StreamBudget",
     "StreamStats",
     "SupplyChainWorkload",

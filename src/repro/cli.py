@@ -27,6 +27,12 @@ Commands
 ``explain``
     Show the ProgXe plan for a workload without executing it.
 
+``serve``
+    Concurrency demo: admit several queries to the cooperative
+    :class:`~repro.session.scheduler.QueryScheduler` and interleave their
+    execution kernels, printing results as each query emits them plus a
+    per-query latency/fairness summary.
+
 ``algorithms``
     List the registered algorithms (the pluggable registry behind ``-a``).
 """
@@ -39,7 +45,12 @@ from typing import Sequence
 
 from repro.data.workloads import SyntheticWorkload
 from repro.errors import RegistryError, ReproError
-from repro.session.config import PRESETS, EngineConfig
+from repro.session.config import (
+    PRESETS,
+    SCHEDULING_POLICIES,
+    EngineConfig,
+    SchedulerConfig,
+)
 from repro.session.service import Session
 from repro.session.stream import StreamBudget
 from repro.storage.table import Table
@@ -121,16 +132,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     stats = stream.stats()
     print(f"{name}: {stats.results} results, total virtual cost "
           f"{stats.vtime:.0f}, {stats.dominance_comparisons} dominance "
-          f"comparisons")
+          "comparisons")
     if stats.stop_reason:
         print(f"stopped early: {stats.stop_reason}")
     return 0
 
 
-def _one_algorithm(session: Session, spec: str) -> list[str]:
+def _one_algorithm(
+    session: Session, spec: str, command: str = "run"
+) -> list[str]:
     names = _algorithm_names(session, spec)
     if len(names) != 1:
-        raise SystemExit("run takes exactly one algorithm; use compare for several")
+        hint = (
+            "all submitted queries share one algorithm"
+            if command == "serve"
+            else "use compare for several"
+        )
+        raise SystemExit(f"{command} takes exactly one algorithm; {hint}")
     return names
 
 
@@ -160,7 +178,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         if not path:
             raise SystemExit(f"--table expects NAME=PATH, got {spec!r}")
         session.register_table(Table.from_csv(name, path), name)
-    [name] = _one_algorithm(session, args.algorithm)
+    [name] = _one_algorithm(session, args.algorithm, command="query")
     budget = (
         StreamBudget(max_results=args.limit) if args.limit else None
     )
@@ -175,6 +193,57 @@ def _cmd_query(args: argparse.Namespace) -> int:
     )
     if stats.stop_reason:
         print(f"stopped early: {stats.stop_reason}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Interleave N concurrent queries through the scheduler (demo)."""
+    session = _session(args)
+    [name] = _one_algorithm(session, args.algorithm, command="serve")
+    scheduler = session.scheduler(
+        SchedulerConfig(
+            policy=args.policy,
+            max_active=args.max_active,
+            quantum=args.quantum,
+        )
+    )
+    budget = _budget(args)
+    for i in range(args.concurrency):
+        workload = SyntheticWorkload(
+            distribution=args.distribution, n=args.n, d=args.d,
+            sigma=args.sigma, seed=args.seed + i,
+        )
+        scheduler.submit(
+            workload.bound(), algorithm=name, budget=budget,
+            name=f"q{i}(seed={args.seed + i})",
+        )
+    print(
+        f"serving {args.concurrency} queries ({name}) under "
+        f"{args.policy}, quantum={args.quantum}"
+    )
+    for query, result in scheduler.run():
+        if args.stream:
+            print(
+                f"  [{query.name}] t_global={scheduler.global_vtime:>12.0f}"
+                f"  {result.outputs}"
+            )
+    print(
+        f"\n{'query':<16}{'state':<18}{'results':>8}{'steps':>7}"
+        f"{'vtime':>12}{'first@global':>14}"
+    )
+    for query in scheduler.queries:
+        first = query.first_result_global_vtime
+        print(
+            f"{query.name:<16}{query.state:<18}{len(query.results):>8}"
+            f"{query.steps:>7}{query.clock.now():>12.0f}"
+            f"{'-' if first is None else format(first, '>14.0f'):>14}"
+        )
+    rec = scheduler.interleaving
+    print(
+        f"\ndispatches={rec.dispatches}  switches={rec.switches()}  "
+        f"fairness-spread={rec.fairness_spread():.2f}  "
+        f"total virtual work={scheduler.global_vtime:.0f}"
+    )
     return 0
 
 
@@ -250,6 +319,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--limit", type=int, default=0,
                          help="stop cleanly after this many results (0 = all)")
     p_query.set_defaults(fn=_cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="interleave N concurrent queries via the cooperative scheduler",
+    )
+    _add_workload_args(p_serve)
+    _add_budget_args(p_serve)
+    p_serve.add_argument(
+        "--concurrency", "-c", type=int, default=4,
+        help="number of concurrent queries to admit (workload seeds "
+        "SEED..SEED+N-1)",
+    )
+    p_serve.add_argument(
+        "--policy", choices=list(SCHEDULING_POLICIES), default="round-robin",
+        help="cross-query dispatch policy",
+    )
+    p_serve.add_argument(
+        "--quantum", type=int, default=1,
+        help="consecutive kernel steps per dispatch (1 = max interleaving)",
+    )
+    p_serve.add_argument(
+        "--max-active", type=int, default=None,
+        help="admission ceiling; further queries wait (default: admit all)",
+    )
+    p_serve.add_argument("--algorithm", "-a", default="ProgXe",
+                         help="algorithm to run each query with")
+    p_serve.add_argument("--preset", choices=list(PRESETS), help=preset_help)
+    p_serve.add_argument("--stream", action="store_true",
+                         help="print every result as it is emitted")
+    p_serve.set_defaults(fn=_cmd_serve)
 
     p_gen = sub.add_parser("generate", help="write a synthetic workload to CSV")
     _add_workload_args(p_gen)

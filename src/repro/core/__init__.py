@@ -5,6 +5,8 @@ from repro.core.cost import kung_alpha, region_cost
 from repro.core.elimination_graph import EliminationGraph
 from repro.core.engine import ProgXeEngine
 from repro.core.explain import ExecutionTrace, ExplainReport, explain, trace
+from repro.core.kernel import ExecutionKernel, KernelSnapshot, StepReport
+from repro.core.plan import QueryPlan, default_input_cells, default_output_cells
 from repro.core.verify import (
     VerificationReport,
     true_skyline_keys,
@@ -34,9 +36,15 @@ from repro.core.variants import (
 __all__ = [
     "ALGORITHMS",
     "EliminationGraph",
+    "ExecutionKernel",
     "ExecutionState",
     "ExecutionTrace",
     "ExplainReport",
+    "KernelSnapshot",
+    "QueryPlan",
+    "StepReport",
+    "default_input_cells",
+    "default_output_cells",
     "VerificationReport",
     "explain",
     "trace",

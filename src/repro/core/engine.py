@@ -10,56 +10,33 @@ Pipelines the four framework phases:
    processing, release its coverage, emit every output cell that became
    provably final — repeated until no region remains.
 
-``run()`` is a generator yielding :class:`~repro.query.smj.ResultTuple`
-objects the moment they are safe; progressive correctness (no false
-positives) and completeness (no drops) are engine invariants, verified at
-the end of every run unless disabled.
+Since the kernel split, the engine is a thin façade over two explicit
+layers: :meth:`ProgXeEngine.plan` runs phases 0–2 and returns a
+:class:`~repro.core.plan.QueryPlan`; :meth:`ProgXeEngine.kernel` wraps the
+plan in a resumable :class:`~repro.core.kernel.ExecutionKernel` whose
+``step()`` performs one region at a time (the unit the multi-query
+scheduler interleaves).  ``run()`` is a compatibility wrapper over
+``kernel().drain()`` — a generator yielding
+:class:`~repro.query.smj.ResultTuple` objects the moment they are safe;
+progressive correctness (no false positives) and completeness (no drops)
+remain engine invariants, verified at the end of every run unless disabled.
+
+An engine executes **once**: its clock, stats and execution state describe
+a single run.  Requesting a second kernel (or iterating ``run()`` twice)
+raises :class:`~repro.errors.ExecutionError` instead of silently
+re-executing the phases and corrupting ``stats``.
 """
 
 from __future__ import annotations
 
 from typing import Iterator
 
-from repro.baselines.pushthrough import prune_source
-from repro.core.benefit import region_benefit
-from repro.core.cost import region_cost
-from repro.core.elimination_graph import EliminationGraph
-from repro.core.lookahead import run_lookahead
-from repro.core.progdetermine import ExecutionState
-from repro.core.progorder import ProgOrder, RandomOrder
-from repro.core.tuple_level import process_region
+from repro.core.kernel import ExecutionKernel
+from repro.core.plan import QueryPlan
+from repro.errors import ExecutionError
 from repro.query.smj import BoundQuery, ResultTuple
 from repro.runtime.clock import VirtualClock
-from repro.storage.grid import GridPartitioner
-from repro.storage.quadtree import QuadTreePartitioner
 from repro.storage.signatures import SIGNATURE_KINDS
-from repro.storage.table import Table
-
-
-def _default_input_cells(source_dims: int) -> int:
-    """Grid resolution aiming at a few dozen partitions per source."""
-    if source_dims <= 1:
-        return 8
-    if source_dims == 2:
-        return 4
-    if source_dims == 3:
-        return 3
-    return 2
-
-
-def _default_output_cells(dimensions: int) -> int:
-    """Output grid resolution by skyline dimensionality.
-
-    Finer grids settle later (more interlocking cones) but discriminate
-    better; 4 cells per dimension is the sweet spot measured for d >= 4 —
-    3 per dimension leaves cones so coarse that emission collapses to the
-    end of the run.
-    """
-    if dimensions <= 2:
-        return 10
-    if dimensions == 3:
-        return 6
-    return 4
 
 
 class ProgXeEngine:
@@ -104,9 +81,11 @@ class ProgXeEngine:
         self.output_cells = output_cells
         base = "ProgXe+" if pushthrough else "ProgXe"
         self.name = base if ordering else f"{base} (No-Order)"
-        # Populated during run() for inspection/tests.
+        # Populated during execution for inspection/tests.
         self.stats: dict[str, float | int] = {}
-        self.state: ExecutionState | None = None
+        self.state = None
+        self._plan: QueryPlan | None = None
+        self._kernel: ExecutionKernel | None = None
 
     @classmethod
     def from_config(
@@ -129,121 +108,67 @@ class ProgXeEngine:
         return cls(bound, clock, **config.engine_kwargs())
 
     # ------------------------------------------------------------------
-    def _pruned_tables(self) -> tuple[Table, Table]:
-        """Apply push-through (ProgXe+) or pass the bound tables through."""
-        bound = self.bound
-        left, right = bound.left_table, bound.right_table
-        if not self.pushthrough:
-            return left, right
-        charge = self.clock.charger("dominance_cmp")
-        left_prune = prune_source(bound, bound.left_alias, on_comparison=charge)
-        right_prune = prune_source(bound, bound.right_alias, on_comparison=charge)
-        if left_prune is not None:
-            left = Table(left.name, left.schema, left_prune.kept_rows)
-            self.stats["left_pruned"] = left_prune.pruned_count
-        if right_prune is not None:
-            right = Table(right.name, right.schema, right_prune.kept_rows)
-            self.stats["right_pruned"] = right_prune.pruned_count
-        return left, right
+    # the plan / kernel layering
+    # ------------------------------------------------------------------
+    def plan(self) -> QueryPlan:
+        """Run phases 0–2 (push-through, partitioning, look-ahead).
+
+        Planning charges the engine's clock, so the result is cached:
+        repeated calls — including the implicit one inside :meth:`kernel`
+        — return the same plan instead of re-running the phases and
+        double-charging the shared clock.
+        """
+        if self._plan is None:
+            self._plan = self._build_plan()
+        return self._plan
+
+    def _build_plan(self) -> QueryPlan:
+        return QueryPlan.build(
+            self.bound,
+            self.clock,
+            ordering=self.ordering,
+            pushthrough=self.pushthrough,
+            input_cells=self.input_cells,
+            output_cells=self.output_cells,
+            signature_kind=self.signature_kind,
+            partitioning=self.partitioning,
+            leaf_capacity=self.leaf_capacity,
+            seed=self.seed,
+            verify=self.verify,
+            use_vectorized=self.use_vectorized,
+        )
+
+    def kernel(self) -> ExecutionKernel:
+        """Plan the query and return its resumable execution kernel.
+
+        The kernel writes into this engine's ``stats`` dict and exposes the
+        live :class:`~repro.core.progdetermine.ExecutionState` as
+        ``engine.state``, so existing inspection surfaces keep working.
+        One kernel per engine: a second request raises
+        :class:`~repro.errors.ExecutionError` (re-running the phases would
+        corrupt ``stats`` and double-charge the clock).
+        """
+        if self._kernel is not None:
+            raise ExecutionError(
+                f"{self.name} engine has already been executed; construct a "
+                "new engine (or keep stepping the existing kernel) instead "
+                "of iterating run() twice"
+            )
+        kernel = ExecutionKernel(self.plan(), stats_sink=self.stats)
+        self._kernel = kernel
+        self.state = kernel.state
+        return kernel
+
+    @property
+    def execution_kernel(self) -> ExecutionKernel | None:
+        """The kernel created for this engine's (single) execution, if any."""
+        return self._kernel
 
     def run(self) -> Iterator[ResultTuple]:
-        bound = self.bound
-        clock = self.clock
+        """Execute progressively; results yield the moment they are final.
 
-        # Phase 0/1: (optional) push-through, then input partitioning.
-        left_table, right_table = self._pruned_tables()
-        if self.partitioning == "quadtree":
-            capacity = self.leaf_capacity or max(
-                8, (len(left_table) + len(right_table)) // 32
-            )
-            partitioner_left = QuadTreePartitioner(
-                capacity, signature_kind=self.signature_kind
-            )
-            partitioner_right = QuadTreePartitioner(
-                capacity, signature_kind=self.signature_kind
-            )
-        else:
-            k_left = self.input_cells or _default_input_cells(
-                len(bound.left_map_attrs)
-            )
-            k_right = self.input_cells or _default_input_cells(
-                len(bound.right_map_attrs)
-            )
-            partitioner_left = GridPartitioner(k_left, self.signature_kind)
-            partitioner_right = GridPartitioner(k_right, self.signature_kind)
-        left_grid = partitioner_left.partition(
-            left_table, bound.left_map_attrs, bound.query.join.left_attr,
-            source=bound.left_alias,
-        )
-        right_grid = partitioner_right.partition(
-            right_table, bound.right_map_attrs, bound.query.join.right_attr,
-            source=bound.right_alias,
-        )
-        clock.charge("partition_op", len(left_table) + len(right_table))
-
-        # Phase 2: output-space look-ahead.
-        k_out = self.output_cells or _default_output_cells(
-            bound.skyline_dimension_count
-        )
-        regions, grid = run_lookahead(bound, left_grid, right_grid, k_out, clock)
-
-        state = ExecutionState(bound, regions, grid, clock)
-        self.state = state
-        graph = EliminationGraph(regions, clock)
-        regions_by_id = state.regions
-        dims = bound.skyline_dimension_count
-
-        def rank_fn(region) -> float:
-            benefit = region_benefit(region, regions_by_id, dims)
-            cost = region_cost(region, grid, dims)
-            return benefit / cost if cost > 0 else benefit
-
-        if self.ordering:
-            policy = ProgOrder(graph, rank_fn, clock)
-        else:
-            policy = RandomOrder(graph, rank_fn, clock, seed=self.seed)
-
-        # Cells fully released during look-ahead are already final (empty).
-        for cell in grid.cells.values():
-            if cell.settled and not cell.marked:
-                state._try_emit(cell)
-        for vector, lrow, rrow, mapped in state.drain_emissions():
-            yield bound.make_result(lrow, rrow, mapped)
-
-        # Phase 3/4: the ProgOrder / ProgDetermine loop.
-        processed = 0
-        while True:
-            region = policy.next_region()
-            if region is None:
-                break
-            if region.done:
-                continue
-            for vector, lrow, rrow, mapped in process_region(
-                state, region, use_vectorized=self.use_vectorized
-            ):
-                yield bound.make_result(lrow, rrow, mapped)
-            region.processed = True
-            processed += 1
-            state.complete_region(region)
-            for vector, lrow, rrow, mapped in state.drain_emissions():
-                yield bound.make_result(lrow, rrow, mapped)
-            policy.on_region_done(region)
-            for discarded in state.drain_discarded():
-                policy.on_region_done(discarded)
-
-        if self.verify:
-            state.verify_drained()
-
-        self.stats.update(
-            {
-                "regions_total": len(regions),
-                "regions_processed": processed,
-                "regions_discarded": sum(1 for r in regions if r.discarded),
-                "active_cells": grid.active_count,
-                "marked_cells": grid.marked_count,
-                "inserted": state.inserted,
-                "dominated_on_arrival": state.dominated_on_arrival,
-                "discarded_on_arrival": state.discarded_on_arrival,
-                "peak_buffered": state.peak_live_entries,
-            }
-        )
+        Compatibility wrapper: equivalent to ``self.kernel().drain()``.
+        Planning happens lazily on the first pull, exactly as the
+        historical monolithic generator did.
+        """
+        yield from self.kernel().drain()

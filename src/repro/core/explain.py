@@ -14,13 +14,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.benefit import progressive_count, region_benefit
+from repro.core.benefit import region_benefit
 from repro.core.cost import region_cost
 from repro.core.elimination_graph import EliminationGraph
-from repro.core.engine import (
-    ProgXeEngine,
-    _default_input_cells,
-    _default_output_cells,
+from repro.core.engine import ProgXeEngine
+from repro.core.plan import (
+    default_input_cells as _default_input_cells,
+    default_output_cells as _default_output_cells,
 )
 from repro.core.lookahead import run_lookahead
 from repro.query.smj import BoundQuery

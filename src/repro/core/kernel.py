@@ -1,0 +1,428 @@
+"""The resumable step-based execution kernel (phases 3/4 of the framework).
+
+Historically ``ProgXeEngine.run()`` was one monolithic generator that owned
+the interpreter until its region queue drained — a second concurrent query
+could only wait.  :class:`ExecutionKernel` inverts that control flow: the
+ProgOrder / ProgDetermine loop is re-expressed as an explicit step machine
+over a finished :class:`~repro.core.plan.QueryPlan`, and the *caller*
+decides when each unit of work runs.
+
+* :meth:`ExecutionKernel.step` — performs exactly one scheduling unit (the
+  bootstrap emission pass, one region's tuple-level processing, or the
+  final verification) and returns a :class:`StepReport` with the results it
+  made emittable plus per-step clock accounting.
+* :meth:`ExecutionKernel.pause` / :meth:`ExecutionKernel.resume` — gate
+  further stepping; pausing never mutates execution state, so a paused and
+  resumed kernel reproduces the uninterrupted result sequence exactly.
+* :meth:`ExecutionKernel.snapshot` — progress introspection: regions done,
+  cells settled/marked/emitted, results emitted, virtual-clock charges.
+* :meth:`ExecutionKernel.drain` — a generator reproducing the historical
+  ``run()`` semantics result-for-result (results surface the moment the
+  inner loop produces them, mid-region included), so the engine's ``run()``
+  stays a thin compatibility wrapper.
+
+Steps and drained results may be interleaved freely — both consume the same
+underlying event stream, so ``k`` calls to ``step()`` followed by
+``drain()`` yields precisely the suffix an uninterrupted run would have
+produced after those steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.core.benefit import region_benefit
+from repro.core.cost import region_cost
+from repro.core.elimination_graph import EliminationGraph
+from repro.core.plan import QueryPlan
+from repro.core.progdetermine import ExecutionState
+from repro.core.progorder import ProgOrder, RandomOrder
+from repro.core.regions import OutputRegion
+from repro.core.tuple_level import process_region
+from repro.errors import ExecutionError
+from repro.query.smj import ResultTuple
+
+#: Kernel lifecycle states.
+CREATED = "created"
+RUNNING = "running"
+PAUSED = "paused"
+FINISHED = "finished"
+
+#: Step kinds reported by :meth:`ExecutionKernel.step`.
+STEP_BOOTSTRAP = "bootstrap"
+STEP_REGION = "region"
+STEP_FINALIZE = "finalize"
+STEP_IDLE = "idle"
+
+
+class _StepBoundary:
+    """Internal event marking the end of one scheduling unit."""
+
+    __slots__ = ("kind", "region_id")
+
+    def __init__(self, kind: str, region_id: int | None) -> None:
+        self.kind = kind
+        self.region_id = region_id
+
+
+@dataclass(frozen=True)
+class StepReport:
+    """Outcome of one :meth:`ExecutionKernel.step` call.
+
+    kind:
+        ``"bootstrap"`` (look-ahead freebies), ``"region"`` (one region's
+        tuple-level processing), ``"finalize"`` (verification + stats), or
+        ``"idle"`` (step on an already-finished kernel; a no-op).
+    results:
+        Results that became provably final during this step, in emission
+        order.
+    region_id:
+        The processed region's id for ``"region"`` steps, else ``None``.
+    step_index:
+        1-based count of non-idle steps taken so far.
+    vtime:
+        The query clock *after* the step.
+    vtime_delta:
+        Virtual time charged by this step alone.
+    charges:
+        Per-operation-kind charge deltas for this step.
+    finished:
+        True once the kernel has verified and published its stats.
+    """
+
+    kind: str
+    results: tuple[ResultTuple, ...]
+    region_id: int | None
+    step_index: int
+    vtime: float
+    vtime_delta: float
+    charges: Mapping[str, int]
+    finished: bool
+
+
+@dataclass(frozen=True)
+class KernelSnapshot:
+    """Point-in-time progress picture of a kernel (cheap, read-only)."""
+
+    status: str
+    steps: int
+    results_emitted: int
+    regions_total: int
+    regions_processed: int
+    regions_discarded: int
+    regions_pending: int
+    cells_active: int
+    cells_settled: int
+    cells_marked: int
+    cells_emitted: int
+    inserted: int
+    live_entries: int
+    vtime: float
+    clock_counts: Mapping[str, int]
+
+    @property
+    def regions_done(self) -> int:
+        """Regions needing no further work (processed or discarded)."""
+        return self.regions_processed + self.regions_discarded
+
+
+class ExecutionKernel:
+    """Resumable step machine over one planned ProgXe execution.
+
+    Construction wires the execution structures (state, elimination graph,
+    ordering policy) exactly as the monolithic engine prologue did; no
+    tuple-level work happens until the first :meth:`step` (or pull from
+    :meth:`drain`).
+    """
+
+    def __init__(
+        self,
+        plan: QueryPlan,
+        *,
+        stats_sink: dict | None = None,
+    ) -> None:
+        if plan.consumed:
+            raise ExecutionError(
+                "QueryPlan has already been executed; execution mutates the "
+                "plan's regions and grid, so build a fresh plan for a new run"
+            )
+        plan.consumed = True
+        self.plan = plan
+        self.bound = plan.bound
+        self.clock = plan.clock
+        self.verify = plan.verify
+        self.use_vectorized = plan.use_vectorized
+        self.stats: dict = stats_sink if stats_sink is not None else {}
+        self.stats.update(plan.prune_stats)
+
+        self.state = ExecutionState(plan.bound, plan.regions, plan.grid, plan.clock)
+        self.graph = EliminationGraph(plan.regions, plan.clock)
+        regions_by_id = self.state.regions
+        dims = plan.bound.skyline_dimension_count
+        grid = plan.grid
+
+        def rank_fn(region: OutputRegion) -> float:
+            benefit = region_benefit(region, regions_by_id, dims)
+            cost = region_cost(region, grid, dims)
+            return benefit / cost if cost > 0 else benefit
+
+        if plan.ordering:
+            self.policy = ProgOrder(self.graph, rank_fn, plan.clock)
+        else:
+            self.policy = RandomOrder(
+                self.graph, rank_fn, plan.clock, seed=plan.seed
+            )
+
+        self.steps = 0
+        self.results_emitted = 0
+        self.regions_processed = 0
+        #: True once a propagated exception (error, cancellation interrupt)
+        #: terminated the event loop, as opposed to a clean finalize.
+        self.aborted = False
+        self._status = CREATED
+        self._events = self._event_loop()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def status(self) -> str:
+        """One of created / running / paused / finished."""
+        return self._status
+
+    @property
+    def finished(self) -> bool:
+        return self._status == FINISHED
+
+    @property
+    def paused(self) -> bool:
+        return self._status == PAUSED
+
+    def pause(self) -> None:
+        """Suspend the kernel between steps.
+
+        Pausing performs no work and mutates no execution state, so it is
+        always safe; :meth:`step` and :meth:`drain` refuse to advance until
+        :meth:`resume`.  Pausing a finished kernel is a no-op.
+        """
+        if self._status != FINISHED:
+            self._status = PAUSED
+
+    def resume(self) -> None:
+        """Lift a :meth:`pause`; a no-op unless currently paused."""
+        if self._status == PAUSED:
+            self._status = RUNNING
+
+    def close(self) -> None:
+        """Abandon the execution (cooperative cancellation).
+
+        The event loop generator is closed and the kernel reports finished;
+        no verification or stats publication happens — every result already
+        handed out remains provably final (the progressive contract).
+        """
+        if self._status == FINISHED:
+            return
+        self._events.close()
+        self._status = FINISHED
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self) -> StepReport:
+        """Run exactly one scheduling unit and report what it produced.
+
+        Unit granularity: the first call performs the bootstrap emission
+        pass (cells already settled by the look-ahead), each following call
+        processes one region (or skips a stale queue entry group — still
+        one unit of queue work), and the final call runs verification and
+        publishes the engine-compatible ``stats``.  Stepping a finished
+        kernel returns an ``"idle"`` report, making over-stepping harmless.
+        """
+        if self._status == FINISHED:
+            return StepReport(
+                kind=STEP_IDLE, results=(), region_id=None,
+                step_index=self.steps, vtime=self.clock.now(),
+                vtime_delta=0.0, charges={}, finished=True,
+            )
+        if self._status == PAUSED:
+            raise ExecutionError(
+                "execution kernel is paused; call resume() before step()"
+            )
+        self._status = RUNNING
+        t0 = self.clock.now()
+        counts0 = self.clock.snapshot()
+        results: list[ResultTuple] = []
+        kind = STEP_FINALIZE
+        region_id: int | None = None
+        while True:
+            try:
+                event = next(self._events)
+            except StopIteration:
+                # Clean exhaustion: _event_loop ran _finalize() on its way
+                # out (status already FINISHED, failed stays False).
+                self._status = FINISHED
+                break
+            except BaseException:
+                # The exception kills the event-loop generator: this kernel
+                # can never progress again, so report it terminal (and
+                # aborted) rather than leaving retrying callers spinning on
+                # a dead kernel that claims to be running.
+                self._status = FINISHED
+                self.aborted = True
+                raise
+            if isinstance(event, _StepBoundary):
+                kind = event.kind
+                region_id = event.region_id
+                break
+            results.append(event)
+        self.steps += 1
+        self.results_emitted += len(results)
+        return StepReport(
+            kind=kind,
+            results=tuple(results),
+            region_id=region_id,
+            step_index=self.steps,
+            vtime=self.clock.now(),
+            vtime_delta=self.clock.now() - t0,
+            charges=self.clock.since(counts0),
+            finished=self._status == FINISHED,
+        )
+
+    def drain(self) -> Iterator[ResultTuple]:
+        """Run to completion, yielding each result the moment it is final.
+
+        Reproduces the historical ``ProgXeEngine.run()`` generator
+        semantics exactly — including mid-region emissions surfacing before
+        the region finishes, which keeps budget/cancellation tripwires
+        (installed by the session stream layer) cutting at the same points
+        as before the kernel split.  May be called after any number of
+        :meth:`step` calls to finish the remainder.
+        """
+        while True:
+            if self._status == FINISHED:
+                return
+            if self._status == PAUSED:
+                raise ExecutionError(
+                    "execution kernel is paused; call resume() before draining"
+                )
+            self._status = RUNNING
+            try:
+                event = next(self._events)
+            except StopIteration:
+                self._status = FINISHED
+                return
+            except BaseException:
+                # See step(): a propagated exception (including a budget
+                # tripwire interrupt) terminates the event loop for good.
+                self._status = FINISHED
+                self.aborted = True
+                raise
+            if isinstance(event, _StepBoundary):
+                self.steps += 1
+                continue
+            self.results_emitted += 1
+            yield event
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def peek_rank(self) -> float:
+        """Benefit signal of the kernel's next unit of work (pure read).
+
+        Used by cross-query benefit-greedy scheduling.  The un-started
+        kernel advertises ``inf`` — its bootstrap step releases the
+        look-ahead freebies at near-zero cost, so it should always run
+        first.
+        """
+        if self._status == FINISHED:
+            return 0.0
+        if self.steps == 0:
+            return float("inf")
+        return self.policy.peek_rank()
+
+    def snapshot(self) -> KernelSnapshot:
+        """Progress snapshot: region, cell, emission and clock counters."""
+        regions = self.plan.regions
+        discarded = sum(1 for r in regions if r.discarded)
+        pending = sum(1 for r in regions if not r.done)
+        cells = self.plan.grid.cells.values()
+        return KernelSnapshot(
+            status=self._status,
+            steps=self.steps,
+            results_emitted=self.results_emitted,
+            regions_total=len(regions),
+            regions_processed=self.regions_processed,
+            regions_discarded=discarded,
+            regions_pending=pending,
+            cells_active=self.plan.grid.active_count,
+            cells_settled=sum(1 for c in cells if c.settled),
+            cells_marked=self.plan.grid.marked_count,
+            cells_emitted=sum(1 for c in cells if c.emitted),
+            inserted=self.state.inserted,
+            live_entries=self.state.live_entries,
+            vtime=self.clock.now(),
+            clock_counts=self.clock.snapshot(),
+        )
+
+    # ------------------------------------------------------------------
+    # the event loop (phases 3/4)
+    # ------------------------------------------------------------------
+    def _event_loop(self) -> Iterator[ResultTuple | _StepBoundary]:
+        bound = self.bound
+        state = self.state
+        policy = self.policy
+
+        # Bootstrap: cells fully released during look-ahead are already
+        # final (empty or pre-settled); emit them before any region runs.
+        for cell in self.plan.grid.cells.values():
+            if cell.settled and not cell.marked:
+                state.emit_settled(cell)
+        for vector, lrow, rrow, mapped in state.drain_emissions():
+            yield bound.make_result(lrow, rrow, mapped)
+        yield _StepBoundary(STEP_BOOTSTRAP, None)
+
+        # The ProgOrder / ProgDetermine loop, one region per boundary.
+        while True:
+            region = policy.next_region()
+            if region is None:
+                break
+            if region.done:
+                continue
+            for vector, lrow, rrow, mapped in process_region(
+                state, region, use_vectorized=self.use_vectorized
+            ):
+                yield bound.make_result(lrow, rrow, mapped)
+            region.processed = True
+            self.regions_processed += 1
+            state.complete_region(region)
+            for vector, lrow, rrow, mapped in state.drain_emissions():
+                yield bound.make_result(lrow, rrow, mapped)
+            policy.on_region_done(region)
+            for discarded in state.drain_discarded():
+                policy.on_region_done(discarded)
+            yield _StepBoundary(STEP_REGION, region.rid)
+
+        self._finalize()
+
+    def _finalize(self) -> None:
+        """Verify the completeness invariant and publish engine stats."""
+        if self.verify:
+            self.state.verify_drained()
+        regions = self.plan.regions
+        grid = self.plan.grid
+        state = self.state
+        self.stats.update(
+            {
+                "regions_total": len(regions),
+                "regions_processed": self.regions_processed,
+                "regions_discarded": sum(1 for r in regions if r.discarded),
+                "active_cells": grid.active_count,
+                "marked_cells": grid.marked_count,
+                "inserted": state.inserted,
+                "dominated_on_arrival": state.dominated_on_arrival,
+                "discarded_on_arrival": state.discarded_on_arrival,
+                "peak_buffered": state.peak_live_entries,
+            }
+        )
+        self._status = FINISHED

@@ -105,8 +105,8 @@ def build_output_grid(
     else:  # degenerate but legal: empty join
         lo, hi = [0.0] * d, [1.0] * d
     # Guard the box against exact-boundary values.
-    span = [max(h - l, 1.0) for l, h in zip(lo, hi)]
-    lo = [l - _BOX_EPS * s for l, s in zip(lo, span)]
+    span = [max(h - low, 1.0) for low, h in zip(lo, hi)]
+    lo = [low - _BOX_EPS * s for low, s in zip(lo, span)]
     hi = [h + _BOX_EPS * s for h, s in zip(hi, span)]
     grid = OutputGrid(lo, hi, cells_per_dim)
 

@@ -1,0 +1,182 @@
+"""Query planning: the pre-execution phases of the ProgXe framework.
+
+A :class:`QueryPlan` is the materialised outcome of phases 0–2 of the
+paper's pipeline (Figure 2) — everything that happens *before* the
+ProgOrder / ProgDetermine loop touches a tuple:
+
+0. *(ProgXe+ only)* skyline partial push-through pruning of both sources,
+1. grid/quadtree partitioning of the inputs with join-value signatures,
+2. output-space look-ahead: region construction, region- and cell-level
+   domination pruning, dominance-cone wiring.
+
+The plan also carries the execution knobs (ordering, vectorization,
+verification, RNG seed) that the :class:`~repro.core.kernel.ExecutionKernel`
+needs to drive phase 3/4, so ``ExecutionKernel(plan)`` is self-contained.
+Building a plan charges the clock exactly as the former monolithic
+``ProgXeEngine.run()`` prologue did; the split exists so that execution can
+be suspended and resumed step by step without re-planning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.pushthrough import prune_source
+from repro.core.lookahead import run_lookahead
+from repro.core.output_grid import OutputGrid
+from repro.core.regions import OutputRegion
+from repro.query.smj import BoundQuery
+from repro.runtime.clock import VirtualClock
+from repro.storage.grid import GridPartitioner
+from repro.storage.quadtree import QuadTreePartitioner
+from repro.storage.table import Table
+
+
+def default_input_cells(source_dims: int) -> int:
+    """Grid resolution aiming at a few dozen partitions per source."""
+    if source_dims <= 1:
+        return 8
+    if source_dims == 2:
+        return 4
+    if source_dims == 3:
+        return 3
+    return 2
+
+
+def default_output_cells(dimensions: int) -> int:
+    """Output grid resolution by skyline dimensionality.
+
+    Finer grids settle later (more interlocking cones) but discriminate
+    better; 4 cells per dimension is the sweet spot measured for d >= 4 —
+    3 per dimension leaves cones so coarse that emission collapses to the
+    end of the run.
+    """
+    if dimensions <= 2:
+        return 10
+    if dimensions == 3:
+        return 6
+    return 4
+
+
+@dataclass
+class QueryPlan:
+    """Phases 0–2 done: regions, grid, and the knobs for execution.
+
+    ``prune_stats`` records push-through effects (``left_pruned`` /
+    ``right_pruned``) so the engine's historical ``stats`` surface keeps
+    reporting them.
+    """
+
+    bound: BoundQuery
+    clock: VirtualClock
+    regions: list[OutputRegion]
+    grid: OutputGrid
+    ordering: bool = True
+    seed: int = 0
+    use_vectorized: bool = True
+    verify: bool = True
+    prune_stats: dict[str, int] = field(default_factory=dict)
+    #: Set by the first :class:`~repro.core.kernel.ExecutionKernel` built
+    #: over this plan.  Execution mutates the plan's regions and grid, so
+    #: a second kernel would silently produce an empty result set; the
+    #: kernel constructor raises instead.
+    consumed: bool = False
+
+    @classmethod
+    def build(
+        cls,
+        bound: BoundQuery,
+        clock: VirtualClock | None = None,
+        *,
+        ordering: bool = True,
+        pushthrough: bool = False,
+        input_cells: int | None = None,
+        output_cells: int | None = None,
+        signature_kind: str = "exact",
+        partitioning: str = "grid",
+        leaf_capacity: int | None = None,
+        seed: int = 0,
+        verify: bool = True,
+        use_vectorized: bool = True,
+    ) -> "QueryPlan":
+        """Run phases 0–2 and return the finished plan.
+
+        Parameters mirror :class:`~repro.core.engine.ProgXeEngine` (which
+        validates them); planning charges partitioning and look-ahead work
+        to ``clock``.
+        """
+        clock = clock or VirtualClock()
+        prune_stats: dict[str, int] = {}
+
+        # Phase 0: (optional) skyline partial push-through.
+        left_table, right_table = _pruned_tables(
+            bound, clock, pushthrough, prune_stats
+        )
+
+        # Phase 1: input partitioning with join-value signatures.
+        if partitioning == "quadtree":
+            capacity = leaf_capacity or max(
+                8, (len(left_table) + len(right_table)) // 32
+            )
+            partitioner_left = QuadTreePartitioner(
+                capacity, signature_kind=signature_kind
+            )
+            partitioner_right = QuadTreePartitioner(
+                capacity, signature_kind=signature_kind
+            )
+        else:
+            k_left = input_cells or default_input_cells(len(bound.left_map_attrs))
+            k_right = input_cells or default_input_cells(
+                len(bound.right_map_attrs)
+            )
+            partitioner_left = GridPartitioner(k_left, signature_kind)
+            partitioner_right = GridPartitioner(k_right, signature_kind)
+        left_grid = partitioner_left.partition(
+            left_table, bound.left_map_attrs, bound.query.join.left_attr,
+            source=bound.left_alias,
+        )
+        right_grid = partitioner_right.partition(
+            right_table, bound.right_map_attrs, bound.query.join.right_attr,
+            source=bound.right_alias,
+        )
+        clock.charge("partition_op", len(left_table) + len(right_table))
+
+        # Phase 2: output-space look-ahead.
+        k_out = output_cells or default_output_cells(
+            bound.skyline_dimension_count
+        )
+        regions, grid = run_lookahead(bound, left_grid, right_grid, k_out, clock)
+
+        return cls(
+            bound=bound,
+            clock=clock,
+            regions=regions,
+            grid=grid,
+            ordering=ordering,
+            seed=seed,
+            use_vectorized=use_vectorized,
+            verify=verify,
+            prune_stats=prune_stats,
+        )
+
+
+def _pruned_tables(
+    bound: BoundQuery,
+    clock: VirtualClock,
+    pushthrough: bool,
+    prune_stats: dict[str, int],
+) -> tuple[Table, Table]:
+    """Apply push-through (ProgXe+) or pass the bound tables through."""
+    left, right = bound.left_table, bound.right_table
+    if not pushthrough:
+        return left, right
+    charge = clock.charger("dominance_cmp")
+    left_prune = prune_source(bound, bound.left_alias, on_comparison=charge)
+    right_prune = prune_source(bound, bound.right_alias, on_comparison=charge)
+    if left_prune is not None:
+        left = Table(left.name, left.schema, left_prune.kept_rows)
+        prune_stats["left_pruned"] = left_prune.pruned_count
+    if right_prune is not None:
+        right = Table(right.name, right.schema, right_prune.kept_rows)
+        prune_stats["right_pruned"] = right_prune.pruned_count
+    return left, right

@@ -71,7 +71,15 @@ class ExecutionState:
         self._emissions = []
         return out
 
-    def _try_emit(self, cell: OutputCell) -> None:
+    def emit_settled(self, cell: OutputCell) -> None:
+        """Emit ``cell``'s buffered entries if it is provably final.
+
+        Public API used by the engine/kernel bootstrap (cells released
+        during look-ahead) and by the internal settle/mark cascades.  A
+        no-op unless the cell is :attr:`~repro.core.output_grid.OutputCell.
+        emittable` — settled, unmarked, not yet emitted, and with an empty
+        pending cone — so it is always safe to call.
+        """
         if cell.emittable:
             cell.emitted = True
             if cell.entries:
@@ -89,10 +97,10 @@ class ExecutionState:
         if cell.settled:
             return
         cell.settled = True
-        self._try_emit(cell)
+        self.emit_settled(cell)
         for uc in cell.cone_upper:
             uc.pending -= 1
-            self._try_emit(uc)
+            self.emit_settled(uc)
 
     def mark_cell(self, cell: OutputCell) -> None:
         """Mark ``cell`` non-contributing; drop its buffer, cascade."""
@@ -126,7 +134,7 @@ class ExecutionState:
             cell.settled = True
             for uc in cell.cone_upper:
                 uc.pending -= 1
-                self._try_emit(uc)
+                self.emit_settled(uc)
 
     def complete_region(self, region: OutputRegion) -> None:
         """Release the region's coverage (Algorithm 2 lines 2–5)."""

@@ -27,8 +27,6 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping
 
 from repro.errors import BindingError, QueryError
-from repro.join.hash_join import hash_join
-from repro.join.predicates import EquiJoin
 from repro.query.expressions import AttrRef, rename_attributes
 from repro.query.mapping import MappingFunction, MappingSet
 from repro.query.smj import (

@@ -85,5 +85,19 @@ class VirtualClock:
         """Copy of the per-kind counters."""
         return dict(self.counts)
 
+    def since(self, snapshot: Mapping[str, int]) -> dict[str, int]:
+        """Per-kind charge deltas relative to an earlier :meth:`snapshot`.
+
+        Kinds whose counter did not move are omitted, so the result is the
+        exact work performed in the window — the execution kernel uses this
+        for per-step charge accounting and the scheduler for per-query
+        fairness bookkeeping.
+        """
+        return {
+            kind: total - snapshot.get(kind, 0)
+            for kind, total in self.counts.items()
+            if total != snapshot.get(kind, 0)
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"VirtualClock(t={self._time:.0f}, {self.counts})"

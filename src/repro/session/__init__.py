@@ -6,24 +6,36 @@ validated :class:`EngineConfig` engine tuning, and progressive execution via
 :class:`ResultStream` handles with callbacks, cancellation and budgets.
 
 Import note: the modules here are imported by :mod:`repro.core` (the
-``ALGORITHMS`` registry view), so nothing in this package may import
-:mod:`repro.core` at module load time — the default registry resolves it
-lazily instead.
+``ALGORITHMS`` registry view), so nothing in this package may import the
+:mod:`repro.core` *package* (``from repro.core import ...``) at module
+load time — the default registry resolves it lazily instead.  Importing
+``repro.core`` **submodules** directly (as the scheduler does for
+:mod:`repro.core.kernel`) is safe: submodule imports do not require the
+partially-initialised package ``__init__`` to have finished.
 """
 
 from repro.session.builder import QueryBuilder
-from repro.session.config import PARTITIONING_KINDS, PRESETS, EngineConfig
+from repro.session.config import (
+    PARTITIONING_KINDS,
+    PRESETS,
+    SCHEDULER_PRESETS,
+    SCHEDULING_POLICIES,
+    EngineConfig,
+    SchedulerConfig,
+)
 from repro.session.registry import (
     AlgorithmRegistry,
     RegistryEntry,
     RegistryView,
     default_registry,
 )
+from repro.session.scheduler import QueryScheduler, ScheduledQuery
 from repro.session.service import DEFAULT_ALGORITHM, Session
 from repro.session.stream import (
     BUDGET_EXHAUSTED,
     CANCELLED,
     COMPLETED,
+    FAILED,
     PENDING,
     RUNNING,
     ResultStream,
@@ -38,14 +50,20 @@ __all__ = [
     "COMPLETED",
     "DEFAULT_ALGORITHM",
     "EngineConfig",
+    "FAILED",
     "PARTITIONING_KINDS",
     "PENDING",
     "PRESETS",
     "QueryBuilder",
+    "QueryScheduler",
     "RegistryEntry",
     "RegistryView",
     "ResultStream",
     "RUNNING",
+    "SCHEDULER_PRESETS",
+    "SCHEDULING_POLICIES",
+    "ScheduledQuery",
+    "SchedulerConfig",
     "Session",
     "StreamBudget",
     "StreamStats",

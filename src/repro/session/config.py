@@ -120,3 +120,78 @@ PRESETS: dict[str, EngineConfig] = {
     "production": EngineConfig(pushthrough=True, verify=False),
     "scalar-reference": EngineConfig(use_vectorized=False),
 }
+
+
+#: Cross-query scheduling policies understood by the scheduler.
+SCHEDULING_POLICIES: tuple[str, ...] = (
+    "round-robin",
+    "benefit-greedy",
+    "fair-share",
+    "deadline",
+)
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tunables of the cooperative multi-query scheduler, validated.
+
+    policy:
+        Dispatch policy (see :data:`SCHEDULING_POLICIES`): ``"round-robin"``
+        cycles admitted queries; ``"benefit-greedy"`` steps the query whose
+        next region promises the highest benefit/cost rank across *all*
+        queries; ``"fair-share"`` steps the query with the least virtual
+        time consumed; ``"deadline"`` steps the query with the least slack
+        to its virtual-time budget (queries without one go last).
+    max_active:
+        Admission ceiling — at most this many queries execute concurrently;
+        the rest wait in submission order.  ``None`` admits everything.
+    quantum:
+        Consecutive kernel steps a dispatched query runs before the policy
+        chooses again.  1 maximises interleaving (best time-to-first under
+        concurrency); larger values amortise switching for throughput.
+    record_interleaving:
+        Keep a per-dispatch :class:`~repro.runtime.recorder.InterleaveEvent`
+        record (default).  Disable for long-lived serving loops where the
+        unbounded dispatch log is unwanted overhead.
+    """
+
+    policy: str = "round-robin"
+    max_active: int | None = None
+    quantum: int = 1
+    record_interleaving: bool = True
+
+    def __post_init__(self) -> None:
+        if self.policy not in SCHEDULING_POLICIES:
+            raise QueryError(
+                f"policy must be one of {SCHEDULING_POLICIES}, "
+                f"got {self.policy!r}"
+            )
+        if self.max_active is not None and self.max_active < 1:
+            raise QueryError(
+                f"max_active must be >= 1, got {self.max_active}"
+            )
+        if self.quantum < 1:
+            raise QueryError(f"quantum must be >= 1, got {self.quantum}")
+
+    @classmethod
+    def preset(cls, name: str) -> "SchedulerConfig":
+        """A named scheduler preset; see :data:`SCHEDULER_PRESETS`."""
+        try:
+            return SCHEDULER_PRESETS[name]
+        except KeyError:
+            raise QueryError(
+                f"unknown scheduler preset {name!r}; "
+                f"available: {', '.join(SCHEDULER_PRESETS)}"
+            ) from None
+
+
+#: Named scheduler presets: ``interactive`` favours time-to-first-result
+#: across many small queries; ``fair`` equalises virtual time; ``throughput``
+#: trades interleaving for fewer context switches; ``deadline`` serves
+#: budget-constrained queries strictly by slack.
+SCHEDULER_PRESETS: dict[str, SchedulerConfig] = {
+    "interactive": SchedulerConfig(policy="benefit-greedy", max_active=8),
+    "fair": SchedulerConfig(policy="fair-share"),
+    "throughput": SchedulerConfig(policy="round-robin", quantum=8),
+    "deadline": SchedulerConfig(policy="deadline"),
+}

@@ -1,0 +1,511 @@
+"""Cooperative multi-query scheduling over resumable execution kernels.
+
+The paper's contract — results become available the moment they are
+provably final — is only useful at serving scale if a second query does not
+have to wait for the first one's region queue to drain.  The
+:class:`QueryScheduler` closes that gap: it admits N concurrent queries
+from one :class:`~repro.session.service.Session`, obtains a resumable
+stepper for each (the :class:`~repro.core.kernel.ExecutionKernel` for
+ProgXe variants; a generator adapter for blocking baselines), and
+interleaves their steps under a pluggable policy:
+
+* ``round-robin`` — cycle the admitted queries; the fairness baseline.
+* ``benefit-greedy`` — extend the paper's intra-query benefit/cost ranking
+  *across* queries: always step the kernel whose next region promises the
+  highest rank (:meth:`~repro.core.kernel.ExecutionKernel.peek_rank`).
+* ``fair-share`` — step the query with the least virtual time consumed
+  (virtual-clock fair queueing).
+* ``deadline`` — step the query with the least slack to its virtual-time
+  budget; queries without a deadline yield to those with one.
+
+Every query keeps its own :class:`~repro.runtime.clock.VirtualClock`; the
+scheduler charges one ``queue_op`` per dispatch to the chosen query (the
+fairness-accounted cost of being scheduled) and maintains a shared
+``global_vtime`` timeline — the cumulative virtual work across all queries
+— on which per-query time-to-first-result is measured.  Interleaving never
+changes a query's result *set*: kernel stepping executes exactly the solo
+region schedule, just sliced differently in time.
+
+Budgets (:class:`~repro.session.stream.StreamBudget`) are enforced at step
+granularity: the scheduler checks each query's ceilings after every one of
+its steps and retires it cleanly once exceeded — the emitted prefix remains
+provably final, per the progressive contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import AsyncIterator, Iterator, Sequence
+
+from repro.core.kernel import STEP_FINALIZE, StepReport
+from repro.errors import QueryError
+from repro.query.smj import ResultTuple
+from repro.runtime.clock import VirtualClock
+from repro.runtime.recorder import InterleaveRecorder, ProgressRecorder
+from repro.runtime.runner import AlgorithmFactory
+from repro.session.config import SCHEDULING_POLICIES, SchedulerConfig
+from repro.session.stream import (
+    BUDGET_EXHAUSTED,
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    PENDING,
+    RUNNING,
+    StreamBudget,
+    StreamStats,
+)
+
+#: Step kind reported by the generator adapter for non-kernel algorithms.
+STEP_PULL = "pull"
+
+
+class _GeneratorStepper:
+    """Stepper adapter for algorithms without a resumable kernel.
+
+    One step pulls one result from the algorithm's ``run()`` generator (or
+    discovers exhaustion).  A blocking baseline therefore does all its work
+    inside its first step — the adapter makes it *schedulable*, not
+    progressive; the interleaving benefit comes from kernel-backed engines.
+    """
+
+    def __init__(self, algorithm, clock: VirtualClock) -> None:
+        self._gen = algorithm.run()
+        self._clock = clock
+        self._steps = 0
+        self.finished = False
+
+    def step(self) -> StepReport:
+        t0 = self._clock.now()
+        counts0 = self._clock.snapshot()
+        results: tuple[ResultTuple, ...] = ()
+        kind = STEP_PULL
+        try:
+            results = (next(self._gen),)
+        except StopIteration:
+            self.finished = True
+            kind = STEP_FINALIZE
+        self._steps += 1
+        return StepReport(
+            kind=kind,
+            results=results,
+            region_id=None,
+            step_index=self._steps,
+            vtime=self._clock.now(),
+            vtime_delta=self._clock.now() - t0,
+            charges=self._clock.since(counts0),
+            finished=self.finished,
+        )
+
+    def peek_rank(self) -> float:
+        return 0.0
+
+    def close(self) -> None:
+        self._gen.close()
+        self.finished = True
+
+
+class ScheduledQuery:
+    """Handle over one query admitted to a :class:`QueryScheduler`.
+
+    Results accumulate in :attr:`results` as the scheduler interleaves
+    steps; :meth:`stats` returns the same
+    :class:`~repro.session.stream.StreamStats` shape a solo
+    :class:`~repro.session.stream.ResultStream` reports, and
+    :attr:`first_result_global_vtime` locates the first emission on the
+    scheduler's shared timeline (the serving-latency metric).
+    """
+
+    def __init__(
+        self,
+        qid: int,
+        name: str,
+        algorithm,
+        clock: VirtualClock,
+        budget: StreamBudget | None,
+    ) -> None:
+        self.qid = qid
+        self.name = name
+        self.algorithm = algorithm
+        self.clock = clock
+        self.budget = budget
+        self.recorder = ProgressRecorder(clock)
+        self.results: list[ResultTuple] = []
+        self.state = PENDING
+        self.stop_reason: str | None = None
+        self.steps = 0
+        self.admitted = False
+        #: Global (cross-query) virtual time at this query's first emission.
+        self.first_result_global_vtime: float | None = None
+        #: Global virtual time at each emission (step-granular stamps).
+        self.emission_global_vtimes: list[float] = []
+        self._stepper = None
+        self._cancel_reason: str | None = None
+        self._wall_start = time.perf_counter()
+
+    @property
+    def finished(self) -> bool:
+        """True once the query reached any terminal state."""
+        return self.state in (COMPLETED, CANCELLED, BUDGET_EXHAUSTED, FAILED)
+
+    @property
+    def result_keys(self) -> set[tuple]:
+        """Identity keys of the results emitted so far."""
+        return {r.key() for r in self.results}
+
+    def cancel(self, reason: str = "cancelled by caller") -> None:
+        """Request cooperative cancellation before the query's next step."""
+        if not self.finished:
+            self._cancel_reason = reason
+
+    def stats(self) -> StreamStats:
+        """Progressiveness snapshot, comparable to a solo stream's."""
+        return StreamStats.capture(
+            self.state,
+            self.recorder,
+            self.clock,
+            wall_seconds=time.perf_counter() - self._wall_start,
+            stop_reason=self.stop_reason,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScheduledQuery(#{self.qid} {self.name!r}, state={self.state}, "
+            f"results={len(self.results)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# dispatch policies
+# ----------------------------------------------------------------------
+class RoundRobinPolicy:
+    """Cycle through the admitted queries in submission order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._last = -1
+
+    def choose(self, active: Sequence[ScheduledQuery]) -> ScheduledQuery:
+        following = [q for q in active if q.qid > self._last]
+        chosen = min(following or active, key=lambda q: q.qid)
+        self._last = chosen.qid
+        return chosen
+
+
+class BenefitGreedyPolicy:
+    """Step the query whose next region promises the highest rank.
+
+    The cross-query generalisation of ProgOrder: each kernel's
+    ``peek_rank()`` is the benefit/cost rank of its best pending region, so
+    the scheduler always spends the next step where it buys the most
+    progressiveness.  Un-started kernels advertise ``inf`` (their bootstrap
+    is nearly free); ties break toward the least virtual time consumed, so
+    the policy cannot starve a query behind an identical twin.
+    """
+
+    name = "benefit-greedy"
+
+    def choose(self, active: Sequence[ScheduledQuery]) -> ScheduledQuery:
+        def key(q: ScheduledQuery) -> tuple[float, float, int]:
+            stepper = q._stepper
+            rank = float("inf") if stepper is None else stepper.peek_rank()
+            return (-rank, q.clock.now(), q.qid)
+
+        return min(active, key=key)
+
+
+class FairSharePolicy:
+    """Virtual-clock fair queueing: least virtual time consumed goes first."""
+
+    name = "fair-share"
+
+    def choose(self, active: Sequence[ScheduledQuery]) -> ScheduledQuery:
+        return min(active, key=lambda q: (q.clock.now(), q.qid))
+
+
+class DeadlinePolicy:
+    """Least-slack-first over virtual-time budgets.
+
+    A query's deadline is its budget's ``max_vtime``; its slack is the
+    virtual time remaining until then.  Queries without a deadline run only
+    when every deadline-bearing query has none left to honour (they sort
+    with infinite slack).
+    """
+
+    name = "deadline"
+
+    def choose(self, active: Sequence[ScheduledQuery]) -> ScheduledQuery:
+        def slack(q: ScheduledQuery) -> tuple[float, int]:
+            if q.budget is None or q.budget.max_vtime is None:
+                return (float("inf"), q.qid)
+            return (q.budget.max_vtime - q.clock.now(), q.qid)
+
+        return min(active, key=slack)
+
+
+_POLICY_FACTORIES = {
+    "round-robin": RoundRobinPolicy,
+    "benefit-greedy": BenefitGreedyPolicy,
+    "fair-share": FairSharePolicy,
+    "deadline": DeadlinePolicy,
+}
+assert set(_POLICY_FACTORIES) == set(SCHEDULING_POLICIES)
+
+
+# ----------------------------------------------------------------------
+# the scheduler
+# ----------------------------------------------------------------------
+class QueryScheduler:
+    """Interleaves N concurrent session queries, one kernel step at a time.
+
+    Built by :meth:`repro.session.service.Session.scheduler`.  Typical use::
+
+        scheduler = session.scheduler(policy="benefit-greedy")
+        q1 = scheduler.submit(SQL_1, algorithm="ProgXe")
+        q2 = scheduler.submit(SQL_2, algorithm="ProgXe+")
+        for query, result in scheduler.run():
+            print(query.name, result.outputs)   # interleaved, provably final
+
+    Each admitted query produces, in order, exactly the result sequence its
+    solo ``run()`` would produce; the scheduler only decides *when* each
+    query advances.  ``run_async()`` is the asyncio-friendly form, yielding
+    control to the event loop between steps.
+    """
+
+    def __init__(
+        self,
+        session,
+        config: SchedulerConfig | None = None,
+    ) -> None:
+        self.session = session
+        self.config = config or SchedulerConfig()
+        self._policy = _POLICY_FACTORIES[self.config.policy]()
+        self._queries: list[ScheduledQuery] = []
+        #: Non-terminal queries only — the working set _admit() scans, so
+        #: long-serving schedulers pay per-dispatch cost proportional to
+        #: the *live* query count, not to everything ever submitted.
+        self._rotation: list[ScheduledQuery] = []
+        self._next_qid = 0
+        self._running = False
+        #: Cumulative virtual time charged across all queries, in dispatch
+        #: order — the shared timeline for cross-query latency metrics.
+        self.global_vtime = 0.0
+        #: Dispatch-order record of the interleaving.
+        self.interleaving = InterleaveRecorder()
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query,
+        *,
+        algorithm: str | AlgorithmFactory | None = None,
+        config=None,
+        budget: StreamBudget | None = None,
+        clock: VirtualClock | None = None,
+        name: str | None = None,
+    ) -> ScheduledQuery:
+        """Admit a query; returns its :class:`ScheduledQuery` handle.
+
+        Accepts everything :meth:`~repro.session.service.Session.execute`
+        does.  No work happens until the scheduler first dispatches the
+        query (planning cost is charged to its clock at that moment).
+        Submitting while :meth:`run` is mid-flight is allowed; the new
+        query joins the rotation at the next scheduling decision.
+
+        Budget semantics differ from a solo stream: ceilings are checked
+        *between* kernel steps (no mid-step tripwire), so a query may
+        overshoot a ceiling by up to one step's worth of work and results
+        before it is retired — and for a blocking baseline behind the
+        generator adapter, whose first step performs the whole
+        computation, a budget caps only its output.  Every emitted result
+        remains provably final either way.  Use
+        :meth:`Session.execute <repro.session.service.Session.execute>`
+        when exact budget cut-offs matter.
+        """
+        instance, clock, resolved = self.session.build_algorithm(
+            query, algorithm=algorithm, config=config, clock=clock
+        )
+        qid = self._next_qid
+        self._next_qid += 1
+        handle = ScheduledQuery(
+            qid=qid,
+            name=name or f"q{qid}:{resolved or getattr(instance, 'name', '?')}",
+            algorithm=instance,
+            clock=clock,
+            budget=budget,
+        )
+        self._queries.append(handle)
+        self._rotation.append(handle)
+        return handle
+
+    @property
+    def queries(self) -> list[ScheduledQuery]:
+        """All submitted query handles, in submission order."""
+        return list(self._queries)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self) -> Iterator[tuple[ScheduledQuery, ResultTuple]]:
+        """Interleave all admitted queries; yield ``(query, result)`` pairs.
+
+        Results stream out in global emission order, each provably final
+        for its query the moment it appears.  Returns when every query is
+        terminal (completed, cancelled, or budget-exhausted).
+        """
+        for query, report in self._ticks():
+            for result in report.results:
+                yield query, result
+
+    def run_all(self) -> list[ScheduledQuery]:
+        """Drive every query to a terminal state; return all handles."""
+        for _ in self.run():
+            pass
+        return self.queries
+
+    async def run_async(
+        self,
+    ) -> AsyncIterator[tuple[ScheduledQuery, ResultTuple]]:
+        """Asyncio-friendly :meth:`run`: yields to the event loop per step.
+
+        The engine work itself stays synchronous (one kernel step at a
+        time), but control returns to the loop between steps, so other
+        coroutines — network handlers, other schedulers — stay responsive
+        while queries execute.
+        """
+        for query, report in self._ticks():
+            for result in report.results:
+                yield query, result
+            await asyncio.sleep(0)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _ticks(self) -> Iterator[tuple[ScheduledQuery, StepReport]]:
+        """One iteration per dispatched step, across all queries."""
+        if self._running:
+            raise QueryError("scheduler is already running")
+        self._running = True
+        try:
+            while True:
+                active = self._admit()
+                if not active:
+                    # _admit always fills a free slot from the waiting
+                    # queries, so an empty active set means every query is
+                    # terminal; anything else is an admission bug.
+                    assert not self._rotation, (
+                        "admission left unfinished queries unscheduled"
+                    )
+                    return
+                chosen = self._policy.choose(active)
+                for _ in range(self.config.quantum):
+                    report = self._dispatch(chosen)
+                    yield chosen, report
+                    # A consumer may cancel from between yields: surrender
+                    # the rest of the quantum so no further work runs after
+                    # the request (the next _admit() finalises the state).
+                    if chosen.finished or chosen._cancel_reason is not None:
+                        break
+        finally:
+            self._running = False
+
+    def _admit(self) -> list[ScheduledQuery]:
+        """Finalise cancellations, fill admission slots, return the active set.
+
+        Also evicts terminal queries from the rotation — their handles (and
+        result buffers) stay reachable through :attr:`queries` for as long
+        as the caller keeps the scheduler, but they cost nothing per
+        dispatch.
+        """
+        live: list[ScheduledQuery] = []
+        active: list[ScheduledQuery] = []
+        limit = self.config.max_active
+        for query in self._rotation:
+            if query._cancel_reason is not None and not query.finished:
+                self._retire(query, CANCELLED, query._cancel_reason)
+            if query.finished:
+                continue
+            live.append(query)
+            if query.admitted:
+                active.append(query)
+        if limit is None or len(active) < limit:
+            for query in live:
+                if query.admitted:
+                    continue
+                query.admitted = True
+                active.append(query)
+                if limit is not None and len(active) >= limit:
+                    break
+        self._rotation = live
+        return active
+
+    def _dispatch(self, query: ScheduledQuery) -> StepReport:
+        """Run one step of ``query`` and account for it."""
+        t0 = query.clock.now()
+        if query._stepper is None:
+            query.state = RUNNING
+            query._stepper = self._make_stepper(query.algorithm, query.clock)
+        # The fairness-accounted cost of being scheduled: one queue op per
+        # dispatch, charged to the query that received the step.
+        query.clock.charge("queue_op")
+        try:
+            report = query._stepper.step()
+        except Exception as exc:
+            # The query's stepper is dead; record the failure terminally so
+            # a re-run of the scheduler never mistakes the partial result
+            # set for a completed one, then let the caller see the error.
+            self._retire(query, FAILED, f"step raised {exc!r}")
+            raise
+        delta = query.clock.now() - t0
+        self.global_vtime += delta
+        query.steps += 1
+        for result in report.results:
+            query.results.append(result)
+            query.recorder.record()
+            query.emission_global_vtimes.append(self.global_vtime)
+        if report.results and query.first_result_global_vtime is None:
+            query.first_result_global_vtime = self.global_vtime
+        if self.config.record_interleaving:
+            self.interleaving.record(
+                query.qid, report.kind, delta, len(report.results),
+                self.global_vtime,
+            )
+        if report.finished:
+            query.state = COMPLETED
+            query.recorder.finish()
+        elif query.budget is not None:
+            reason = query.budget.exceeded(
+                query.clock,
+                len(query.results),
+                lambda: time.perf_counter() - query._wall_start,
+            )
+            if reason is not None:
+                self._retire(query, BUDGET_EXHAUSTED, reason)
+        return report
+
+    @staticmethod
+    def _make_stepper(instance, clock: VirtualClock):
+        """A resumable stepper: the engine's kernel, or a generator shim."""
+        kernel_factory = getattr(instance, "kernel", None)
+        if callable(kernel_factory):
+            return kernel_factory()
+        return _GeneratorStepper(instance, clock)
+
+    def _retire(
+        self, query: ScheduledQuery, state: str, reason: str | None
+    ) -> None:
+        if query._stepper is not None:
+            query._stepper.close()
+        query.state = state
+        query.stop_reason = reason
+        query.recorder.finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        terminal = sum(1 for q in self._queries if q.finished)
+        return (
+            f"QueryScheduler(policy={self.config.policy!r}, "
+            f"queries={len(self._queries)}, done={terminal})"
+        )

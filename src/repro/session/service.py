@@ -24,7 +24,12 @@ on those keeps working.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from dataclasses import replace
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.session.config import SchedulerConfig
+    from repro.session.scheduler import QueryScheduler
 
 from repro.errors import BindingError, QueryError
 from repro.query.parser import parse_query
@@ -160,6 +165,49 @@ class Session:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def build_algorithm(
+        self,
+        query,
+        *,
+        algorithm: str | AlgorithmFactory | None = None,
+        config: EngineConfig | str | None = None,
+        clock: VirtualClock | None = None,
+    ) -> tuple[object, VirtualClock, str | None]:
+        """Resolve and instantiate an algorithm for one execution.
+
+        The shared construction path behind :meth:`execute` (which wraps
+        the instance in a :class:`ResultStream`) and
+        :meth:`scheduler`-submitted queries (which step it through its
+        resumable kernel).  Returns ``(instance, clock, name)`` — ``name``
+        is the registry's canonical name, or ``None`` for a raw factory.
+        """
+        bound = self._coerce_bound(query)
+        clock = clock or VirtualClock(self.clock_weights)
+        if algorithm is None:
+            algorithm = DEFAULT_ALGORITHM
+        if isinstance(config, str):
+            config = EngineConfig.preset(config)
+        if callable(algorithm) and not isinstance(algorithm, str):
+            factory, name, configurable = algorithm, None, False
+            if config is not None:
+                raise QueryError(
+                    "config is only supported for registered algorithm names; "
+                    "apply the configuration inside the factory instead"
+                )
+        else:
+            entry = self.registry.entry(algorithm)
+            factory, name, configurable = entry.factory, entry.name, entry.configurable
+            if config is not None and not configurable:
+                raise QueryError(
+                    f"algorithm {entry.name!r} does not accept an EngineConfig"
+                )
+        if configurable:
+            effective = config or self.config
+            instance = factory(bound, clock, **effective.variant_kwargs())
+        else:
+            instance = factory(bound, clock)
+        return instance, clock, name
+
     def execute(
         self,
         query,
@@ -187,30 +235,80 @@ class Session:
         clock:
             Virtual clock to charge; a fresh one is created by default.
         """
-        bound = self._coerce_bound(query)
-        clock = clock or VirtualClock(self.clock_weights)
-        if isinstance(config, str):
-            config = EngineConfig.preset(config)
-        if callable(algorithm) and not isinstance(algorithm, str):
-            factory, name, configurable = algorithm, None, False
-            if config is not None:
-                raise QueryError(
-                    "config is only supported for registered algorithm names; "
-                    "apply the configuration inside the factory instead"
-                )
-        else:
-            entry = self.registry.entry(algorithm)
-            factory, name, configurable = entry.factory, entry.name, entry.configurable
-            if config is not None and not configurable:
-                raise QueryError(
-                    f"algorithm {entry.name!r} does not accept an EngineConfig"
-                )
-        if configurable:
-            effective = config or self.config
-            instance = factory(bound, clock, **effective.variant_kwargs())
-        else:
-            instance = factory(bound, clock)
+        instance, clock, name = self.build_algorithm(
+            query, algorithm=algorithm, config=config, clock=clock
+        )
         return ResultStream(instance, clock, name=name, budget=budget)
+
+    def scheduler(
+        self,
+        config: "SchedulerConfig | str | None" = None,
+        *,
+        policy: str | None = None,
+        max_active: int | None = None,
+        quantum: int | None = None,
+    ) -> "QueryScheduler":
+        """A cooperative multi-query scheduler over this session.
+
+        ``config`` may be a :class:`~repro.session.config.SchedulerConfig`
+        or a preset name (see
+        :data:`~repro.session.config.SCHEDULER_PRESETS`); the keyword
+        shortcuts override individual fields.  Submit queries with
+        :meth:`QueryScheduler.submit`, then iterate
+        :meth:`QueryScheduler.run` (or ``run_async``) to interleave them::
+
+            scheduler = session.scheduler(policy="benefit-greedy")
+            a = scheduler.submit(QUERY_A)
+            b = scheduler.submit(QUERY_B, budget=StreamBudget(max_results=5))
+            for query, result in scheduler.run():
+                ...
+        """
+        from repro.session.config import SchedulerConfig
+        from repro.session.scheduler import QueryScheduler
+
+        if isinstance(config, str):
+            config = SchedulerConfig.preset(config)
+        config = config or SchedulerConfig()
+        overrides = {}
+        if policy is not None:
+            overrides["policy"] = policy
+        if max_active is not None:
+            overrides["max_active"] = max_active
+        if quantum is not None:
+            overrides["quantum"] = quantum
+        if overrides:
+            config = replace(config, **overrides)
+        return QueryScheduler(self, config)
+
+    async def execute_async(
+        self,
+        query,
+        *,
+        algorithm: str | AlgorithmFactory = DEFAULT_ALGORITHM,
+        config: EngineConfig | str | None = None,
+        budget: StreamBudget | None = None,
+        clock: VirtualClock | None = None,
+    ):
+        """Asyncio-friendly execution: ``async for result in ...``.
+
+        Drives the query through its resumable kernel one step at a time,
+        yielding each result as its step emits it and returning control to
+        the event loop between steps — so multiple queries (or other
+        coroutines) progress concurrently under ``asyncio.gather``.
+        Accepts the arguments of :meth:`execute`, with one semantic
+        difference: a ``budget`` is enforced at kernel-step granularity
+        (see :meth:`QueryScheduler.submit
+        <repro.session.scheduler.QueryScheduler.submit>`), so the stream
+        may overshoot a ceiling by up to one step before stopping; the
+        emitted prefix is still provably final.
+        """
+        scheduler = self.scheduler()
+        scheduler.submit(
+            query, algorithm=algorithm, config=config, budget=budget,
+            clock=clock,
+        )
+        async for _, result in scheduler.run_async():
+            yield result
 
     def run(self, query, **kwargs) -> RunResult:
         """Execute to completion; return the legacy batch :class:`RunResult`."""

@@ -38,6 +38,8 @@ RUNNING = "running"
 COMPLETED = "completed"
 CANCELLED = "cancelled"
 BUDGET_EXHAUSTED = "budget_exhausted"
+#: Terminal state used by the scheduler for a query whose step raised.
+FAILED = "failed"
 
 
 class _StreamInterrupt(Exception):
@@ -135,6 +137,33 @@ class StreamStats:
     def completed(self) -> bool:
         """True when the underlying algorithm ran to natural completion."""
         return self.state == COMPLETED
+
+    @classmethod
+    def capture(
+        cls,
+        state: str,
+        recorder: ProgressRecorder,
+        clock: VirtualClock,
+        *,
+        wall_seconds: float,
+        stop_reason: str | None,
+    ) -> "StreamStats":
+        """Snapshot the standard progressiveness metrics.
+
+        Shared by :meth:`ResultStream.stats` and the scheduler's
+        per-query handles so both surfaces report identical shapes.
+        """
+        return cls(
+            state=state,
+            results=recorder.total_results,
+            vtime=clock.now(),
+            wall_seconds=wall_seconds,
+            time_to_first=recorder.time_to_first(),
+            auc=recorder.progressiveness_auc(),
+            batches=recorder.batch_count(),
+            dominance_comparisons=clock.count("dominance_cmp"),
+            stop_reason=stop_reason,
+        )
 
 
 class ResultStream:
@@ -292,16 +321,11 @@ class ResultStream:
     # ------------------------------------------------------------------
     def stats(self) -> StreamStats:
         """Progressiveness snapshot — valid mid-stream and after any stop."""
-        rec = self.recorder
-        return StreamStats(
-            state=self._state,
-            results=rec.total_results,
-            vtime=self.clock.now(),
+        return StreamStats.capture(
+            self._state,
+            self.recorder,
+            self.clock,
             wall_seconds=time.perf_counter() - self._wall_start,
-            time_to_first=rec.time_to_first(),
-            auc=rec.progressiveness_auc(),
-            batches=rec.batch_count(),
-            dominance_comparisons=self.clock.count("dominance_cmp"),
             stop_reason=self._stop_reason,
         )
 

@@ -28,7 +28,7 @@ def _check_lengths(u: Sequence[float], v: Sequence[float]) -> None:
     """Unequal-length vectors are a caller bug, never a tie to truncate."""
     if len(u) != len(v):
         raise ValueError(
-            f"dominance comparison of unequal-length vectors: "
+            "dominance comparison of unequal-length vectors: "
             f"{len(u)} vs {len(v)} dimensions"
         )
 

@@ -69,7 +69,7 @@ def dominates_matrix(u, v) -> np.ndarray:
     V = as_matrix(v, dimensions=U.shape[1])
     if U.shape[1] != V.shape[1]:
         raise ValueError(
-            f"dominance comparison of unequal-width matrices: "
+            "dominance comparison of unequal-width matrices: "
             f"{U.shape[1]} vs {V.shape[1]} dimensions"
         )
     if U.shape[0] == 0 or V.shape[0] == 0:

@@ -56,7 +56,6 @@ class ColumnBatch:
     ) -> None:
         self.rows: list[Row] = list(rows)
         self.width = width
-        n = len(self.rows)
         self._columns: dict[int, np.ndarray] = {}
         for i in indices:
             if not 0 <= i < width:

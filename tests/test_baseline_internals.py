@@ -1,6 +1,5 @@
 """White-box tests of SSMJ and SAJ internals: threat bounds and frontiers."""
 
-import numpy as np
 import pytest
 
 from tests.conftest import make_bound
@@ -164,7 +163,6 @@ class TestSSMJInternals:
 
     def test_verified_false_positive_invariant_raises(self):
         """If the threat bound were broken the engine must scream, not lie."""
-        from repro.errors import ExecutionError
 
         bound = make_bound("independent", n=60, d=2, sigma=0.1, seed=7)
         algo = SkylineSortMergeJoin(bound, VirtualClock(), verified=True)

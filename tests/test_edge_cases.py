@@ -6,7 +6,6 @@ clamping, custom clock weights.
 """
 
 import numpy as np
-import pytest
 
 from tests.conftest import oracle_skyline_keys
 from repro.core.engine import ProgXeEngine

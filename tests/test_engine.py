@@ -177,7 +177,7 @@ class TestProgressivenessShape:
 
         bound = make_bound("independent", n=200, d=2, sigma=0.05, seed=41)
         px = run_algorithm(progxe, bound)
-        jf = run_algorithm(JoinFirstSkylineLater, bound)
+        run_algorithm(JoinFirstSkylineLater, bound)
         if px.recorder.total_results >= 3:
             # ProgXe's first result arrives well before JF-SL's only batch
             # relative to each algorithm's own horizon.

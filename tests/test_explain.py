@@ -1,6 +1,5 @@
 """Tests for the EXPLAIN / trace facility."""
 
-import pytest
 
 from tests.conftest import make_bound
 from repro.core.engine import ProgXeEngine

@@ -89,7 +89,7 @@ class TestEliminationGraph:
         r13 = synthetic_region(0, (2, 0), (4, 1))  # low delay band
         r41 = synthetic_region(1, (6, 3), (8, 5))  # strictly above-right
         r22 = synthetic_region(2, (5, 1), (7, 4))  # partially above
-        graph = EliminationGraph([r13, r41, r22], VirtualClock())
+        EliminationGraph([r13, r41, r22], VirtualClock())  # wires edges
         assert r41.rid in r13.out_edges
         assert r22.rid in r13.out_edges
 

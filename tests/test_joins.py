@@ -1,6 +1,5 @@
 """Tests for the three join algorithms."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -13,7 +12,7 @@ rows = st.lists(st.tuples(st.integers(0, 100), keys), max_size=25)
 
 
 def canonical(pairs):
-    return sorted((l, r) for l, r in pairs)
+    return sorted((lhs, rhs) for lhs, rhs in pairs)
 
 
 class TestEquiJoin:

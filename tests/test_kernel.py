@@ -1,0 +1,357 @@
+"""Tests for the plan/kernel split of the execution core.
+
+The contract under test: the resumable :class:`ExecutionKernel` is an
+exact re-expression of the historical monolithic ``run()`` generator —
+stepping, pausing, resuming, and mixing steps with drains must never
+change the emitted result *sequence* — plus the new introspection
+(snapshots, per-step reports) and the engine's double-execution guard.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import make_bound, oracle_skyline_keys
+from repro.core.engine import ProgXeEngine
+from repro.core.kernel import (
+    CREATED,
+    FINISHED,
+    PAUSED,
+    STEP_BOOTSTRAP,
+    STEP_FINALIZE,
+    STEP_REGION,
+    ExecutionKernel,
+)
+from repro.core.plan import QueryPlan
+from repro.errors import ExecutionError
+from repro.runtime.clock import VirtualClock
+
+
+def solo_sequence(bound, **engine_kwargs) -> list[tuple]:
+    """Result-key sequence of an uninterrupted run."""
+    engine = ProgXeEngine(bound, VirtualClock(), **engine_kwargs)
+    return [r.key() for r in engine.run()]
+
+
+def stepped_sequence(bound, pause_every: int, **engine_kwargs) -> list[tuple]:
+    """Result-key sequence of a run paused/resumed after every k steps."""
+    kernel = ProgXeEngine(bound, VirtualClock(), **engine_kwargs).kernel()
+    keys: list[tuple] = []
+    steps = 0
+    while not kernel.finished:
+        report = kernel.step()
+        keys.extend(r.key() for r in report.results)
+        steps += 1
+        if steps % pause_every == 0 and not kernel.finished:
+            kernel.pause()
+            assert kernel.status == PAUSED
+            with pytest.raises(ExecutionError):
+                kernel.step()
+            kernel.resume()
+    return keys
+
+
+class TestPlan:
+    def test_build_runs_phases_0_to_2(self, small_bound):
+        plan = QueryPlan.build(small_bound, VirtualClock())
+        assert plan.regions
+        assert plan.grid.active_count > 0
+        # No execution yet: nothing inserted, nothing emitted.
+        assert all(not c.emitted for c in plan.grid.cells.values())
+
+    def test_plan_is_single_use(self, small_bound):
+        """Execution mutates the plan, so a second kernel over it raises.
+
+        Without the guard the second kernel would silently yield an empty
+        result set (all regions done, all cells already emitted).
+        """
+        plan = QueryPlan.build(small_bound, VirtualClock())
+        kernel = ExecutionKernel(plan)
+        assert list(kernel.drain())
+        with pytest.raises(ExecutionError, match="already been executed"):
+            ExecutionKernel(plan)
+
+    def test_pushthrough_records_prune_stats(self):
+        bound = make_bound("anticorrelated", n=100, d=2, sigma=0.1, seed=3)
+        plan = QueryPlan.build(bound, VirtualClock(), pushthrough=True)
+        assert "left_pruned" in plan.prune_stats
+        assert "right_pruned" in plan.prune_stats
+
+    def test_engine_plan_matches_engine_config(self, small_bound):
+        engine = ProgXeEngine(
+            small_bound, VirtualClock(), ordering=False, seed=9,
+            use_vectorized=False, verify=False,
+        )
+        plan = engine.plan()
+        assert plan.ordering is False
+        assert plan.seed == 9
+        assert plan.use_vectorized is False
+        assert plan.verify is False
+
+
+class TestKernelStepping:
+    def test_step_sequence_matches_run(self, small_bound):
+        assert stepped_sequence(small_bound, pause_every=10**9) == solo_sequence(
+            small_bound
+        )
+
+    def test_first_step_is_bootstrap_last_is_finalize(self, small_bound):
+        kernel = ProgXeEngine(small_bound, VirtualClock()).kernel()
+        assert kernel.status == CREATED
+        kinds = []
+        while not kernel.finished:
+            kinds.append(kernel.step().kind)
+        assert kinds[0] == STEP_BOOTSTRAP
+        assert kinds[-1] == STEP_FINALIZE
+        assert set(kinds[1:-1]) <= {STEP_REGION}
+        assert kernel.status == FINISHED
+
+    def test_idle_step_after_finish_is_harmless(self, small_bound):
+        engine = ProgXeEngine(small_bound, VirtualClock())
+        kernel = engine.kernel()
+        while not kernel.finished:
+            kernel.step()
+        stats_before = dict(engine.stats)
+        report = kernel.step()
+        assert report.kind == "idle"
+        assert report.results == ()
+        assert report.finished
+        assert engine.stats == stats_before  # no re-execution, no corruption
+
+    def test_step_reports_account_clock_charges(self, small_bound):
+        kernel = ProgXeEngine(small_bound, VirtualClock()).kernel()
+        total = 0.0
+        base = kernel.clock.now()
+        while not kernel.finished:
+            report = kernel.step()
+            assert report.vtime_delta >= 0
+            assert report.vtime == kernel.clock.now()
+            total += report.vtime_delta
+        assert total == pytest.approx(kernel.clock.now() - base)
+
+    def test_region_steps_carry_region_ids(self, small_bound):
+        kernel = ProgXeEngine(small_bound, VirtualClock()).kernel()
+        seen: list[int] = []
+        while not kernel.finished:
+            report = kernel.step()
+            if report.kind == STEP_REGION:
+                assert report.region_id is not None
+                seen.append(report.region_id)
+        assert len(seen) == len(set(seen))  # each region processed once
+
+    def test_steps_then_drain_completes_the_run(self, small_bound):
+        solo = solo_sequence(small_bound)
+        kernel = ProgXeEngine(small_bound, VirtualClock()).kernel()
+        keys = []
+        for _ in range(3):
+            keys.extend(r.key() for r in kernel.step().results)
+        keys.extend(r.key() for r in kernel.drain())
+        assert keys == solo
+        assert kernel.finished
+
+    def test_drain_alone_matches_run(self, small_bound):
+        kernel = ProgXeEngine(small_bound, VirtualClock()).kernel()
+        assert [r.key() for r in kernel.drain()] == solo_sequence(small_bound)
+
+    def test_failed_step_leaves_kernel_finished_not_stuck(self, small_bound):
+        """A step that raises must not leave the kernel spinning forever.
+
+        The event-loop generator dies when an error propagates out of a
+        step; subsequent steps must report the kernel finished (idle after
+        that) instead of status 'running' with finished=False — otherwise
+        retrying callers and the scheduler's termination checks loop
+        endlessly on a dead kernel.
+        """
+        kernel = ProgXeEngine(small_bound, VirtualClock()).kernel()
+        kernel.step()
+
+        class Boom(RuntimeError):
+            pass
+
+        def explode():
+            raise Boom("tuple-level failure")
+
+        kernel.policy.next_region = explode
+        with pytest.raises(Boom):
+            kernel.step()
+        assert kernel.status == FINISHED  # terminal immediately
+        assert kernel.aborted
+        report = kernel.step()  # dead generator: must not spin
+        assert report.finished
+        assert kernel.step().kind == "idle"
+
+    def test_close_abandons_cleanly(self, small_bound):
+        kernel = ProgXeEngine(small_bound, VirtualClock()).kernel()
+        kernel.step()
+        kernel.step()
+        kernel.close()
+        assert kernel.finished
+        assert kernel.step().kind == "idle"
+
+
+class TestPauseResume:
+    def test_pause_blocks_step_and_drain(self, small_bound):
+        kernel = ProgXeEngine(small_bound, VirtualClock()).kernel()
+        kernel.step()
+        kernel.pause()
+        with pytest.raises(ExecutionError):
+            kernel.step()
+        with pytest.raises(ExecutionError):
+            next(kernel.drain())
+        kernel.resume()
+        assert kernel.step().kind in (STEP_REGION, STEP_FINALIZE)
+
+    def test_pause_after_finish_is_noop(self, small_bound):
+        kernel = ProgXeEngine(small_bound, VirtualClock()).kernel()
+        while not kernel.finished:
+            kernel.step()
+        kernel.pause()
+        assert kernel.status == FINISHED
+
+    @pytest.mark.parametrize("partitioning", ["grid", "quadtree"])
+    @pytest.mark.parametrize("use_vectorized", [True, False])
+    @settings(max_examples=8, deadline=None)
+    @given(k=st.integers(min_value=1, max_value=9), seed=st.integers(0, 3))
+    def test_pause_resume_determinism(self, partitioning, use_vectorized, k, seed):
+        """Stopping after every k steps reproduces the uninterrupted run.
+
+        The satellite property: for both partitioners and both tuple-level
+        paths, a kernel paused and resumed at arbitrary step boundaries
+        yields the exact result sequence (order included) of a solo run.
+        """
+        bound = make_bound("independent", n=90, d=2, sigma=0.1, seed=seed)
+        kwargs = dict(partitioning=partitioning, use_vectorized=use_vectorized)
+        assert stepped_sequence(bound, pause_every=k, **kwargs) == solo_sequence(
+            bound, **kwargs
+        )
+
+    def test_pause_resume_determinism_anticorrelated(self):
+        bound = make_bound("anticorrelated", n=80, d=3, sigma=0.1, seed=1)
+        assert stepped_sequence(bound, pause_every=2) == solo_sequence(bound)
+
+
+class TestSnapshot:
+    def test_snapshot_progression(self, small_bound):
+        kernel = ProgXeEngine(small_bound, VirtualClock()).kernel()
+        before = kernel.snapshot()
+        assert before.status == CREATED
+        assert before.steps == 0
+        assert before.results_emitted == 0
+        assert before.regions_pending > 0
+        while not kernel.finished:
+            kernel.step()
+        after = kernel.snapshot()
+        assert after.status == FINISHED
+        assert after.regions_pending == 0
+        assert after.regions_done == after.regions_total
+        assert after.results_emitted == len(oracle_skyline_keys(small_bound))
+        assert after.cells_emitted > 0
+        assert after.vtime > before.vtime
+        assert after.clock_counts.get("dominance_cmp", 0) >= 0
+
+    def test_snapshot_is_cheap_and_pure(self, small_bound):
+        kernel = ProgXeEngine(small_bound, VirtualClock()).kernel()
+        kernel.step()
+        t = kernel.clock.now()
+        snap1 = kernel.snapshot()
+        snap2 = kernel.snapshot()
+        assert kernel.clock.now() == t  # no charges
+        assert snap1 == snap2
+
+
+class TestEngineFacade:
+    def test_double_run_raises(self, small_bound):
+        engine = ProgXeEngine(small_bound, VirtualClock())
+        list(engine.run())
+        with pytest.raises(ExecutionError, match="already been executed"):
+            list(engine.run())
+
+    def test_double_kernel_raises(self, small_bound):
+        engine = ProgXeEngine(small_bound, VirtualClock())
+        engine.kernel()
+        with pytest.raises(ExecutionError, match="already been executed"):
+            engine.kernel()
+
+    def test_run_then_kernel_raises(self, small_bound):
+        engine = ProgXeEngine(small_bound, VirtualClock())
+        list(engine.run())
+        with pytest.raises(ExecutionError):
+            engine.kernel()
+
+    def test_stats_preserved_after_guarded_second_run(self, small_bound):
+        engine = ProgXeEngine(small_bound, VirtualClock())
+        list(engine.run())
+        stats = dict(engine.stats)
+        with pytest.raises(ExecutionError):
+            list(engine.run())
+        assert engine.stats == stats  # the guard protects the stats
+
+    def test_plan_is_cached_no_double_charge(self, small_bound):
+        """engine.plan() then engine.kernel() must not re-run phases 0-2."""
+        engine = ProgXeEngine(small_bound, VirtualClock())
+        plan = engine.plan()
+        after_planning = engine.clock.now()
+        assert engine.plan() is plan
+        kernel = engine.kernel()
+        assert kernel.plan is plan
+        # kernel construction charges graph/queue wiring but must not have
+        # re-partitioned: a second planning pass would roughly double the
+        # partition_op count.
+        baseline = ProgXeEngine(small_bound, VirtualClock())
+        baseline.kernel()
+        assert engine.clock.count("partition_op") == baseline.clock.count(
+            "partition_op"
+        )
+        assert after_planning > 0
+
+    def test_engine_exposes_kernel_and_state(self, small_bound):
+        engine = ProgXeEngine(small_bound, VirtualClock())
+        assert engine.execution_kernel is None
+        kernel = engine.kernel()
+        assert engine.execution_kernel is kernel
+        assert engine.state is kernel.state
+        while not kernel.finished:
+            kernel.step()
+        assert engine.stats["regions_total"] > 0
+
+    def test_stepped_engine_stats_match_run_stats(self, small_bound):
+        run_engine = ProgXeEngine(small_bound, VirtualClock())
+        list(run_engine.run())
+        step_engine = ProgXeEngine(small_bound, VirtualClock())
+        kernel = step_engine.kernel()
+        while not kernel.finished:
+            kernel.step()
+        assert step_engine.stats == run_engine.stats
+
+    def test_kernel_results_match_oracle(self, small_bound):
+        kernel = ProgXeEngine(small_bound, VirtualClock()).kernel()
+        keys = set()
+        while not kernel.finished:
+            keys.update(r.key() for r in kernel.step().results)
+        assert keys == oracle_skyline_keys(small_bound)
+
+
+class TestEmitSettled:
+    def test_emit_settled_is_public_and_idempotent(self, small_bound):
+        kernel = ProgXeEngine(small_bound, VirtualClock()).kernel()
+        while not kernel.finished:
+            kernel.step()
+        state = kernel.state
+        emitted = [c for c in kernel.plan.grid.cells.values() if c.emitted]
+        assert emitted
+        # Re-emitting an already-emitted (or non-emittable) cell is a no-op.
+        for cell in emitted:
+            state.emit_settled(cell)
+        assert state.drain_emissions() == []
+
+    def test_peek_rank_lifecycle(self, small_bound):
+        kernel = ProgXeEngine(small_bound, VirtualClock()).kernel()
+        assert kernel.peek_rank() == float("inf")  # bootstrap pending
+        kernel.step()
+        mid = kernel.peek_rank()
+        assert mid >= 0.0
+        while not kernel.finished:
+            kernel.step()
+        assert kernel.peek_rank() == 0.0

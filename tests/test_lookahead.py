@@ -1,6 +1,5 @@
 """Tests for the output-space look-ahead phase (paper §III-A)."""
 
-import pytest
 
 from tests.conftest import make_bound, oracle_skyline_keys
 from repro.core.lookahead import (
@@ -156,8 +155,8 @@ class TestOutputGridConstruction:
             clock = VirtualClock()
             regions, grid = run_lookahead(bound, left, right, 8, clock)
             skyline_vectors = {
-                bound.vector_of(bound.map_pair(l, r))
-                for l, r in oracle_skyline_keys(bound)
+                bound.vector_of(bound.map_pair(lkey, rkey))
+                for lkey, rkey in oracle_skyline_keys(bound)
             }
             for vec in skyline_vectors:
                 cell = grid.cells.get(grid.coords_of(vec))

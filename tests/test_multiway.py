@@ -7,7 +7,6 @@ from repro.errors import BindingError, QueryError
 from repro.query.expressions import Attr
 from repro.query.mapping import MappingFunction, MappingSet
 from repro.query.multiway import (
-    BoundMultiwayQuery,
     ChainJoin,
     MultiwayQuery,
 )

@@ -1,6 +1,5 @@
 """Tests for ProgOrder and the random-order ablation (paper §IV-D)."""
 
-import pytest
 
 from tests.conftest import make_bound
 from repro.core.elimination_graph import EliminationGraph

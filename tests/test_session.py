@@ -13,7 +13,6 @@ import pytest
 import repro
 from repro.core.variants import ALGORITHMS
 from repro.errors import BindingError, QueryError, RegistryError
-from repro.runtime.clock import VirtualClock
 from repro.session import (
     BUDGET_EXHAUSTED,
     CANCELLED,

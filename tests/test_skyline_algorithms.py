@@ -5,7 +5,6 @@ input, including duplicates and ties.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
