@@ -1,0 +1,216 @@
+"""Benchmark: cross-query work sharing via the shared partition cache.
+
+The ProgXe prologue front-loads query-independent work: partitioning both
+input tables over the mapping attributes and building join-value
+signatures.  With N concurrent queries over the same tables, a cache-less
+server repeats that prologue N times; with the session's shared
+:class:`~repro.cache.plan_cache.PlanCache`, query 1 partitions and queries
+2..N reuse the built grids.  This bench quantifies the planning-time
+saving on both axes:
+
+* **virtual time** — deterministic across machines: a cache hit charges
+  one ``cache_op`` where a private build charges ``partition_op`` per row;
+* **wall seconds** — the real planning latency of ``engine.plan()``.
+
+Every run asserts that each query's full result sequence is identical
+with and without sharing — the cache must be invisible to execution.
+Results land in ``BENCH_work_sharing.json`` at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_work_sharing.py            # full run
+    PYTHONPATH=src python benchmarks/bench_work_sharing.py --smoke    # CI scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+from repro.data.workloads import SyntheticWorkload
+from repro.session.config import EngineConfig
+from repro.session.service import Session
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_work_sharing.json"
+SEED = 20100301  # shared with the figure benches
+
+
+def plan_queries(session: Session, bound, count: int) -> list[dict]:
+    """Build ``count`` engines over ``bound`` through ``session``; time each
+    engine's planning, then drain it, returning per-query profiles."""
+    profiles = []
+    for _ in range(count):
+        instance, clock, _name = session.build_algorithm(bound)
+        wall0 = time.perf_counter()
+        instance.plan()
+        plan_wall = time.perf_counter() - wall0
+        plan_vtime = clock.now()
+        keys = [r.key() for r in instance.run()]
+        profiles.append(
+            {
+                "plan_wall_seconds": plan_wall,
+                "plan_vtime": plan_vtime,
+                "cache_events": instance.cache_events,
+                "keys": keys,
+            }
+        )
+    return profiles
+
+
+def bench_level(concurrency: int, n: int, d: int, distribution: str) -> dict:
+    workload = SyntheticWorkload(
+        distribution=distribution, n=n, d=d, sigma=0.05, seed=SEED
+    )
+    bound = workload.bound()
+
+    shared_session = Session()
+    shared = plan_queries(shared_session, bound, concurrency)
+    private_session = Session(config=EngineConfig(share_partitions=False))
+    private = plan_queries(private_session, bound, concurrency)
+
+    # The cache must be invisible: every query's result sequence matches
+    # its privately planned twin, result for result.
+    for i, (s, p) in enumerate(zip(shared, private)):
+        assert s["keys"] == p["keys"], (
+            f"query {i}: shared-plan result sequence differs from private"
+        )
+    assert shared[0]["cache_events"] == {"partition_misses": 2}
+    for s in shared[1:]:
+        assert s["cache_events"] == {"partition_hits": 2}
+
+    # Planning cost of the 2nd..Nth query: the ones sharing pays off for.
+    warm_shared_vtime = statistics.mean(
+        q["plan_vtime"] for q in shared[1:]
+    )
+    warm_private_vtime = statistics.mean(
+        q["plan_vtime"] for q in private[1:]
+    )
+    warm_shared_wall = statistics.mean(
+        q["plan_wall_seconds"] for q in shared[1:]
+    )
+    warm_private_wall = statistics.mean(
+        q["plan_wall_seconds"] for q in private[1:]
+    )
+    vtime_speedup = round(warm_private_vtime / warm_shared_vtime, 2)
+    wall_speedup = round(warm_private_wall / warm_shared_wall, 2)
+
+    cache_stats = shared_session.plan_cache.stats()
+    entry = {
+        "concurrency": concurrency,
+        "n": n,
+        "d": d,
+        "distribution": distribution,
+        "results_per_query": len(shared[0]["keys"]),
+        "planning_vtime": {
+            "cold": shared[0]["plan_vtime"],
+            "warm_shared_mean": round(warm_shared_vtime, 2),
+            "warm_private_mean": round(warm_private_vtime, 2),
+            "speedup": vtime_speedup,
+        },
+        "planning_wall_seconds": {
+            "cold": round(shared[0]["plan_wall_seconds"], 6),
+            "warm_shared_mean": round(warm_shared_wall, 6),
+            "warm_private_mean": round(warm_private_wall, 6),
+            "speedup": wall_speedup,
+        },
+        "cache": cache_stats.as_dict(),
+        "identical_results": True,  # asserted above
+    }
+    print(
+        f"  N={concurrency:>2}  planning of queries 2..N:  "
+        f"vtime {warm_private_vtime:>10.0f} -> {warm_shared_vtime:>8.0f} "
+        f"({vtime_speedup}x)   wall {warm_private_wall * 1e3:>8.2f}ms -> "
+        f"{warm_shared_wall * 1e3:>6.2f}ms ({wall_speedup}x)"
+    )
+    return entry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--levels", type=int, nargs="+", default=[2, 4, 8],
+        help="concurrency levels to measure (default: 2 4 8)",
+    )
+    parser.add_argument("-n", type=int, default=20000, help="rows per table")
+    parser.add_argument("-d", type=int, default=2, help="skyline dimensions")
+    parser.add_argument(
+        "--distribution", default="independent",
+        choices=["independent", "correlated", "anticorrelated"],
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny CI scale: result equality + cache-hit accounting "
+        "asserted, no JSON written unless --out is given explicitly",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help=f"output JSON path (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+
+    levels = [3] if args.smoke else args.levels
+    if any(level < 2 for level in levels):
+        parser.error(
+            "--levels entries must be >= 2: with a single query there are "
+            "no warm (2nd..Nth) queries for sharing to pay off on"
+        )
+    n = 2000 if args.smoke else args.n
+
+    print("cross-query work-sharing benchmark (shared partition cache)")
+    print(
+        f"  levels={levels}  n={n}  d={args.d}  "
+        f"distribution={args.distribution}  seed={SEED}"
+    )
+    entries = [
+        bench_level(level, n, args.d, args.distribution) for level in levels
+    ]
+
+    for entry in entries:
+        vt = entry["planning_vtime"]["speedup"]
+        if args.smoke:
+            assert vt > 1.5, (
+                f"N={entry['concurrency']}: cached planning should clearly "
+                f"beat private planning even at smoke scale, got {vt}x"
+            )
+        else:
+            assert vt >= 3.0, (
+                f"N={entry['concurrency']}: expected >=3x planning-vtime "
+                f"reduction for queries 2..N, got {vt}x"
+            )
+            wall = entry["planning_wall_seconds"]["speedup"]
+            assert wall >= 3.0, (
+                f"N={entry['concurrency']}: expected >=3x planning "
+                f"wall-time reduction for queries 2..N, got {wall}x"
+            )
+    if args.smoke:
+        print(
+            "  smoke OK: results identical, "
+            f"vtime speedup {entries[0]['planning_vtime']['speedup']}x"
+        )
+
+    out_path = args.out or (None if args.smoke else DEFAULT_OUT)
+    if out_path is not None:
+        payload = {
+            "benchmark": "cross-query work sharing (shared partition cache)",
+            "command": "PYTHONPATH=src python benchmarks/bench_work_sharing.py",
+            "metric": (
+                "planning cost of the 2nd..Nth concurrent query over the "
+                "same tables: shared PlanCache vs private planning "
+                "(virtual time + wall seconds)"
+            ),
+            "seed": SEED,
+            "python": sys.version.split()[0],
+            "entries": entries,
+        }
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"  wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,6 +44,7 @@ harnesses, now shims over the stream layer), and the ``ALGORITHMS`` view
 over the pluggable algorithm registry.
 """
 
+from repro.cache import CacheStats, PartitionKey, PartitionStore, PlanCache
 from repro.baselines import (
     JoinFirstSkylineLater,
     JoinFirstSkylineLaterPlus,
@@ -139,6 +140,7 @@ __all__ = [
     "Attr",
     "BindingError",
     "BoundQuery",
+    "CacheStats",
     "ChainJoin",
     "ComparisonReport",
     "Const",
@@ -158,6 +160,9 @@ __all__ = [
     "PROGXE_VARIANTS",
     "ParetoPreference",
     "ParseError",
+    "PartitionKey",
+    "PartitionStore",
+    "PlanCache",
     "Preference",
     "ProgXeEngine",
     "ProgressRecorder",

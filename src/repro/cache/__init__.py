@@ -1,0 +1,31 @@
+"""Cross-query work sharing: shared partition/plan caching.
+
+The ProgXe pipeline front-loads expensive query-independent work — input
+partitioning and join-value signature construction over the base tables.
+This package lets concurrent queries share that work instead of redoing it:
+
+* :class:`PartitionStore` — a bounded LRU of built input grids / quad-trees,
+  keyed by :class:`PartitionKey` (table identity+version, mapping
+  attributes, join attribute, partitioner configuration);
+* :class:`PlanCache` — the planning-facing wrapper
+  :meth:`repro.core.plan.QueryPlan.build` consumes, owned by each
+  :class:`~repro.session.service.Session` so its queries (and any
+  :class:`~repro.session.scheduler.QueryScheduler` over it) share
+  automatically;
+* :class:`CacheStats` — hits / misses / evictions / invalidations, surfaced
+  through :class:`~repro.session.stream.StreamStats` and the ``serve`` CLI.
+
+Sharing never changes results: cached structures are read-only during
+execution and every mutation of a :class:`~repro.storage.table.Table`
+through its API bumps the version token embedded in the key.
+"""
+
+from repro.cache.plan_cache import PlanCache
+from repro.cache.store import CacheStats, PartitionKey, PartitionStore
+
+__all__ = [
+    "CacheStats",
+    "PartitionKey",
+    "PartitionStore",
+    "PlanCache",
+]

@@ -1,0 +1,110 @@
+"""The planning-facing face of cross-query work sharing.
+
+:class:`PlanCache` is the object :meth:`repro.core.plan.QueryPlan.build`
+consumes: it owns a :class:`~repro.cache.store.PartitionStore` and answers
+"partition this table with this partitioner" either from cache or by
+running the partitioner.  Everything *after* phase 1 — push-through,
+look-ahead, region wiring, cones — stays per-query, because it depends on
+the query's preferences, mapping functions and conditions.
+
+A :class:`~repro.session.service.Session` owns one ``PlanCache`` by default,
+so concurrent queries over the same registered tables share partitioning
+work automatically; ``EngineConfig(share_partitions=False)`` (per query) or
+``SchedulerConfig(share_partitions=False)`` (per scheduler) opt out.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cache.store import CacheStats, PartitionKey, PartitionStore
+from repro.storage.table import Table
+
+
+class PlanCache:
+    """Shared partition/plan-prologue cache used by ``QueryPlan.build``.
+
+    Example::
+
+        cache = PlanCache(max_entries=32)
+        grid, hit = cache.get_or_partition(
+            GridPartitioner(4, "exact"), table, ("a0", "a1"), "jkey",
+            source="R",
+        )
+        assert not hit                     # first build: a miss
+        _, hit = cache.get_or_partition(
+            GridPartitioner(4, "exact"), table, ("a0", "a1"), "jkey",
+            source="R",
+        )
+        assert hit                         # same table+config: shared
+        cache.stats().hit_rate             # 0.5
+
+    The cache is cooperative-concurrency safe: the scheduler interleaves
+    kernels on one thread, and the structures handed out are read-only
+    during execution, so no locking is needed.
+    """
+
+    def __init__(
+        self,
+        store: PartitionStore | None = None,
+        *,
+        max_entries: int = 64,
+    ) -> None:
+        self.store = store if store is not None else PartitionStore(max_entries)
+
+    def key_for(
+        self,
+        partitioner,
+        table: Table,
+        attributes: Sequence[str],
+        join_attribute: str,
+        *,
+        source: str | None = None,
+    ) -> PartitionKey:
+        """The :class:`PartitionKey` this cache would use for the request."""
+        return PartitionKey.for_table(
+            table, attributes, join_attribute, partitioner.descriptor(),
+            source=source,
+        )
+
+    def get_or_partition(
+        self,
+        partitioner,
+        table: Table,
+        attributes: Sequence[str],
+        join_attribute: str,
+        *,
+        source: str | None = None,
+    ) -> tuple[object, bool]:
+        """Partition ``table`` (or reuse a shared build); returns
+        ``(structure, hit)``.
+
+        ``partitioner`` is a :class:`~repro.storage.grid.GridPartitioner` or
+        :class:`~repro.storage.quadtree.QuadTreePartitioner`; its
+        ``descriptor()`` plus the table's
+        :attr:`~repro.storage.table.Table.cache_token` form the key.
+        """
+        key = self.key_for(
+            partitioner, table, attributes, join_attribute, source=source
+        )
+        return self.store.get_or_build(
+            key,
+            lambda: partitioner.partition(
+                table, attributes, join_attribute, source=source
+            ),
+        )
+
+    def invalidate(self, table: Table) -> int:
+        """Drop every cached partitioning of ``table``; returns the count."""
+        return self.store.invalidate_table(table)
+
+    def clear(self) -> None:
+        """Drop everything held by the underlying store."""
+        self.store.clear()
+
+    def stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the underlying store."""
+        return self.store.stats()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PlanCache({self.store!r})"

@@ -1,0 +1,228 @@
+"""The shared partition store: memoised phase-1 work, keyed by content.
+
+Input partitioning — gridding or quad-treeing a table over its mapping
+attributes and attaching join-value signatures to every cell — is the
+expensive *query-independent* prologue of the ProgXe pipeline: it depends
+only on the table's contents, the partitioning attributes, the join
+attribute and the partitioner configuration, never on preferences or filter
+conditions.  :class:`PartitionStore` memoises that work so N concurrent
+queries over the same tables partition once and share the result.
+
+Safety rests on two facts:
+
+* built :class:`~repro.storage.grid.InputGrid` /
+  :class:`~repro.storage.quadtree.QuadTreeIndex` structures are **read-only
+  during execution** — the kernel reads partition rows and signatures but
+  mutates only its own per-plan regions and output grid, so one structure
+  can back any number of simultaneous kernels;
+* every key embeds the table's :attr:`~repro.storage.table.Table.cache_token`
+  (identity, version, cardinality), so mutating a table through its API
+  bumps the version and the next plan rebuilds instead of reading stale
+  partitions.
+
+The store is a bounded LRU: least-recently-used entries are evicted once
+``max_entries`` is exceeded, and per-table invalidation
+(:meth:`PartitionStore.invalidate_table`) drops every generation of a
+table's entries at once.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import QueryError
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class PartitionKey:
+    """Identity of one memoised partitioning.
+
+    Two plans may share a built input grid exactly when all of these agree:
+
+    table_uid / table_version / row_count:
+        The table's :attr:`~repro.storage.table.Table.cache_token` unpacked —
+        which table, which mutation generation, how many rows.
+    source:
+        The alias the partitioning was built under (``"R"``/``"T"``); baked
+        into every :class:`~repro.storage.partition.InputPartition`, so an
+        alias mismatch must miss.
+    attributes:
+        The mapping attributes that form the grid dimensions, in order.
+    join_attribute:
+        The column feeding the join-value signatures.
+    partitioner:
+        The partitioner's ``descriptor()`` — kind plus every knob that
+        shapes the structure (cells per dimension, leaf capacity and depth,
+        signature kind, bloom geometry).
+    """
+
+    table_uid: int
+    table_version: int
+    row_count: int
+    source: str
+    attributes: tuple[str, ...]
+    join_attribute: str
+    partitioner: tuple
+
+    @classmethod
+    def for_table(
+        cls,
+        table: Table,
+        attributes: Sequence[str],
+        join_attribute: str,
+        partitioner_descriptor: tuple,
+        *,
+        source: str | None = None,
+    ) -> "PartitionKey":
+        """Build the key for partitioning ``table`` under ``source``."""
+        uid, version, rows = table.cache_token
+        return cls(
+            table_uid=uid,
+            table_version=version,
+            row_count=rows,
+            source=source or table.name,
+            attributes=tuple(attributes),
+            join_attribute=join_attribute,
+            partitioner=tuple(partitioner_descriptor),
+        )
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counter snapshot of a :class:`PartitionStore` (or a whole
+    :class:`~repro.cache.plan_cache.PlanCache`).
+
+    Example::
+
+        stats = session.plan_cache.stats()
+        print(stats.hits, stats.misses, stats.hit_rate)
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    entries: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none yet)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        """Plain-dict form for JSON reports and CLI output."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "entries": self.entries,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class PartitionStore:
+    """Bounded LRU store of built input partitionings.
+
+    Example::
+
+        store = PartitionStore(max_entries=32)
+        key = PartitionKey.for_table(table, ("a0", "a1"), "jkey",
+                                     partitioner.descriptor(), source="R")
+        grid, hit = store.get_or_build(
+            key, lambda: partitioner.partition(table, ("a0", "a1"), "jkey",
+                                               source="R"))
+
+    ``get_or_build`` returns the cached structure and ``hit=True`` on a key
+    match; otherwise it runs ``builder``, stores the result and returns it
+    with ``hit=False``.  A failing builder stores nothing.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise QueryError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[PartitionKey, object]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: PartitionKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: PartitionKey):
+        """The cached structure for ``key``, or ``None`` (counts a miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return entry
+
+    def put(self, key: PartitionKey, structure) -> None:
+        """Store ``structure`` under ``key``, evicting LRU entries if full."""
+        self._entries[key] = structure
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def get_or_build(
+        self, key: PartitionKey, builder: Callable[[], object]
+    ) -> tuple[object, bool]:
+        """Return ``(structure, hit)``; on a miss, build and store first."""
+        entry = self.get(key)
+        if entry is not None:
+            return entry, True
+        structure = builder()
+        self.put(key, structure)
+        return structure, False
+
+    def invalidate_table(self, table: Table) -> int:
+        """Drop every entry built over ``table`` (any version); return count.
+
+        Version-bumping mutation already guarantees correctness; explicit
+        invalidation additionally frees the memory of unreachable
+        generations immediately instead of waiting for LRU eviction.
+        """
+        uid = table.uid
+        stale = [k for k in self._entries if k.table_uid == uid]
+        for key in stale:
+            del self._entries[key]
+        self._invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop all entries (counters keep accumulating)."""
+        self._invalidations += len(self._entries)
+        self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """Current :class:`CacheStats` snapshot."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            invalidations=self._invalidations,
+            entries=len(self._entries),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (
+            f"PartitionStore({s.entries}/{self.max_entries} entries, "
+            f"hits={s.hits}, misses={s.misses}, evictions={s.evictions})"
+        )

@@ -200,26 +200,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Interleave N concurrent queries through the scheduler (demo)."""
     session = _session(args)
     [name] = _one_algorithm(session, args.algorithm, command="serve")
+    sharing = not args.no_share
     scheduler = session.scheduler(
         SchedulerConfig(
             policy=args.policy,
             max_active=args.max_active,
             quantum=args.quantum,
+            share_partitions=sharing,
         )
     )
     budget = _budget(args)
+    shared_bound = (
+        _workload(args).bound() if args.shared_tables else None
+    )
     for i in range(args.concurrency):
-        workload = SyntheticWorkload(
-            distribution=args.distribution, n=args.n, d=args.d,
-            sigma=args.sigma, seed=args.seed + i,
-        )
-        scheduler.submit(
-            workload.bound(), algorithm=name, budget=budget,
-            name=f"q{i}(seed={args.seed + i})",
-        )
+        if shared_bound is not None:
+            bound, qname = shared_bound, f"q{i}(shared)"
+        else:
+            workload = SyntheticWorkload(
+                distribution=args.distribution, n=args.n, d=args.d,
+                sigma=args.sigma, seed=args.seed + i,
+            )
+            bound, qname = workload.bound(), f"q{i}(seed={args.seed + i})"
+        scheduler.submit(bound, algorithm=name, budget=budget, name=qname)
     print(
         f"serving {args.concurrency} queries ({name}) under "
-        f"{args.policy}, quantum={args.quantum}"
+        f"{args.policy}, quantum={args.quantum}, "
+        f"sharing={'on' if sharing else 'off'}"
     )
     for query, result in scheduler.run():
         if args.stream:
@@ -243,6 +250,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"\ndispatches={rec.dispatches}  switches={rec.switches()}  "
         f"fairness-spread={rec.fairness_spread():.2f}  "
         f"total virtual work={scheduler.global_vtime:.0f}"
+    )
+    cache = scheduler.cache_stats()
+    print(
+        f"partition cache: hits={cache.hits}  misses={cache.misses}  "
+        f"evictions={cache.evictions}  entries={cache.entries}  "
+        f"hit-rate={cache.hit_rate:.0%}"
     )
     return 0
 
@@ -348,6 +361,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--preset", choices=list(PRESETS), help=preset_help)
     p_serve.add_argument("--stream", action="store_true",
                          help="print every result as it is emitted")
+    p_serve.add_argument(
+        "--shared-tables", action="store_true",
+        help="submit all queries over ONE workload's tables (seed=SEED) so "
+        "cross-query partition sharing kicks in; default gives each query "
+        "its own tables",
+    )
+    p_serve.add_argument(
+        "--no-share", action="store_true",
+        help="disable cross-query work sharing: every query partitions its "
+        "inputs privately instead of reusing the session's partition cache",
+    )
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_gen = sub.add_parser("generate", help="write a synthetic workload to CSV")

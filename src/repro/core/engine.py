@@ -1,12 +1,12 @@
 """The ProgXe progressive execution engine (paper §III, Figure 2).
 
-Pipelines the four framework phases:
+Pipelines the framework phases (numbered as in :mod:`repro.core.plan`):
 
-1. *(ProgXe+ only)* skyline partial push-through pruning of both sources,
-2. grid partitioning of the inputs with join-value signatures,
-3. output-space look-ahead (regions, region/cell-level domination pruning,
+0. *(ProgXe+ only)* skyline partial push-through pruning of both sources,
+1. grid/quadtree partitioning of the inputs with join-value signatures,
+2. output-space look-ahead (regions, region/cell-level domination pruning,
    dominance cones, elimination graph),
-4. the ProgOrder / ProgDetermine loop: pick a region, run tuple-level
+3. the ProgOrder / ProgDetermine loop: pick a region, run tuple-level
    processing, release its coverage, emit every output cell that became
    provably final — repeated until no region remains.
 
@@ -29,7 +29,7 @@ re-executing the phases and corrupting ``stats``.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.core.kernel import ExecutionKernel
 from repro.core.plan import QueryPlan
@@ -38,9 +38,24 @@ from repro.query.smj import BoundQuery, ResultTuple
 from repro.runtime.clock import VirtualClock
 from repro.storage.signatures import SIGNATURE_KINDS
 
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.cache.plan_cache import PlanCache
+
 
 class ProgXeEngine:
-    """Progressive SMJ evaluation: the paper's contribution."""
+    """Progressive SMJ evaluation: the paper's contribution.
+
+    Example::
+
+        engine = ProgXeEngine(workload.bound(), pushthrough=True)
+        for result in engine.run():      # provably final, the moment known
+            print(result.outputs)
+        engine.stats["regions_processed"]
+
+    ``cache`` accepts a shared :class:`~repro.cache.plan_cache.PlanCache`;
+    planning then reuses input partitionings other engines over the same
+    tables already built (sessions pass their own cache automatically).
+    """
 
     def __init__(
         self,
@@ -57,6 +72,7 @@ class ProgXeEngine:
         seed: int = 0,
         verify: bool = True,
         use_vectorized: bool = True,
+        cache: "PlanCache | None" = None,
     ) -> None:
         if partitioning not in ("grid", "quadtree"):
             raise ValueError(
@@ -79,6 +95,7 @@ class ProgXeEngine:
         self.use_vectorized = use_vectorized
         self.input_cells = input_cells
         self.output_cells = output_cells
+        self.cache = cache
         base = "ProgXe+" if pushthrough else "ProgXe"
         self.name = base if ordering else f"{base} (No-Order)"
         # Populated during execution for inspection/tests.
@@ -136,7 +153,20 @@ class ProgXeEngine:
             seed=self.seed,
             verify=self.verify,
             use_vectorized=self.use_vectorized,
+            cache=self.cache,
         )
+
+    @property
+    def cache_events(self) -> dict[str, int]:
+        """Partition-cache outcome of this engine's (lazy) planning.
+
+        ``{"partition_hits": ..., "partition_misses": ...}`` once the plan
+        was built through a shared cache; empty before planning or when no
+        cache was configured.
+        """
+        if self._plan is None:
+            return {}
+        return dict(self._plan.cache_events)
 
     def kernel(self) -> ExecutionKernel:
         """Plan the query and return its resumable execution kernel.

@@ -134,6 +134,15 @@ class ExecutionKernel:
     ordering policy) exactly as the monolithic engine prologue did; no
     tuple-level work happens until the first :meth:`step` (or pull from
     :meth:`drain`).
+
+    Example::
+
+        kernel = ProgXeEngine(bound).kernel()
+        report = kernel.step()              # bootstrap emissions
+        while not kernel.finished:
+            report = kernel.step()          # one region per call
+            consume(report.results)         # provably final already
+        kernel.snapshot()                   # progress introspection
     """
 
     def __init__(

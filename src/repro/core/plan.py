@@ -15,11 +15,20 @@ needs to drive phase 3/4, so ``ExecutionKernel(plan)`` is self-contained.
 Building a plan charges the clock exactly as the former monolithic
 ``ProgXeEngine.run()`` prologue did; the split exists so that execution can
 be suspended and resumed step by step without re-planning.
+
+Phase 1 is the only *query-independent* phase: the input grids depend on
+the table contents, the mapping attributes and the partitioner
+configuration, never on preferences or conditions.  Passing a
+:class:`~repro.cache.plan_cache.PlanCache` via ``build(cache=...)``
+therefore lets concurrent plans over the same tables share one built grid
+per side — a cache hit replaces the per-row partitioning charge with a
+single ``cache_op`` — while look-ahead and push-through stay per-query.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.baselines.pushthrough import prune_source
 from repro.core.lookahead import run_lookahead
@@ -30,6 +39,9 @@ from repro.runtime.clock import VirtualClock
 from repro.storage.grid import GridPartitioner
 from repro.storage.quadtree import QuadTreePartitioner
 from repro.storage.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.cache.plan_cache import PlanCache
 
 
 def default_input_cells(source_dims: int) -> int:
@@ -65,6 +77,12 @@ class QueryPlan:
     ``prune_stats`` records push-through effects (``left_pruned`` /
     ``right_pruned``) so the engine's historical ``stats`` surface keeps
     reporting them.
+
+    Example::
+
+        plan = QueryPlan.build(bound, VirtualClock(), pushthrough=True)
+        len(plan.regions)                    # surviving output regions
+        kernel = ExecutionKernel(plan)       # plan is consumed (single-use)
     """
 
     bound: BoundQuery
@@ -76,6 +94,11 @@ class QueryPlan:
     use_vectorized: bool = True
     verify: bool = True
     prune_stats: dict[str, int] = field(default_factory=dict)
+    #: Partition-cache outcome of this build: ``partition_hits`` /
+    #: ``partition_misses`` per side served through a
+    #: :class:`~repro.cache.plan_cache.PlanCache`.  Empty when no cache was
+    #: offered (or both sides bypassed it after push-through pruning).
+    cache_events: dict[str, int] = field(default_factory=dict)
     #: Set by the first :class:`~repro.core.kernel.ExecutionKernel` built
     #: over this plan.  Execution mutates the plan's regions and grid, so
     #: a second kernel would silently produce an empty result set; the
@@ -98,15 +121,23 @@ class QueryPlan:
         seed: int = 0,
         verify: bool = True,
         use_vectorized: bool = True,
+        cache: "PlanCache | None" = None,
     ) -> "QueryPlan":
         """Run phases 0–2 and return the finished plan.
 
         Parameters mirror :class:`~repro.core.engine.ProgXeEngine` (which
         validates them); planning charges partitioning and look-ahead work
-        to ``clock``.
+        to ``clock``.  When ``cache`` is given, phase 1 is served through
+        the shared :class:`~repro.cache.plan_cache.PlanCache`: a hit reuses
+        the grid another plan already built (one ``cache_op`` charged
+        instead of per-row partitioning work) and the outcome is recorded in
+        the plan's :attr:`cache_events`.  Tables replaced by push-through
+        pruning are always partitioned privately — they are fresh per-query
+        objects no other plan can ever share.
         """
         clock = clock or VirtualClock()
         prune_stats: dict[str, int] = {}
+        cache_events: dict[str, int] = {}
 
         # Phase 0: (optional) skyline partial push-through.
         left_table, right_table = _pruned_tables(
@@ -131,15 +162,19 @@ class QueryPlan:
             )
             partitioner_left = GridPartitioner(k_left, signature_kind)
             partitioner_right = GridPartitioner(k_right, signature_kind)
-        left_grid = partitioner_left.partition(
-            left_table, bound.left_map_attrs, bound.query.join.left_attr,
-            source=bound.left_alias,
+        left_grid = _partition_side(
+            partitioner_left, left_table, bound.left_map_attrs,
+            bound.query.join.left_attr, bound.left_alias, clock, cache_events,
+            # A pruned table is a fresh object; caching it would only pollute
+            # the store with entries no later plan can hit.
+            cache if left_table is bound.left_table else None,
         )
-        right_grid = partitioner_right.partition(
-            right_table, bound.right_map_attrs, bound.query.join.right_attr,
-            source=bound.right_alias,
+        right_grid = _partition_side(
+            partitioner_right, right_table, bound.right_map_attrs,
+            bound.query.join.right_attr, bound.right_alias, clock,
+            cache_events,
+            cache if right_table is bound.right_table else None,
         )
-        clock.charge("partition_op", len(left_table) + len(right_table))
 
         # Phase 2: output-space look-ahead.
         k_out = output_cells or default_output_cells(
@@ -157,7 +192,44 @@ class QueryPlan:
             use_vectorized=use_vectorized,
             verify=verify,
             prune_stats=prune_stats,
+            cache_events=cache_events,
         )
+
+
+def _partition_side(
+    partitioner,
+    table: Table,
+    attributes: tuple[str, ...],
+    join_attribute: str,
+    source: str,
+    clock: VirtualClock,
+    cache_events: dict[str, int],
+    cache: "PlanCache | None",
+):
+    """Partition one input side, through the shared cache when offered.
+
+    Charges ``partition_op`` per row on a build (the historical phase-1
+    cost) and a single ``cache_op`` on a hit, recording the outcome in
+    ``cache_events``.
+    """
+    if cache is None:
+        grid = partitioner.partition(
+            table, attributes, join_attribute, source=source
+        )
+        clock.charge("partition_op", len(table))
+        return grid
+    grid, hit = cache.get_or_partition(
+        partitioner, table, attributes, join_attribute, source=source
+    )
+    if hit:
+        clock.charge("cache_op")
+        cache_events["partition_hits"] = cache_events.get("partition_hits", 0) + 1
+    else:
+        clock.charge("partition_op", len(table))
+        cache_events["partition_misses"] = (
+            cache_events.get("partition_misses", 0) + 1
+        )
+    return grid
 
 
 def _pruned_tables(

@@ -29,6 +29,7 @@ DEFAULT_WEIGHTS: dict[str, float] = {
     "graph_op": 0.25,
     "queue_op": 0.25,
     "discard": 0.25,
+    "cache_op": 0.25,
 }
 
 

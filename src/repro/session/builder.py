@@ -59,7 +59,26 @@ def _qualified(ref: str) -> tuple[str, str]:
 
 
 class QueryBuilder:
-    """Incrementally assemble (and optionally execute) an SMJ query."""
+    """Incrementally assemble (and optionally execute) an SMJ query.
+
+    Example::
+
+        stream = (
+            session.query()
+            .from_tables("R", "T")
+            .join_on("R.jkey = T.jkey")
+            .map("tCost", "R.uPrice + T.uShipCost")
+            .where("R.manCap >= 100K")
+            .select("R.id", ("T.id", "transporter"))
+            .preferring("LOWEST(tCost)")
+            .execute()                      # -> ResultStream
+        )
+
+    Every method returns ``self`` for chaining; :meth:`build` produces the
+    logical query, :meth:`bind` the execution-ready
+    :class:`~repro.query.smj.BoundQuery`, and :meth:`execute` runs it
+    through the owning session.
+    """
 
     def __init__(self, session: "Session | None" = None) -> None:
         self._session = session

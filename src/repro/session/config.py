@@ -45,6 +45,19 @@ class EngineConfig:
         Process partition-sized chunks through the columnar batch kernels
         (default).  ``False`` selects the per-tuple scalar path, kept as
         the reference implementation.
+    share_partitions:
+        Let planning consume the session's shared
+        :class:`~repro.cache.plan_cache.PlanCache` (default), so concurrent
+        queries over the same tables partition once.  ``False`` plans
+        privately.  Not an engine keyword: the session resolves the flag
+        into the ``cache`` object it hands the engine.
+
+    Example::
+
+        config = EngineConfig(partitioning="quadtree", signature_kind="bloom")
+        stream = session.execute(bound, config=config)
+        # or by preset name:
+        stream = session.execute(bound, config="low-memory")
     """
 
     ordering: bool = True
@@ -57,6 +70,7 @@ class EngineConfig:
     seed: int = 0
     verify: bool = True
     use_vectorized: bool = True
+    share_partitions: bool = True
 
     def __post_init__(self) -> None:
         if self.signature_kind not in SIGNATURE_KINDS:
@@ -78,16 +92,24 @@ class EngineConfig:
     # conversion
     # ------------------------------------------------------------------
     def engine_kwargs(self) -> dict:
-        """The full ``ProgXeEngine(bound, clock, **kwargs)`` keyword set."""
-        return asdict(self)
+        """The full ``ProgXeEngine(bound, clock, **kwargs)`` keyword set.
+
+        ``share_partitions`` is session-level policy (it selects whether a
+        shared cache object is passed at all), so it is not part of the
+        engine keyword surface.
+        """
+        kwargs = asdict(self)
+        del kwargs["share_partitions"]
+        return kwargs
 
     def variant_kwargs(self) -> dict:
         """Keywords safe to pass a ProgXe *variant* factory.
 
         The variants (``progxe``, ``progxe_plus``, …) fix ``ordering`` and
-        ``pushthrough`` themselves, so those two are omitted.
+        ``pushthrough`` themselves, so those two are omitted (as is the
+        session-level ``share_partitions`` flag).
         """
-        kwargs = asdict(self)
+        kwargs = self.engine_kwargs()
         del kwargs["ordering"], kwargs["pushthrough"]
         return kwargs
 
@@ -153,12 +175,26 @@ class SchedulerConfig:
         Keep a per-dispatch :class:`~repro.runtime.recorder.InterleaveEvent`
         record (default).  Disable for long-lived serving loops where the
         unbounded dispatch log is unwanted overhead.
+    share_partitions:
+        Serve submitted queries through the session's shared
+        :class:`~repro.cache.plan_cache.PlanCache` (default), so concurrent
+        queries over the same tables partition their inputs once.
+        ``False`` forces private planning for every query this scheduler
+        admits, regardless of the engine config.
+
+    Example::
+
+        scheduler = session.scheduler(SchedulerConfig(policy="fair-share",
+                                                      quantum=4))
+        # or by preset name:
+        scheduler = session.scheduler("interactive")
     """
 
     policy: str = "round-robin"
     max_active: int | None = None
     quantum: int = 1
     record_interleaving: bool = True
+    share_partitions: bool = True
 
     def __post_init__(self) -> None:
         if self.policy not in SCHEDULING_POLICIES:

@@ -44,6 +44,14 @@ class AlgorithmRegistry:
     Canonical names preserve registration order (so views iterate the way
     the old ``ALGORITHMS`` dict did); aliases resolve case-insensitively on
     top of an exact-match fast path.
+
+    Example::
+
+        registry = default_registry().copy()     # isolated, mutable
+        registry.register("MyAlgo", my_factory, aliases=("mine",),
+                          description="custom progressive algorithm")
+        registry.entry("mine").name              # "MyAlgo"
+        registry.names()                         # registration order
     """
 
     def __init__(self) -> None:

@@ -114,6 +114,14 @@ class ScheduledQuery:
     :class:`~repro.session.stream.ResultStream` reports, and
     :attr:`first_result_global_vtime` locates the first emission on the
     scheduler's shared timeline (the serving-latency metric).
+
+    Example::
+
+        handle = scheduler.submit(bound, budget=StreamBudget(max_results=5))
+        scheduler.run_all()
+        handle.state                        # "completed" / "budget_exhausted"
+        handle.results                      # emission-ordered, provably final
+        handle.first_result_global_vtime    # latency on the shared timeline
     """
 
     def __init__(
@@ -166,6 +174,7 @@ class ScheduledQuery:
             self.clock,
             wall_seconds=time.perf_counter() - self._wall_start,
             stop_reason=self.stop_reason,
+            algorithm=self.algorithm,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -326,7 +335,12 @@ class QueryScheduler:
         when exact budget cut-offs matter.
         """
         instance, clock, resolved = self.session.build_algorithm(
-            query, algorithm=algorithm, config=config, clock=clock
+            query, algorithm=algorithm, config=config, clock=clock,
+            # False forces private planning for every admitted query; None
+            # (sharing on) defers to the engine config's own flag.
+            share_partitions=(
+                None if self.config.share_partitions else False
+            ),
         )
         qid = self._next_qid
         self._next_qid += 1
@@ -345,6 +359,15 @@ class QueryScheduler:
     def queries(self) -> list[ScheduledQuery]:
         """All submitted query handles, in submission order."""
         return list(self._queries)
+
+    def cache_stats(self):
+        """Partition-sharing counters of the session's plan cache.
+
+        A :class:`~repro.cache.store.CacheStats` snapshot; with
+        ``SchedulerConfig(share_partitions=False)`` the counters simply
+        never move on this scheduler's behalf.
+        """
+        return self.session.plan_cache.stats()
 
     # ------------------------------------------------------------------
     # execution

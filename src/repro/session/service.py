@@ -24,6 +24,7 @@ on those keeps working.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import replace
 from typing import TYPE_CHECKING, Iterable, Mapping
 
@@ -31,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.session.config import SchedulerConfig
     from repro.session.scheduler import QueryScheduler
 
+from repro.cache.plan_cache import PlanCache
 from repro.errors import BindingError, QueryError
 from repro.query.parser import parse_query
 from repro.query.smj import BoundQuery, SkyMapJoinQuery
@@ -45,6 +47,29 @@ from repro.storage.table import Table
 
 #: Algorithm used when ``execute()`` is not told otherwise.
 DEFAULT_ALGORITHM = "ProgXe"
+
+
+def _accepts_cache(factory) -> bool:
+    """Whether ``factory`` can receive the session's ``cache=`` keyword.
+
+    The built-in ProgXe variants take ``**kwargs`` and forward them to
+    :class:`~repro.core.engine.ProgXeEngine`; user-registered configurable
+    factories may have narrower signatures, so the keyword is only offered
+    when a ``cache`` parameter (or a ``**kwargs`` catch-all) is visible.
+    """
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if (
+            parameter.name == "cache"
+            and parameter.kind is not inspect.Parameter.VAR_POSITIONAL
+        ):
+            return True
+    return False
 
 
 class Session:
@@ -63,6 +88,20 @@ class Session:
     clock_weights:
         Optional per-operation cost weights for the virtual clocks this
         session creates (see :data:`~repro.runtime.clock.DEFAULT_WEIGHTS`).
+    plan_cache:
+        Shared :class:`~repro.cache.plan_cache.PlanCache` for cross-query
+        work sharing.  Defaults to a fresh per-session cache; pass one
+        explicitly to share partitioning work *across* sessions.  Disable
+        sharing per query/config with ``EngineConfig(share_partitions=
+        False)`` or per scheduler with ``SchedulerConfig(share_partitions=
+        False)``.
+
+    Example::
+
+        session = repro.Session().register_tables(workload.tables())
+        stream = session.execute(session.sql(Q1_SQL), algorithm="ProgXe+")
+        results = list(stream)
+        session.plan_cache.stats()     # partition-sharing hit/miss counters
     """
 
     def __init__(
@@ -71,12 +110,14 @@ class Session:
         registry: AlgorithmRegistry | None = None,
         config: EngineConfig | None = None,
         clock_weights: Mapping[str, float] | None = None,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         self.registry = (
             registry if registry is not None else default_registry().copy()
         )
         self.config = config or EngineConfig()
         self.clock_weights = dict(clock_weights) if clock_weights else None
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self._tables: dict[str, Table] = {}
 
     # ------------------------------------------------------------------
@@ -172,6 +213,7 @@ class Session:
         algorithm: str | AlgorithmFactory | None = None,
         config: EngineConfig | str | None = None,
         clock: VirtualClock | None = None,
+        share_partitions: bool | None = None,
     ) -> tuple[object, VirtualClock, str | None]:
         """Resolve and instantiate an algorithm for one execution.
 
@@ -180,6 +222,12 @@ class Session:
         :meth:`scheduler`-submitted queries (which step it through its
         resumable kernel).  Returns ``(instance, clock, name)`` — ``name``
         is the registry's canonical name, or ``None`` for a raw factory.
+
+        ``share_partitions`` overrides the engine config's flag of the same
+        name (the scheduler passes its own); when sharing is on, the
+        session's :attr:`plan_cache` is handed to configurable factories
+        that accept a ``cache`` keyword, so planning reuses input
+        partitionings across queries.
         """
         bound = self._coerce_bound(query)
         clock = clock or VirtualClock(self.clock_weights)
@@ -203,7 +251,15 @@ class Session:
                 )
         if configurable:
             effective = config or self.config
-            instance = factory(bound, clock, **effective.variant_kwargs())
+            kwargs = effective.variant_kwargs()
+            share = (
+                effective.share_partitions
+                if share_partitions is None
+                else share_partitions
+            )
+            if share and _accepts_cache(factory):
+                kwargs["cache"] = self.plan_cache
+            instance = factory(bound, clock, **kwargs)
         else:
             instance = factory(bound, clock)
         return instance, clock, name

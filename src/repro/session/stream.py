@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Mapping
 
 from repro.errors import QueryError
 from repro.query.smj import ResultTuple
@@ -63,6 +63,13 @@ class StreamBudget:
         Stop after emitting this many results.
     max_wall_seconds:
         Stop after this much real time.
+
+    Example::
+
+        budget = StreamBudget(max_results=10, max_vtime=50_000)
+        stream = session.execute(bound, budget=budget)
+        results = stream.drain()            # <= 10 results, all final
+        stream.stats().stop_reason          # which ceiling tripped, if any
     """
 
     max_vtime: float | None = None
@@ -121,7 +128,15 @@ class StreamBudget:
 
 @dataclass(frozen=True)
 class StreamStats:
-    """Progressiveness snapshot of a (possibly still partial) stream."""
+    """Progressiveness snapshot of a (possibly still partial) stream.
+
+    Example::
+
+        stats = stream.stats()
+        print(stats.results, stats.time_to_first, stats.auc)
+        if stats.partition_cache:          # cross-query work sharing hit?
+            print(stats.partition_cache["partition_hits"])
+    """
 
     state: str
     results: int
@@ -132,6 +147,10 @@ class StreamStats:
     batches: int
     dominance_comparisons: int
     stop_reason: str | None
+    #: Partition-cache outcome of this query's planning (``partition_hits``
+    #: / ``partition_misses``), or ``None`` when the algorithm planned
+    #: privately (no shared cache, or a non-ProgXe algorithm).
+    partition_cache: Mapping[str, int] | None = None
 
     @property
     def completed(self) -> bool:
@@ -147,12 +166,18 @@ class StreamStats:
         *,
         wall_seconds: float,
         stop_reason: str | None,
+        algorithm=None,
     ) -> "StreamStats":
         """Snapshot the standard progressiveness metrics.
 
         Shared by :meth:`ResultStream.stats` and the scheduler's
         per-query handles so both surfaces report identical shapes.
+        ``algorithm`` (when given) contributes its ``cache_events`` —
+        engines planned through a shared
+        :class:`~repro.cache.plan_cache.PlanCache` report their
+        partition-sharing outcome here.
         """
+        cache_events = getattr(algorithm, "cache_events", None) or None
         return cls(
             state=state,
             results=recorder.total_results,
@@ -163,6 +188,7 @@ class StreamStats:
             batches=recorder.batch_count(),
             dominance_comparisons=clock.count("dominance_cmp"),
             stop_reason=stop_reason,
+            partition_cache=dict(cache_events) if cache_events else None,
         )
 
 
@@ -173,6 +199,15 @@ class ResultStream:
     engine.  Registered callbacks fire in emission order, interleaved with
     iteration.  The stream is single-use — once terminal, iteration yields
     nothing further.
+
+    Example::
+
+        stream = session.execute(bound, algorithm="ProgXe+")
+        stream.on_result(print)             # push, in emission order
+        for result in stream:               # pull, provably final
+            if enough(result):
+                stream.cancel()             # cooperative stop
+        stream.stats()                      # valid mid-run or after any stop
     """
 
     def __init__(
@@ -327,6 +362,7 @@ class ResultStream:
             self.clock,
             wall_seconds=time.perf_counter() - self._wall_start,
             stop_reason=self._stop_reason,
+            algorithm=self.algorithm,
         )
 
     def to_run_result(self) -> RunResult:

@@ -110,6 +110,18 @@ class GridPartitioner:
         self.bloom_bits = bloom_bits
         self.bloom_hashes = bloom_hashes
 
+    def descriptor(self) -> tuple:
+        """Hashable identity of this partitioner's configuration.
+
+        Two partitioners with equal descriptors produce identical grids over
+        identical inputs — the contract the cross-query partition cache
+        (:mod:`repro.cache`) keys work sharing on.
+        """
+        return (
+            "grid", self.cells_per_dim, self.signature_kind,
+            self.bloom_bits, self.bloom_hashes,
+        )
+
     def partition(
         self,
         table: Table,

@@ -98,6 +98,18 @@ class QuadTreePartitioner:
         self.bloom_bits = bloom_bits
         self.bloom_hashes = bloom_hashes
 
+    def descriptor(self) -> tuple:
+        """Hashable identity of this partitioner's configuration.
+
+        Equal descriptors over identical inputs build identical trees; the
+        cross-query partition cache (:mod:`repro.cache`) relies on this to
+        share built indexes between plans.
+        """
+        return (
+            "quadtree", self.leaf_capacity, self.max_depth,
+            self.signature_kind, self.bloom_bits, self.bloom_hashes,
+        )
+
     def partition(
         self,
         table: Table,

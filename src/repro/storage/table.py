@@ -4,10 +4,18 @@ Rows are plain tuples (fast, hashable); the :class:`Schema` provides
 name-to-position lookup.  This is the storage substrate every algorithm in
 the library runs against — the paper's ``Suppliers`` and ``Transporters``
 become two :class:`Table` instances.
+
+Every table carries a cheap **content-version token**
+(:attr:`Table.cache_token`): an identity/version/cardinality triple that the
+cross-query :mod:`repro.cache` layer keys partitioning work on.  Mutating a
+table through its mutation API (:meth:`Table.append_row`,
+:meth:`Table.extend_rows`, :meth:`Table.touch`) bumps the version, so cached
+partitions built over the old contents can never be served for the new ones.
 """
 
 from __future__ import annotations
 
+import itertools
 import os  # noqa: F401  (referenced in type annotations only)
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
@@ -15,6 +23,12 @@ from repro.errors import SchemaError
 from repro.storage.schema import Schema
 
 Row = tuple
+
+#: Process-wide monotonically increasing table identities.  Unlike ``id()``,
+#: a sequence number is never reused after a table is garbage-collected, so a
+#: cache keyed on it can never serve a stale entry to a new table that
+#: happens to land at the same address.
+_TABLE_UIDS = itertools.count(1)
 
 
 def _coerce(value: str) -> Any:
@@ -26,9 +40,16 @@ def _coerce(value: str) -> Any:
 
 
 class Table:
-    """A named in-memory relation with an immutable schema."""
+    """A named in-memory relation with an immutable schema.
 
-    __slots__ = ("name", "schema", "rows")
+    Example::
+
+        table = Table.from_rows("R", ["id", "price"], [(1, 9.5), (2, 7.0)])
+        table.column("price")        # [9.5, 7.0]
+        table.append_row((3, 8.25))  # validated; bumps the version token
+    """
+
+    __slots__ = ("name", "schema", "rows", "_uid", "_version")
 
     def __init__(self, name: str, schema: Schema | Sequence[str], rows: Iterable[Row]) -> None:
         if not isinstance(schema, Schema):
@@ -36,15 +57,20 @@ class Table:
         self.name = name
         self.schema = schema
         self.rows: list[Row] = []
-        width = len(schema)
+        self._uid = next(_TABLE_UIDS)
+        self._version = 0
         for row in rows:
-            t = tuple(row)
-            if len(t) != width:
-                raise SchemaError(
-                    f"row {t!r} has {len(t)} values but schema "
-                    f"{list(schema.columns)} has {width} columns"
-                )
-            self.rows.append(t)
+            self.rows.append(self._validated(row))
+
+    def _validated(self, row: Sequence[Any]) -> Row:
+        """``row`` as a tuple, or :class:`SchemaError` on a width mismatch."""
+        t = tuple(row)
+        if len(t) != len(self.schema):
+            raise SchemaError(
+                f"row {t!r} has {len(t)} values but schema "
+                f"{list(self.schema.columns)} has {len(self.schema)} columns"
+            )
+        return t
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -102,6 +128,59 @@ class Table:
             except KeyError as exc:
                 raise SchemaError(f"record {rec!r} is missing column {exc}") from None
         return cls(name, Schema(cols), rows)
+
+    # ------------------------------------------------------------------
+    # mutation / cache identity
+    # ------------------------------------------------------------------
+    @property
+    def uid(self) -> int:
+        """Process-unique table identity (stable across the table's life)."""
+        return self._uid
+
+    @property
+    def version(self) -> int:
+        """Content version; bumped by every mutation through the table API."""
+        return self._version
+
+    @property
+    def cache_token(self) -> tuple[int, int, int]:
+        """``(uid, version, row_count)`` — the key component the partition
+        cache uses to tell whether previously built grids are still valid.
+
+        The row count is included defensively: code that appends to
+        ``table.rows`` directly (bypassing :meth:`append_row`) still misses
+        the cache whenever the cardinality changed.  In-place *value* edits
+        to the raw row list are the one mutation the token cannot see; call
+        :meth:`touch` after those.
+        """
+        return (self._uid, self._version, len(self.rows))
+
+    def append_row(self, row: Sequence[Any]) -> "Table":
+        """Append one row (validated against the schema); bumps the version."""
+        self.rows.append(self._validated(row))
+        self._version += 1
+        return self
+
+    def extend_rows(self, rows: Iterable[Sequence[Any]]) -> "Table":
+        """Append several rows (validated); bumps the version once.
+
+        Validation stages first: a width mismatch anywhere leaves the
+        table unchanged.
+        """
+        staged = [self._validated(row) for row in rows]
+        self.rows.extend(staged)
+        self._version += 1
+        return self
+
+    def touch(self) -> "Table":
+        """Declare an out-of-band mutation: bump the version token.
+
+        Use after editing ``table.rows`` in place (same cardinality), so
+        partition caches keyed on :attr:`cache_token` stop serving grids
+        built over the old values.
+        """
+        self._version += 1
+        return self
 
     # ------------------------------------------------------------------
     # access
