@@ -38,6 +38,14 @@ The paper's SQL surface goes through the same session::
         PREFERRING LOWEST(tCost) AND LOWEST(delay)
     ''', algorithm="ProgXe+", budget=repro.StreamBudget(max_results=10))
 
+Storage is pluggable behind the ``DataSource`` batch-scan protocol:
+besides in-memory ``Table`` objects, queries run directly over mmap-backed
+columnar files (``ColumnarFileSource`` — inputs larger than RAM stream
+through planning in bounded memory) and SQLite relations
+(``SQLiteSource`` — local filters push down as ``WHERE``), with
+``open_source("columnar:...", "sqlite:db?table=t", "mem:rows.csv")``
+resolving backend URIs.
+
 The lower layers remain public: ``ProgXeEngine`` (raw engine, configurable
 via ``EngineConfig``), ``run_algorithm``/``compare_algorithms`` (batch
 harnesses, now shims over the stream layer), and the ``ALGORITHMS`` view
@@ -130,7 +138,17 @@ from repro.skyline import (
     lowest,
     sfs_skyline,
 )
-from repro.storage import Schema, Table
+from repro.storage import (
+    ColumnarFileSource,
+    ColumnarWriter,
+    DataSource,
+    InMemorySource,
+    Schema,
+    SQLiteSource,
+    Table,
+    open_source,
+    write_columnar,
+)
 
 __version__ = "1.0.0"
 
@@ -190,6 +208,13 @@ __all__ = [
     "SupplyChainWorkload",
     "SyntheticWorkload",
     "Table",
+    "ColumnarFileSource",
+    "ColumnarWriter",
+    "DataSource",
+    "InMemorySource",
+    "SQLiteSource",
+    "open_source",
+    "write_columnar",
     "TravelWorkload",
     "VerificationReport",
     "VirtualClock",

@@ -17,6 +17,7 @@ from repro.join.predicates import EquiJoin
 from repro.query.smj import BoundQuery, ResultTuple
 from repro.runtime.clock import VirtualClock
 from repro.skyline.sfs import sfs_skyline_entries
+from repro.storage.sources.base import rows_of
 
 
 class JoinFirstSkylineLater:
@@ -31,7 +32,7 @@ class JoinFirstSkylineLater:
 
     def _join_rows(self) -> tuple[list, list]:
         """Rows fed into the join (overridden by JF-SL+)."""
-        return self.bound.left_table.rows, self.bound.right_table.rows
+        return rows_of(self.bound.left_table), rows_of(self.bound.right_table)
 
     def run(self) -> Iterator[ResultTuple]:
         bound = self.bound

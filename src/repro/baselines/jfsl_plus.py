@@ -14,6 +14,7 @@ from repro.baselines.jfsl import JoinFirstSkylineLater
 from repro.baselines.pushthrough import SourcePruneResult, prune_source
 from repro.query.smj import BoundQuery
 from repro.runtime.clock import VirtualClock
+from repro.storage.sources.base import rows_of
 
 
 class JoinFirstSkylineLaterPlus(JoinFirstSkylineLater):
@@ -41,11 +42,11 @@ class JoinFirstSkylineLaterPlus(JoinFirstSkylineLater):
         left_rows = (
             self.left_prune.kept_rows
             if self.left_prune is not None
-            else self.bound.left_table.rows
+            else rows_of(self.bound.left_table)
         )
         right_rows = (
             self.right_prune.kept_rows
             if self.right_prune is not None
-            else self.bound.right_table.rows
+            else rows_of(self.bound.right_table)
         )
         return left_rows, right_rows

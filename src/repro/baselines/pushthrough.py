@@ -30,7 +30,7 @@ from typing import Callable, Sequence
 from repro.query.smj import BoundQuery
 from repro.skyline.bnl import bnl_skyline_entries
 from repro.skyline.preferences import Direction, ParetoPreference
-from repro.storage.table import Row, Table
+from repro.storage.sources.base import DataSource, Row, rows_of
 
 
 @dataclass
@@ -57,7 +57,7 @@ def derived_preference(bound: BoundQuery, alias: str) -> ParetoPreference | None
 
 
 def _source_vector_fn(
-    table: Table, preference: ParetoPreference
+    table: DataSource, preference: ParetoPreference
 ) -> Callable[[Row], tuple[float, ...]]:
     indices = table.schema.indices(preference.attributes)
     signs = tuple(
@@ -69,29 +69,42 @@ def _source_vector_fn(
 
 
 def source_level_skyline(
-    table: Table,
+    table: DataSource,
     preference: ParetoPreference,
     *,
     on_comparison: Callable[[], None] | None = None,
+    rows: Sequence[Row] | None = None,
 ) -> list[Row]:
-    """``LS(S)``: skyline of the whole source, join condition ignored."""
+    """``LS(S)``: skyline of the whole source, join condition ignored.
+
+    ``rows`` lets callers that already materialised the source (any
+    backend) avoid a second scan.
+    """
     vector = _source_vector_fn(table, preference)
-    entries = ((vector(row), row) for row in table.rows)
+    source_rows = rows_of(table) if rows is None else rows
+    entries = ((vector(row), row) for row in source_rows)
     return [row for _, row in bnl_skyline_entries(entries, on_comparison=on_comparison)]
 
 
 def group_level_skyline(
-    table: Table,
+    table: DataSource,
     join_attr: str,
     preference: ParetoPreference,
     *,
     on_comparison: Callable[[], None] | None = None,
+    rows: Sequence[Row] | None = None,
 ) -> list[Row]:
-    """``LS(N)``: union of per-join-value group skylines (row order kept)."""
+    """``LS(N)``: union of per-join-value group skylines (row order kept).
+
+    The output-order bookkeeping keys on row object identity, so the rows
+    are materialised exactly once per call (``rows_of`` hands back the
+    live list for in-memory sources and one materialisation otherwise).
+    """
     vector = _source_vector_fn(table, preference)
     join_idx = table.schema.index(join_attr)
+    source_rows = rows_of(table) if rows is None else rows
     groups: dict = defaultdict(list)
-    for row in table.rows:
+    for row in source_rows:
         groups[row[join_idx]].append((vector(row), row))
     kept: list[Row] = []
     for group_entries in groups.values():
@@ -101,7 +114,7 @@ def group_level_skyline(
                 group_entries, on_comparison=on_comparison
             )
         )
-    order = {id(row): i for i, row in enumerate(table.rows)}
+    order = {id(row): i for i, row in enumerate(source_rows)}
     kept.sort(key=lambda r: order[id(r)])
     return kept
 
@@ -128,13 +141,16 @@ def prune_source(
         return None
 
     counter = _CountingCallback(on_comparison)
-    ls_s = source_level_skyline(table, pref, on_comparison=counter)
-    ls_n = group_level_skyline(table, join_attr, pref, on_comparison=counter)
+    rows = rows_of(table)  # one materialisation, shared by both passes
+    ls_s = source_level_skyline(table, pref, on_comparison=counter, rows=rows)
+    ls_n = group_level_skyline(
+        table, join_attr, pref, on_comparison=counter, rows=rows
+    )
     return SourcePruneResult(
         kept_rows=ls_n,
         source_skyline=ls_s,
         group_skyline=ls_n,
-        original_count=len(table.rows),
+        original_count=len(rows),
         comparisons=counter.count,
     )
 

@@ -31,6 +31,7 @@ from repro.query.smj import BoundQuery, ResultTuple
 from repro.runtime.clock import VirtualClock
 from repro.skyline.dominance import dominates, weakly_dominates
 from repro.skyline.preferences import Direction
+from repro.storage.sources.base import rows_of
 
 
 class _SourceState:
@@ -150,7 +151,7 @@ class SortedAccessJoin:
         clock = self.clock
 
         left = _SourceState(
-            bound.left_table.rows,
+            rows_of(bound.left_table),
             bound.left_join_index,
             bound.left_map_indices,
             bound.left_map_attrs,
@@ -158,7 +159,7 @@ class SortedAccessJoin:
                            bound.left_map_attrs, bound.left_map_indices),
         )
         right = _SourceState(
-            bound.right_table.rows,
+            rows_of(bound.right_table),
             bound.right_join_index,
             bound.right_map_indices,
             bound.right_map_attrs,

@@ -47,6 +47,7 @@ from repro.query.smj import BoundQuery, ResultTuple
 from repro.runtime.clock import VirtualClock
 from repro.skyline.dominance import weakly_dominates
 from repro.skyline.sfs import sfs_skyline_entries
+from repro.storage.sources.base import rows_of
 
 
 class SkylineSortMergeJoin:
@@ -81,10 +82,17 @@ class SkylineSortMergeJoin:
             table, join_attr = bound.left_table, bound.query.join.left_attr
         else:
             table, join_attr = bound.right_table, bound.query.join.right_attr
+        # One materialisation shared by both passes: phase-2's LS(N)∖LS(S)
+        # difference keys on row object identity, so LS(S) and LS(N) must
+        # be computed over the *same* row objects (non-resident backends
+        # would otherwise hand each call fresh tuples).
+        rows = rows_of(table)
         if pref is None:
-            return list(table.rows), list(table.rows)
-        ls_s = source_level_skyline(table, pref, on_comparison=charge)
-        ls_n = group_level_skyline(table, join_attr, pref, on_comparison=charge)
+            return list(rows), list(rows)
+        ls_s = source_level_skyline(table, pref, on_comparison=charge,
+                                    rows=rows)
+        ls_n = group_level_skyline(table, join_attr, pref,
+                                   on_comparison=charge, rows=rows)
         return ls_s, ls_n
 
     def _join_and_map(

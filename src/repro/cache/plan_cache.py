@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.cache.store import CacheStats, PartitionKey, PartitionStore
-from repro.storage.table import Table
+from repro.storage.sources.base import DataSource
 
 
 class PlanCache:
@@ -55,7 +55,7 @@ class PlanCache:
     def key_for(
         self,
         partitioner,
-        table: Table,
+        table: DataSource,
         attributes: Sequence[str],
         join_attribute: str,
         *,
@@ -70,7 +70,7 @@ class PlanCache:
     def get_or_partition(
         self,
         partitioner,
-        table: Table,
+        table: DataSource,
         attributes: Sequence[str],
         join_attribute: str,
         *,
@@ -82,7 +82,8 @@ class PlanCache:
         ``partitioner`` is a :class:`~repro.storage.grid.GridPartitioner` or
         :class:`~repro.storage.quadtree.QuadTreePartitioner`; its
         ``descriptor()`` plus the table's
-        :attr:`~repro.storage.table.Table.cache_token` form the key.
+        :attr:`~repro.storage.sources.base.DataSource.cache_token` form
+        the key.
         """
         key = self.key_for(
             partitioner, table, attributes, join_attribute, source=source
@@ -94,7 +95,7 @@ class PlanCache:
             ),
         )
 
-    def invalidate(self, table: Table) -> int:
+    def invalidate(self, table: DataSource) -> int:
         """Drop every cached partitioning of ``table``; returns the count."""
         return self.store.invalidate_table(table)
 

@@ -15,7 +15,7 @@ Safety rests on two facts:
   during execution** — the kernel reads partition rows and signatures but
   mutates only its own per-plan regions and output grid, so one structure
   can back any number of simultaneous kernels;
-* every key embeds the table's :attr:`~repro.storage.table.Table.cache_token`
+* every key embeds the source's :attr:`~repro.storage.sources.base.DataSource.cache_token`
   (identity, version, cardinality), so mutating a table through its API
   bumps the version and the next plan rebuilds instead of reading stale
   partitions.
@@ -30,10 +30,10 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.errors import QueryError
-from repro.storage.table import Table
+from repro.storage.sources.base import DataSource
 
 
 @dataclass(frozen=True)
@@ -43,8 +43,11 @@ class PartitionKey:
     Two plans may share a built input grid exactly when all of these agree:
 
     table_uid / table_version / row_count:
-        The table's :attr:`~repro.storage.table.Table.cache_token` unpacked —
-        which table, which mutation generation, how many rows.
+        The source's :attr:`~repro.storage.sources.base.DataSource.cache_token`
+        unpacked — which source, which mutation generation, how many rows.
+        In-memory uids are process-unique integers; file- and
+        database-backed uids are structural tuples (backend, path, …), so
+        uids can never collide across backends.
     source:
         The alias the partitioning was built under (``"R"``/``"T"``); baked
         into every :class:`~repro.storage.partition.InputPartition`, so an
@@ -57,27 +60,34 @@ class PartitionKey:
         The partitioner's ``descriptor()`` — kind plus every knob that
         shapes the structure (cells per dimension, leaf capacity and depth,
         signature kind, bloom geometry).
+    backend:
+        The source's :attr:`~repro.storage.sources.base.DataSource.kind`.
+        Redundant with the uid's structure, but it makes the hygiene rule
+        explicit: the same logical data held by two different backends can
+        never share a cache entry (their partitions differ in row-storage
+        strategy and value coercion).
     """
 
-    table_uid: int
-    table_version: int
+    table_uid: Any
+    table_version: Any
     row_count: int
     source: str
     attributes: tuple[str, ...]
     join_attribute: str
     partitioner: tuple
+    backend: str = "memory"
 
     @classmethod
-    def for_table(
+    def for_source(
         cls,
-        table: Table,
+        table: DataSource,
         attributes: Sequence[str],
         join_attribute: str,
         partitioner_descriptor: tuple,
         *,
         source: str | None = None,
     ) -> "PartitionKey":
-        """Build the key for partitioning ``table`` under ``source``."""
+        """Build the key for partitioning a data source under alias ``source``."""
         uid, version, rows = table.cache_token
         return cls(
             table_uid=uid,
@@ -87,7 +97,11 @@ class PartitionKey:
             attributes=tuple(attributes),
             join_attribute=join_attribute,
             partitioner=tuple(partitioner_descriptor),
+            backend=getattr(table, "kind", "memory"),
         )
+
+    #: Historical name (pre-``DataSource``); same behaviour.
+    for_table = for_source
 
 
 @dataclass(frozen=True)
@@ -191,7 +205,7 @@ class PartitionStore:
         self.put(key, structure)
         return structure, False
 
-    def invalidate_table(self, table: Table) -> int:
+    def invalidate_table(self, table: DataSource) -> int:
         """Drop every entry built over ``table`` (any version); return count.
 
         Version-bumping mutation already guarantees correctness; explicit

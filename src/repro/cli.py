@@ -53,6 +53,13 @@ from repro.session.config import (
 )
 from repro.session.service import Session
 from repro.session.stream import StreamBudget
+from repro.storage.sources import (
+    SQLiteSource,
+    describe_source,
+    is_source_uri,
+    open_source,
+    write_columnar,
+)
 from repro.storage.table import Table
 
 
@@ -94,6 +101,50 @@ def _workload(args: argparse.Namespace) -> SyntheticWorkload:
     )
 
 
+def _add_source_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--source", action="append", default=[], metavar="ALIAS=URI",
+        help="bind a workload alias to a storage backend URI "
+        "(mem:PATH.csv, columnar:PATH, sqlite:PATH?table=T); aliases not "
+        "listed keep the generated in-memory tables",
+    )
+
+
+def _resolve_sources(
+    args: argparse.Namespace, workload: SyntheticWorkload
+):
+    """Workload tables with ``--source`` overrides applied.
+
+    Returns ``(tables, backends)`` where ``backends`` maps each alias to a
+    human description of its active backend (empty without overrides).
+    """
+    tables = workload.tables()
+    backends: dict[str, str] = {}
+    for spec in getattr(args, "source", None) or []:
+        alias, sep, uri = spec.partition("=")
+        if not sep:
+            raise SystemExit(f"--source expects ALIAS=URI, got {spec!r}")
+        if alias not in tables:
+            raise SystemExit(
+                f"--source alias {alias!r} is not a workload alias; "
+                f"expected one of {sorted(tables)}"
+            )
+        if uri in ("mem", "mem:"):
+            backends[alias] = describe_source(tables[alias])
+            continue  # explicit default: the generated in-memory table
+        tables[alias] = open_source(uri, name=alias)
+        backends[alias] = describe_source(tables[alias])
+    return tables, backends
+
+
+def _backend_line(tables, backends) -> str:
+    """``R=columnar(...) T=memory(...)`` summary of the active backends."""
+    return "  ".join(
+        f"{alias}={backends.get(alias, describe_source(table))}"
+        for alias, table in tables.items()
+    )
+
+
 def _session(args: argparse.Namespace) -> Session:
     config = None
     preset = getattr(args, "preset", None)
@@ -124,7 +175,11 @@ def _algorithm_names(session: Session, spec: str) -> list[str]:
 def _cmd_run(args: argparse.Namespace) -> int:
     session = _session(args)
     [name] = _one_algorithm(session, args.algorithm)
-    bound = _workload(args).bound()
+    workload = _workload(args)
+    tables, backends = _resolve_sources(args, workload)
+    bound = workload.query().bind(tables)
+    if backends:
+        print(f"sources: {_backend_line(tables, backends)}")
     stream = session.execute(bound, algorithm=name, budget=_budget(args))
     for result in stream:
         if args.stream:
@@ -155,7 +210,11 @@ def _one_algorithm(
 def _cmd_compare(args: argparse.Namespace) -> int:
     session = _session(args)
     names = _algorithm_names(session, args.algorithms)
-    bound = _workload(args).bound()
+    workload = _workload(args)
+    tables, backends = _resolve_sources(args, workload)
+    bound = workload.query().bind(tables)
+    if backends:
+        print(f"sources: {_backend_line(tables, backends)}")
     report = session.compare(bound, names, verify=not args.no_verify)
     print("Progressiveness (virtual time to reach each output fraction):")
     print(report.progressiveness_table())
@@ -177,7 +236,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         name, _, path = spec.partition("=")
         if not path:
             raise SystemExit(f"--table expects NAME=PATH, got {spec!r}")
-        session.register_table(Table.from_csv(name, path), name)
+        if is_source_uri(path):
+            session.open_source(path, name)
+        else:
+            session.register_table(Table.from_csv(name, path), name)
     [name] = _one_algorithm(session, args.algorithm, command="query")
     budget = (
         StreamBudget(max_results=args.limit) if args.limit else None
@@ -210,24 +272,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     )
     budget = _budget(args)
-    shared_bound = (
-        _workload(args).bound() if args.shared_tables else None
-    )
+    # --source overrides imply one shared set of backends for every query
+    # (there is exactly one columnar dir / database per alias).
+    workload = _workload(args)
+    shared_tables, backends = _resolve_sources(args, workload)
+    shared_bound = None
+    if args.shared_tables or backends:
+        shared_bound = workload.query().bind(shared_tables)
+    query_backends: dict[str, str] = {}
     for i in range(args.concurrency):
         if shared_bound is not None:
             bound, qname = shared_bound, f"q{i}(shared)"
+            tables = shared_tables
         else:
-            workload = SyntheticWorkload(
+            per_query = SyntheticWorkload(
                 distribution=args.distribution, n=args.n, d=args.d,
                 sigma=args.sigma, seed=args.seed + i,
             )
-            bound, qname = workload.bound(), f"q{i}(seed={args.seed + i})"
+            tables = per_query.tables()
+            bound = per_query.query().bind(tables)
+            qname = f"q{i}(seed={args.seed + i})"
         scheduler.submit(bound, algorithm=name, budget=budget, name=qname)
+        query_backends[qname] = _backend_line(tables, backends)
     print(
         f"serving {args.concurrency} queries ({name}) under "
         f"{args.policy}, quantum={args.quantum}, "
         f"sharing={'on' if sharing else 'off'}"
     )
+    for qname, line in query_backends.items():
+        print(f"  {qname}: {line}")
     for query, result in scheduler.run():
         if args.stream:
             print(
@@ -273,10 +346,35 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     tables = workload.tables()
     left = tables[workload.left_alias]
     right = tables[workload.right_alias]
-    left_path = f"{args.prefix}_{workload.left_alias}.csv"
-    right_path = f"{args.prefix}_{workload.right_alias}.csv"
-    left.to_csv(left_path)
-    right.to_csv(right_path)
+    if args.format == "csv":
+        left_path = f"{args.prefix}_{workload.left_alias}.csv"
+        right_path = f"{args.prefix}_{workload.right_alias}.csv"
+        left.to_csv(left_path)
+        right.to_csv(right_path)
+    elif args.format == "columnar":
+        left_path = write_columnar(
+            f"{args.prefix}_{workload.left_alias}.col", left
+        )
+        right_path = write_columnar(
+            f"{args.prefix}_{workload.right_alias}.col", right
+        )
+        print(
+            "use with: --source "
+            f"{workload.left_alias}=columnar:{left_path} "
+            f"--source {workload.right_alias}=columnar:{right_path}"
+        )
+    else:  # sqlite
+        db = f"{args.prefix}.sqlite"
+        open(db, "a").close()
+        SQLiteSource.write_table(db, workload.left_alias, left)
+        SQLiteSource.write_table(db, workload.right_alias, right)
+        left_path = right_path = db
+        print(
+            "use with: --source "
+            f"{workload.left_alias}=sqlite:{db}?table={workload.left_alias} "
+            f"--source {workload.right_alias}=sqlite:{db}"
+            f"?table={workload.right_alias}"
+        )
     print(f"wrote {left_path} ({len(left)} rows) and {right_path} ({len(right)} rows)")
     return 0
 
@@ -306,6 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one algorithm on a synthetic workload")
     _add_workload_args(p_run)
     _add_budget_args(p_run)
+    _add_source_args(p_run)
     p_run.add_argument("--algorithm", "-a", default="ProgXe",
                        help="algorithm name (see the 'algorithms' command)")
     p_run.add_argument("--preset", choices=list(PRESETS), help=preset_help)
@@ -315,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="compare algorithms on one workload")
     _add_workload_args(p_cmp)
+    _add_source_args(p_cmp)
     p_cmp.add_argument("--algorithms", "-a", default="variants",
                        help="'all', 'variants', or a comma list of names")
     p_cmp.add_argument("--preset", choices=list(PRESETS), help=preset_help)
@@ -326,7 +426,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--query", help="query text")
     p_query.add_argument("--query-file", help="file containing the query")
     p_query.add_argument("--table", action="append", default=[],
-                         metavar="NAME=PATH", help="bind table NAME to a CSV file")
+                         metavar="NAME=PATH",
+                         help="bind table NAME to a CSV file or a source URI "
+                         "(columnar:PATH, sqlite:PATH?table=T)")
     p_query.add_argument("--algorithm", "-a", default="ProgXe")
     p_query.add_argument("--preset", choices=list(PRESETS), help=preset_help)
     p_query.add_argument("--limit", type=int, default=0,
@@ -339,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_args(p_serve)
     _add_budget_args(p_serve)
+    _add_source_args(p_serve)
     p_serve.add_argument(
         "--concurrency", "-c", type=int, default=4,
         help="number of concurrent queries to admit (workload seeds "
@@ -374,10 +477,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.set_defaults(fn=_cmd_serve)
 
-    p_gen = sub.add_parser("generate", help="write a synthetic workload to CSV")
+    p_gen = sub.add_parser(
+        "generate", help="write a synthetic workload to CSV/columnar/SQLite"
+    )
     _add_workload_args(p_gen)
     p_gen.add_argument("--prefix", default="workload",
                        help="output file prefix (PREFIX_R.csv, PREFIX_T.csv)")
+    p_gen.add_argument(
+        "--format", choices=["csv", "columnar", "sqlite"], default="csv",
+        help="storage backend to write: CSV files, mmap-able columnar "
+        "directories, or one SQLite database with both tables",
+    )
     p_gen.set_defaults(fn=_cmd_generate)
 
     p_explain = sub.add_parser(

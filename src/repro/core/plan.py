@@ -38,6 +38,7 @@ from repro.query.smj import BoundQuery
 from repro.runtime.clock import VirtualClock
 from repro.storage.grid import GridPartitioner
 from repro.storage.quadtree import QuadTreePartitioner
+from repro.storage.sources.base import DataSource
 from repro.storage.table import Table
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
@@ -198,7 +199,7 @@ class QueryPlan:
 
 def _partition_side(
     partitioner,
-    table: Table,
+    table: DataSource,
     attributes: tuple[str, ...],
     join_attribute: str,
     source: str,
@@ -237,8 +238,13 @@ def _pruned_tables(
     clock: VirtualClock,
     pushthrough: bool,
     prune_stats: dict[str, int],
-) -> tuple[Table, Table]:
-    """Apply push-through (ProgXe+) or pass the bound tables through."""
+) -> tuple[DataSource, DataSource]:
+    """Apply push-through (ProgXe+) or pass the bound sources through.
+
+    Pruned survivors are always rehoused in an in-memory :class:`Table`,
+    whatever the original backend: the skyline-pruned set is a small
+    materialised row list by construction.
+    """
     left, right = bound.left_table, bound.right_table
     if not pushthrough:
         return left, right

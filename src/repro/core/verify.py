@@ -16,6 +16,7 @@ from repro.join.hash_join import hash_join
 from repro.join.predicates import EquiJoin
 from repro.query.smj import BoundQuery, ResultTuple
 from repro.skyline.bnl import bnl_skyline_entries
+from repro.storage.sources.base import rows_of
 
 
 @dataclass
@@ -51,7 +52,7 @@ def true_skyline_keys(bound: BoundQuery) -> set[tuple]:
     predicate = EquiJoin(bound.left_join_index, bound.right_join_index)
     candidates = []
     for lrow, rrow in hash_join(
-        bound.left_table.rows, bound.right_table.rows, predicate
+        rows_of(bound.left_table), rows_of(bound.right_table), predicate
     ):
         mapped = bound.map_pair(lrow, rrow)
         candidates.append((bound.vector_of(mapped), (lrow, rrow)))

@@ -23,7 +23,10 @@ from repro.query.expressions import AttrRef
 from repro.query.intervals import Interval
 from repro.query.mapping import MappingSet
 from repro.skyline.preferences import Direction, ParetoPreference
-from repro.storage.table import Row, Table
+from repro.storage.sources.base import DataSource
+from repro.storage.sources.filtered import FilteredSource, conditions_fingerprint
+from repro.storage.sources.memory import InMemorySource
+from repro.storage.table import Row, Table  # noqa: F401  (re-export compat)
 
 _FILTER_OPS: dict[str, Callable[[Any, Any], bool]] = {
     "=": lambda a, b: a == b,
@@ -35,6 +38,20 @@ _FILTER_OPS: dict[str, Callable[[Any, Any], bool]] = {
     "in": lambda a, b: a in b,  # alias.attr IN (v1, v2, ...)
     "contains": lambda a, b: b in a,  # literal IN alias.attr (collection column)
 }
+
+
+def _is_empty(source: DataSource) -> bool:
+    """Whether a source has no rows, without a full counting scan.
+
+    ``len()`` on a filtered view of a larger-than-RAM backend counts by
+    scanning everything; the bind-time emptiness check only needs the
+    first row, so stream and stop.
+    """
+    if isinstance(source, InMemorySource):
+        return not source.rows
+    for _ in source.iter_rows():
+        return False
+    return True
 
 
 @dataclass(frozen=True)
@@ -142,8 +159,8 @@ class SkyMapJoinQuery:
             if a not in aliases:
                 raise QueryError(f"mapping references unknown alias {a!r}")
 
-    def bind(self, tables: Mapping[str, Table]) -> "BoundQuery":
-        """Resolve against concrete tables keyed by *alias*."""
+    def bind(self, tables: Mapping[str, DataSource]) -> "BoundQuery":
+        """Resolve against concrete data sources keyed by *alias*."""
         try:
             left = tables[self.left_alias]
             right = tables[self.right_alias]
@@ -153,8 +170,8 @@ class SkyMapJoinQuery:
             ) from None
         return BoundQuery(self, left, right)
 
-    def bind_by_table_name(self, tables: Mapping[str, Table]) -> "BoundQuery":
-        """Resolve against concrete tables keyed by *table name* (FROM clause).
+    def bind_by_table_name(self, tables: Mapping[str, DataSource]) -> "BoundQuery":
+        """Resolve against concrete sources keyed by *table name* (FROM clause).
 
         Only available for queries built by the parser (which records the
         FROM-clause table names); programmatically built queries should use
@@ -165,7 +182,7 @@ class SkyMapJoinQuery:
                 "query has no FROM-clause table names; use bind() with aliases"
             )
         names = dict(self.table_names)
-        by_alias: dict[str, Table] = {}
+        by_alias: dict[str, DataSource] = {}
         for alias in (self.left_alias, self.right_alias):
             table_name = names[alias]
             try:
@@ -179,25 +196,30 @@ class SkyMapJoinQuery:
 
 
 class BoundQuery:
-    """An SMJ query resolved against concrete tables.
+    """An SMJ query resolved against concrete data sources.
 
-    Exposes everything the engines need pre-computed: filtered rows, join
-    key positions, mapped-attribute positions, a compiled mapping closure
-    and preference normalisation.
+    Exposes everything the engines need pre-computed: filtered sources,
+    join key positions, mapped-attribute positions, a compiled mapping
+    closure and preference normalisation.  Either side may be *any*
+    :class:`~repro.storage.sources.base.DataSource` — an in-memory
+    :class:`~repro.storage.table.Table`, an mmap-backed columnar file, or
+    a SQLite relation; local filters are applied eagerly for in-memory
+    sources, pushed down (``WHERE``) for sources that support it, and
+    wrapped as a streaming filter view otherwise.
     """
 
-    def __init__(self, query: SkyMapJoinQuery, left: Table, right: Table) -> None:
+    def __init__(self, query: SkyMapJoinQuery, left: DataSource, right: DataSource) -> None:
         self.query = query
         self.left_alias = query.left_alias
         self.right_alias = query.right_alias
 
         self.left_table = self._apply_filters(left, query.left_alias, query)
         self.right_table = self._apply_filters(right, query.right_alias, query)
-        if not self.left_table.rows:
+        if _is_empty(self.left_table):
             raise BindingError(
                 f"table for alias {query.left_alias!r} has no rows after filters"
             )
-        if not self.right_table.rows:
+        if _is_empty(self.right_table):
             raise BindingError(
                 f"table for alias {query.right_alias!r} has no rows after filters"
             )
@@ -237,14 +259,43 @@ class BoundQuery:
         ]
 
     @staticmethod
-    def _apply_filters(table: Table, alias: str, query: SkyMapJoinQuery) -> Table:
+    def _apply_filters(
+        source: DataSource, alias: str, query: SkyMapJoinQuery
+    ) -> DataSource:
         conds = [f for f in query.filters if f.alias == alias]
         if not conds:
-            return table
-        idx_conds = [(table.schema.index(f.attribute), f) for f in conds]
-        def keep(row: Row) -> bool:
-            return all(f.matches(row[i]) for i, f in idx_conds)
-        return table.filter(keep)
+            return source
+        if isinstance(source, InMemorySource):
+            # Rows are resident anyway: filter eagerly (historical
+            # behaviour).  The result adopts a structural cache identity
+            # derived from the base table + conditions, so re-binding the
+            # same filtered query shares cached partitionings instead of
+            # minting an unreachable fresh uid per bind.
+            idx_conds = [(source.schema.index(f.attribute), f) for f in conds]
+
+            def keep(row: Row) -> bool:
+                return all(f.matches(row[i]) for i, f in idx_conds)
+
+            return source.filter(keep).with_derived_identity(
+                source, conditions_fingerprint(conds)
+            )
+        push = getattr(source, "apply_filters", None)
+        if push is not None:
+            # Predicate push-down (SQLite WHERE); the source wraps whatever
+            # it cannot express in a residual filter view itself.
+            return push(conds)
+        return FilteredSource(source, conds)
+
+    @property
+    def left_source(self) -> DataSource:
+        """The (filtered) left data source — protocol-era name for
+        :attr:`left_table`, which may be any backend."""
+        return self.left_table
+
+    @property
+    def right_source(self) -> DataSource:
+        """The (filtered) right data source (see :attr:`left_source`)."""
+        return self.right_table
 
     def _dim_sign(self, mapping_name: str) -> int:
         for p in self.query.preference:

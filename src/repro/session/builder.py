@@ -40,7 +40,7 @@ from repro.query.smj import (
     SkyMapJoinQuery,
 )
 from repro.skyline.preferences import ParetoPreference, Preference
-from repro.storage.table import Table
+from repro.storage.sources.base import DataSource, is_data_source
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.session.service import Session
@@ -82,7 +82,7 @@ class QueryBuilder:
 
     def __init__(self, session: "Session | None" = None) -> None:
         self._session = session
-        self._tables: dict[str, Table] = {}  # alias -> table
+        self._tables: dict[str, DataSource] = {}  # alias -> source
         self._aliases: list[str] = []
         self._join: JoinCondition | None = None
         self._mappings: list[MappingFunction] = []
@@ -96,10 +96,11 @@ class QueryBuilder:
     def from_tables(self, left, right) -> "QueryBuilder":
         """Declare the two join sources, left then right.
 
-        Each source is a :class:`~repro.storage.table.Table` (its ``name``
-        becomes the alias), an ``(alias, table)`` pair, or — on a builder
-        created by a session — the name of a table registered with that
-        session.
+        Each source is a :class:`~repro.storage.sources.base.DataSource`
+        (its ``name`` becomes the alias) — an in-memory
+        :class:`~repro.storage.table.Table`, a columnar-file or SQLite
+        backend — an ``(alias, source)`` pair, or, on a builder created by
+        a session, the name of a source registered with that session.
         """
         if self._aliases:
             raise QueryError("from_tables() was already called")
@@ -111,23 +112,39 @@ class QueryBuilder:
             self._aliases.append(alias)
         return self
 
-    def _resolve_source(self, source) -> tuple[str, Table]:
-        if isinstance(source, Table):
-            return source.name, source
-        if isinstance(source, tuple) and len(source) == 2:
-            alias, table = source
-            if not isinstance(table, Table):
-                raise QueryError(
-                    f"expected (alias, Table) pair, got ({alias!r}, {table!r})"
-                )
-            return alias, table
+    def from_sources(self, left, right) -> "QueryBuilder":
+        """Declare the two join sources — any storage backend.
+
+        The protocol-era spelling of :meth:`from_tables` (identical
+        behaviour; both accept any :class:`DataSource`)::
+
+            session.query().from_sources(
+                ColumnarFileSource("/data/r.col", name="R"),
+                SQLiteSource("catalog.db", table="T"),
+            )
+        """
+        return self.from_tables(left, right)
+
+    #: Shorthand alias for :meth:`from_sources`.
+    from_source = from_sources
+
+    def _resolve_source(self, source) -> tuple[str, DataSource]:
         if isinstance(source, str):
             if self._session is None:
                 raise QueryError(
                     f"cannot resolve table name {source!r}: builder is not "
-                    "attached to a session; pass Table objects instead"
+                    "attached to a session; pass DataSource objects instead"
                 )
             return source, self._session.table(source)
+        if isinstance(source, tuple) and len(source) == 2:
+            alias, table = source
+            if not is_data_source(table):
+                raise QueryError(
+                    f"expected (alias, DataSource) pair, got ({alias!r}, {table!r})"
+                )
+            return alias, table
+        if is_data_source(source):
+            return source.name, source
         raise QueryError(f"cannot interpret query source {source!r}")
 
     # ------------------------------------------------------------------

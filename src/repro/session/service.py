@@ -43,7 +43,8 @@ from repro.session.builder import QueryBuilder
 from repro.session.config import EngineConfig
 from repro.session.registry import AlgorithmRegistry, default_registry
 from repro.session.stream import ResultStream, StreamBudget
-from repro.storage.table import Table
+from repro.storage.sources.base import DataSource
+from repro.storage.sources.uri import open_source as _open_source_uri
 
 #: Algorithm used when ``execute()`` is not told otherwise.
 DEFAULT_ALGORITHM = "ProgXe"
@@ -118,24 +119,47 @@ class Session:
         self.config = config or EngineConfig()
         self.clock_weights = dict(clock_weights) if clock_weights else None
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
-        self._tables: dict[str, Table] = {}
+        self._tables: dict[str, DataSource] = {}
 
     # ------------------------------------------------------------------
-    # tables
+    # tables / sources
     # ------------------------------------------------------------------
-    def register_table(self, table: Table, name: str | None = None) -> "Session":
-        """Register ``table`` under ``name`` (default: the table's own name)."""
+    def register_table(
+        self, table: DataSource, name: str | None = None
+    ) -> "Session":
+        """Register a data source under ``name`` (default: its own name).
+
+        ``table`` is any :class:`~repro.storage.sources.base.DataSource` —
+        an in-memory :class:`~repro.storage.table.Table`, an mmap-backed
+        :class:`~repro.storage.sources.columnar.ColumnarFileSource`, or a
+        :class:`~repro.storage.sources.sqlite.SQLiteSource`.
+        """
         self._tables[name or table.name] = table
         return self
 
-    def register_tables(self, tables: Mapping[str, Table]) -> "Session":
-        """Register several tables at once."""
+    #: Protocol-era alias of :meth:`register_table`.
+    register_source = register_table
+
+    def register_tables(self, tables: Mapping[str, DataSource]) -> "Session":
+        """Register several sources at once."""
         for name, table in tables.items():
             self.register_table(table, name)
         return self
 
-    def table(self, name: str) -> Table:
-        """Look up a registered table."""
+    def open_source(self, uri: str, name: str | None = None) -> DataSource:
+        """Open a source URI, register it, and return it.
+
+        URIs follow :func:`repro.storage.sources.uri.open_source`:
+        ``mem:PATH.csv``, ``columnar:PATH``, ``sqlite:PATH?table=NAME`` /
+        ``sqlite:PATH?query=SELECT ...``.  The source registers under
+        ``name`` (default: the backend's derived name).
+        """
+        source = _open_source_uri(uri, name=name)
+        self.register_table(source, name)
+        return source
+
+    def table(self, name: str) -> DataSource:
+        """Look up a registered source."""
         try:
             return self._tables[name]
         except KeyError:
@@ -145,8 +169,8 @@ class Session:
             ) from None
 
     @property
-    def tables(self) -> dict[str, Table]:
-        """Snapshot of the registered tables (name → table)."""
+    def tables(self) -> dict[str, DataSource]:
+        """Snapshot of the registered sources (name → source)."""
         return dict(self._tables)
 
     # ------------------------------------------------------------------
@@ -272,6 +296,7 @@ class Session:
         config: EngineConfig | str | None = None,
         budget: StreamBudget | None = None,
         clock: VirtualClock | None = None,
+        share_partitions: bool | None = None,
     ) -> ResultStream:
         """Start a progressive execution; returns a lazy :class:`ResultStream`.
 
@@ -290,9 +315,14 @@ class Session:
             Execution ceilings; the stream stops cleanly when one is hit.
         clock:
             Virtual clock to charge; a fresh one is created by default.
+        share_partitions:
+            Override the engine config's cross-query sharing flag for this
+            one execution (:meth:`compare` passes ``False`` so every
+            contender plans privately).
         """
         instance, clock, name = self.build_algorithm(
-            query, algorithm=algorithm, config=config, clock=clock
+            query, algorithm=algorithm, config=config, clock=clock,
+            share_partitions=share_partitions,
         )
         return ResultStream(instance, clock, name=name, budget=budget)
 
@@ -384,8 +414,11 @@ class Session:
         """Run several algorithms on one query and collect a report.
 
         ``algorithms`` is a list of registered names (default: all of them)
-        or an explicit name → factory mapping.  Each run gets a fresh clock;
-        with ``verify`` (default) the final result sets must agree — skipped
+        or an explicit name → factory mapping.  Each run gets a fresh clock
+        and **plans privately** — the session's shared partition cache is
+        bypassed, so no contender inherits another's phase-1 work and the
+        reported progressiveness/cost figures stay comparable.  With
+        ``verify`` (default) the final result sets must agree — skipped
         automatically when a ``budget`` is set, since truncated runs
         legitimately stop early.
         """
@@ -407,11 +440,13 @@ class Session:
                 if cfg is not None and not self.registry.entry(name).configurable:
                     cfg = None
                 stream = self.execute(
-                    bound, algorithm=name, config=cfg, budget=budget
+                    bound, algorithm=name, config=cfg, budget=budget,
+                    share_partitions=False,
                 )
             else:
                 stream = self.execute(
-                    bound, algorithm=factory, config=config, budget=budget
+                    bound, algorithm=factory, config=config, budget=budget,
+                    share_partitions=False,
                 )
             stream.drain()
             runs[name] = stream.to_run_result()

@@ -1,4 +1,10 @@
-"""Storage substrate: tables, schemas, grid partitioning and signatures."""
+"""Storage substrate: data sources, schemas, grid partitioning and signatures.
+
+Relations enter the system as :class:`~repro.storage.sources.base.DataSource`
+implementations — in-memory (:class:`Table` / :class:`InMemorySource`),
+mmap-backed columnar files (:class:`ColumnarFileSource`), or SQLite
+(:class:`SQLiteSource`) — all consumed through one batch-scan protocol.
+"""
 
 from repro.storage.bloom import BloomFilter
 from repro.storage.column_batch import ColumnBatch
@@ -12,22 +18,48 @@ from repro.storage.signatures import (
     JoinSignature,
     build_signature,
 )
+from repro.storage.sources import (
+    ColumnarFileSource,
+    ColumnarWriter,
+    DataSource,
+    FilteredSource,
+    InMemorySource,
+    SQLiteSource,
+    describe_source,
+    is_data_source,
+    is_source_uri,
+    open_source,
+    rows_of,
+    write_columnar,
+)
 from repro.storage.table import Row, Table
 
 __all__ = [
     "BloomFilter",
     "BloomSignature",
     "ColumnBatch",
+    "ColumnarFileSource",
+    "ColumnarWriter",
+    "DataSource",
     "ExactSignature",
+    "FilteredSource",
     "GridPartitioner",
+    "InMemorySource",
     "InputGrid",
     "InputPartition",
     "JoinSignature",
     "QuadTreeIndex",
     "QuadTreePartitioner",
     "Row",
+    "SQLiteSource",
     "Schema",
     "Table",
     "build_signature",
+    "describe_source",
+    "is_data_source",
+    "is_source_uri",
+    "open_source",
     "project_rows",
+    "rows_of",
+    "write_columnar",
 ]

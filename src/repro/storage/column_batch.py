@@ -19,12 +19,17 @@ list (for dict-based hash joins) and best-effort as a numpy array.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 import numpy as np
 
 from repro.errors import SchemaError
-from repro.storage.table import Row, Table
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.storage.table import Table
+
+#: A relation row (kept local: the sources package imports this module).
+Row = tuple
 
 
 class ColumnBatch:
@@ -43,9 +48,18 @@ class ColumnBatch:
     key_index:
         Optional schema position of the join key, materialised without
         numeric coercion.
+
+    Batches produced by a :class:`~repro.storage.sources.base.DataSource`
+    scan additionally carry their position in the stream: ``offset`` is
+    the global row id of the batch's first row, and ``row_ids`` (when not
+    ``None``) gives non-contiguous global ids, as produced by filtering
+    views.  :meth:`global_ids` resolves either form.
     """
 
-    __slots__ = ("rows", "width", "_columns", "_key_index", "_keys")
+    __slots__ = (
+        "rows", "width", "_columns", "_key_index", "_keys",
+        "offset", "row_ids", "_length",
+    )
 
     def __init__(
         self,
@@ -53,9 +67,14 @@ class ColumnBatch:
         width: int,
         indices: Sequence[int] = (),
         key_index: int | None = None,
+        *,
+        offset: int = 0,
     ) -> None:
         self.rows: list[Row] = list(rows)
         self.width = width
+        self.offset = offset
+        self.row_ids: np.ndarray | None = None
+        self._length = len(self.rows)
         self._columns: dict[int, np.ndarray] = {}
         for i in indices:
             if not 0 <= i < width:
@@ -76,7 +95,7 @@ class ColumnBatch:
     @classmethod
     def from_table(
         cls,
-        table: Table,
+        table: "Table",
         columns: Sequence[str],
         key_column: str | None = None,
     ) -> "ColumnBatch":
@@ -84,6 +103,43 @@ class ColumnBatch:
         indices = [table.schema.index(c) for c in columns]
         key_index = table.schema.index(key_column) if key_column else None
         return cls(table.rows, len(table.schema), indices, key_index)
+
+    @classmethod
+    def from_columns(
+        cls,
+        *,
+        width: int,
+        length: int,
+        columns: dict[int, np.ndarray] | None = None,
+        rows: Sequence[Row] | None = None,
+        keys: list[Any] | None = None,
+        key_index: int | None = None,
+        offset: int = 0,
+        row_ids: np.ndarray | None = None,
+    ) -> "ColumnBatch":
+        """Assemble a batch directly from column arrays.
+
+        The constructor used by columnar/database backends, which already
+        hold the data column-wise: no per-row materialisation happens here.
+        ``rows`` may be omitted (``with_rows=False`` scans), leaving
+        ``batch.rows`` empty while ``len(batch)`` still reports ``length``.
+        """
+        batch = cls.__new__(cls)
+        batch.rows = list(rows) if rows is not None else []
+        batch.width = width
+        batch.offset = offset
+        batch.row_ids = row_ids
+        batch._length = length
+        batch._columns = {}
+        for i, arr in (columns or {}).items():
+            if not 0 <= i < width:
+                raise SchemaError(
+                    f"column index {i} out of range for width {width}"
+                )
+            batch._columns[i] = np.asarray(arr, dtype=float)
+        batch._key_index = key_index
+        batch._keys = keys
+        return batch
 
     # ------------------------------------------------------------------
     # row-compatible access (what compiled closures use)
@@ -98,7 +154,22 @@ class ColumnBatch:
             ) from None
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self._length
+
+    def global_ids(self, members: Sequence[int] | np.ndarray | None = None) -> np.ndarray:
+        """Global row ids of the batch's rows (or of a member subset).
+
+        Contiguous batches resolve from ``offset``; filtered batches carry
+        explicit ``row_ids``.  Partitioners use this to record which source
+        rows landed in a partition without materialising the tuples.
+        """
+        if self.row_ids is not None:
+            ids = np.asarray(self.row_ids, dtype=np.int64)
+        else:
+            ids = np.arange(self.offset, self.offset + self._length, dtype=np.int64)
+        if members is None:
+            return ids
+        return ids[np.asarray(members, dtype=np.intp)]
 
     # ------------------------------------------------------------------
     # columnar access
@@ -115,7 +186,7 @@ class ColumnBatch:
         """
         cols = sorted(self._columns) if indices is None else list(indices)
         if not cols:
-            return np.empty((len(self.rows), 0), dtype=float)
+            return np.empty((self._length, 0), dtype=float)
         return np.column_stack([self[i] for i in cols])
 
     @property
@@ -148,10 +219,13 @@ class ColumnBatch:
     def take(self, indices: Sequence[int] | np.ndarray) -> "ColumnBatch":
         """A sub-batch of the given row positions (columns re-sliced)."""
         idx = np.asarray(indices, dtype=np.intp)
-        rows = [self.rows[i] for i in idx]
+        rows = [self.rows[i] for i in idx] if self.rows else []
         sub = ColumnBatch.__new__(ColumnBatch)
         sub.rows = rows
         sub.width = self.width
+        sub.offset = 0
+        sub.row_ids = self.global_ids(idx)
+        sub._length = len(idx)
         sub._columns = {i: col[idx] for i, col in self._columns.items()}
         sub._key_index = self._key_index
         sub._keys = (

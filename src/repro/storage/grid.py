@@ -2,19 +2,31 @@
 
 The paper "assume[s] the input data sets are partitioned into a
 multi-dimensional grid structure".  :class:`GridPartitioner` builds that
-structure: it grids a table over the attributes that feed the query's
-mapping functions, assigns every row to its cell, and attaches a join-value
-signature to each non-empty cell.
+structure — and it is **batch-first**: the input is consumed exclusively
+through the :class:`~repro.storage.sources.base.DataSource` batch-scan
+protocol (two streaming passes: domain bounds, then vectorized cell
+assignment), so the same code path grids an in-memory
+:class:`~repro.storage.table.Table`, an mmap-backed columnar file, or a
+SQLite relation.  Sources that advertise ``prefers_lazy_rows`` get
+partitions that store global row ids instead of tuples, keeping planning
+memory bounded for inputs larger than RAM.
+
+The produced structure is identical regardless of backend or batch size:
+partitions are created in first-occurrence order, rows keep their scan
+order within each cell, and the tight bounding boxes and join-value
+signatures depend only on the cell contents.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import BindingError
 from repro.storage.partition import InputPartition
 from repro.storage.signatures import build_signature
-from repro.storage.table import Row, Table
+from repro.storage.sources.base import DEFAULT_SCAN_BATCH, DataSource, Row
 
 
 class InputGrid:
@@ -122,20 +134,30 @@ class GridPartitioner:
             self.bloom_bits, self.bloom_hashes,
         )
 
+    def _new_signature(self):
+        return build_signature(
+            (), self.signature_kind,
+            num_bits=self.bloom_bits, num_hashes=self.bloom_hashes,
+        )
+
     def partition(
         self,
-        table: Table,
+        table: DataSource,
         attributes: Sequence[str],
         join_attribute: str,
         *,
         source: str | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH,
     ) -> InputGrid:
-        """Grid ``table`` over ``attributes`` and attach join signatures.
+        """Grid any :class:`DataSource` over ``attributes`` + join signatures.
 
         ``attributes`` are the columns feeding the mapping functions (the
         dimensions of the grid); ``join_attribute`` feeds the signatures.
+        The source is streamed twice (bounds pass, assignment pass); with a
+        ``prefers_lazy_rows`` source the partitions store row ids only.
         """
-        if not table.rows:
+        n = len(table)
+        if n == 0:
             raise BindingError(f"cannot partition empty table {table.name!r}")
         if not attributes:
             raise BindingError(
@@ -143,41 +165,79 @@ class GridPartitioner:
                 "grid partitioning needs at least one dimension"
             )
         attr_idx = table.schema.indices(attributes)
-        join_idx = table.schema.index(join_attribute)
+        table.schema.index(join_attribute)  # validate early
+        lazy = bool(getattr(table, "prefers_lazy_rows", False))
+        d = len(attr_idx)
+        k = self.cells_per_dim
 
-        mins = [float("inf")] * len(attr_idx)
-        maxs = [float("-inf")] * len(attr_idx)
-        for row in table.rows:
-            for i, ai in enumerate(attr_idx):
-                v = row[ai]
-                if v < mins[i]:
-                    mins[i] = v
-                if v > maxs[i]:
-                    maxs[i] = v
+        # Pass 1: per-dimension domain bounds.
+        mins = np.full(d, np.inf)
+        maxs = np.full(d, -np.inf)
+        for batch in table.scan_batches(
+            batch_size, columns=attributes, with_rows=False
+        ):
+            m = batch.matrix(attr_idx)
+            np.minimum(mins, m.min(axis=0), out=mins)
+            np.maximum(maxs, m.max(axis=0), out=maxs)
 
         grid = InputGrid(
             source or table.name,
             tuple(attributes),
-            self.cells_per_dim,
+            k,
             tuple(float(m) for m in mins),
             tuple(float(m) for m in maxs),
         )
+        lows = np.asarray(grid.mins)
+        widths = np.asarray(grid.widths)
 
-        for row in table.rows:
-            values = [row[ai] for ai in attr_idx]
-            coords = grid.cell_of(values)
-            part = grid.partitions.get(coords)
-            if part is None:
-                lower, upper = grid.cell_bounds(coords)
-                part = InputPartition(grid.source, coords, lower, upper)
-                part.signature = build_signature(
-                    (), self.signature_kind,
-                    num_bits=self.bloom_bits, num_hashes=self.bloom_hashes,
+        # Pass 2: vectorized cell assignment, grouped per batch.
+        lazy_chunks: dict[tuple[int, ...], list[np.ndarray]] = {}
+        for batch in table.scan_batches(
+            batch_size, columns=attributes, key_column=join_attribute,
+            with_rows=not lazy,
+        ):
+            m = batch.matrix(attr_idx)
+            coords_mat = ((m - lows) / widths).astype(np.int64)
+            np.clip(coords_mat, 0, k - 1, out=coords_mat)
+            flat = coords_mat[:, 0].copy()
+            for j in range(1, d):
+                flat *= k
+                flat += coords_mat[:, j]
+            order = np.argsort(flat, kind="stable")
+            sorted_flat = flat[order]
+            # Cells in first-occurrence order, so partition creation order
+            # matches a row-at-a-time build exactly.
+            uniq, first_pos = np.unique(flat, return_index=True)
+            keys = batch.join_keys
+            rows = batch.rows
+            for u in uniq[np.argsort(first_pos, kind="stable")]:
+                lo_i = np.searchsorted(sorted_flat, u, side="left")
+                hi_i = np.searchsorted(sorted_flat, u, side="right")
+                members = order[lo_i:hi_i]  # ascending: scan order kept
+                coords = tuple(int(c) for c in coords_mat[members[0]])
+                part = grid.partitions.get(coords)
+                if part is None:
+                    lower, upper = grid.cell_bounds(coords)
+                    part = InputPartition(grid.source, coords, lower, upper)
+                    part.signature = self._new_signature()
+                    grid.partitions[coords] = part
+                sub = m[members]
+                part.observe_bounds(
+                    sub.min(axis=0).tolist(), sub.max(axis=0).tolist()
                 )
-                grid.partitions[coords] = part
-            part.rows.append(row)
-            part.observe(values)
-            part.signature.add(row[join_idx])
+                sig = part.signature
+                for i in members:
+                    sig.add(keys[i])
+                if lazy:
+                    lazy_chunks.setdefault(coords, []).append(
+                        batch.global_ids(members)
+                    )
+                else:
+                    part.add_rows(rows[i] for i in members)
+        for coords, chunks in lazy_chunks.items():
+            grid.partitions[coords].set_lazy_rows(
+                table, np.concatenate(chunks)
+            )
         return grid
 
 

@@ -22,7 +22,14 @@ class InputPartition:
         of each dimension, which is closed above so the domain maximum has a
         home.
     rows:
-        The tuples (full rows of the source table) assigned to the cell.
+        The tuples (full rows of the source relation) assigned to the cell.
+        For partitions built **eagerly** (in-memory sources) this is the
+        live backing list; for partitions built **lazily** over a
+        random-access :class:`~repro.storage.sources.base.DataSource`
+        (``prefers_lazy_rows``) only the global row ids are stored and each
+        ``rows`` access gathers the tuples from the source — planning never
+        materialises them, and per-region probes hold one partition pair at
+        a time.
     signature:
         Join-value signature over the rows (see
         :mod:`repro.storage.signatures`).
@@ -35,8 +42,8 @@ class InputPartition:
     """
 
     __slots__ = (
-        "source", "coords", "lower", "upper", "rows", "signature",
-        "tight_lower", "tight_upper",
+        "source", "coords", "lower", "upper", "signature",
+        "tight_lower", "tight_upper", "_rows", "_row_source", "_row_ids",
     )
 
     def __init__(
@@ -50,10 +57,49 @@ class InputPartition:
         self.coords = coords
         self.lower = lower
         self.upper = upper
-        self.rows: list[tuple] = []
+        self._rows: list[tuple] = []
+        self._row_source = None
+        self._row_ids = None
         self.signature: JoinSignature | None = None
         self.tight_lower: list[float] = list(upper)
         self.tight_upper: list[float] = list(lower)
+
+    # ------------------------------------------------------------------
+    # row storage
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> list[tuple]:
+        """The partition's tuples.
+
+        Eager partitions return the live backing list (mutations stick);
+        lazy partitions gather a fresh list from the backing source on
+        every access — callers should bind it to a local once per probe.
+        """
+        if self._row_source is None:
+            return self._rows
+        return self._row_source.fetch_rows(self._row_ids)
+
+    def add_rows(self, rows) -> None:
+        """Append tuples (eager storage)."""
+        if self._row_source is not None:
+            raise ValueError("cannot add eager rows to a lazily-backed partition")
+        self._rows.extend(rows)
+
+    def set_lazy_rows(self, row_source, row_ids) -> None:
+        """Back the partition by global ``row_ids`` into ``row_source``.
+
+        ``row_source`` must implement ``fetch_rows(row_ids)`` (the
+        random-access capability of the storage protocol).
+        """
+        if self._rows:
+            raise ValueError("partition already holds eager rows")
+        self._row_source = row_source
+        self._row_ids = row_ids
+
+    @property
+    def is_lazy(self) -> bool:
+        """Whether rows are gathered from a backing source on access."""
+        return self._row_source is not None
 
     def observe(self, values: Sequence[float]) -> None:
         """Widen the tight box to include one row's attribute vector."""
@@ -64,10 +110,25 @@ class InputPartition:
             if v > tu[i]:
                 tu[i] = v
 
+    def observe_bounds(
+        self, lows: Sequence[float], highs: Sequence[float]
+    ) -> None:
+        """Widen the tight box by per-dimension ``(low, high)`` bounds.
+
+        The bulk form of :meth:`observe` — partitioners feed it one
+        min/max pair per scanned batch group instead of one call per row.
+        """
+        tl, tu = self.tight_lower, self.tight_upper
+        for i, (lo, hi) in enumerate(zip(lows, highs)):
+            if lo < tl[i]:
+                tl[i] = lo
+            if hi > tu[i]:
+                tu[i] = hi
+
     @property
     def size(self) -> int:
         """Number of tuples in the partition (``n^R_a`` in the paper)."""
-        return len(self.rows)
+        return len(self)
 
     def bounds(self) -> tuple[tuple[float, ...], tuple[float, ...]]:
         """The ``(lower, upper)`` box of the cell."""
@@ -79,9 +140,9 @@ class InputPartition:
         """Per-attribute ``(lo, hi)`` bounds keyed by attribute name.
 
         Uses the tight (observed) box when rows are present, the cell box
-        otherwise.
+        otherwise.  Never materialises lazy rows.
         """
-        if self.rows:
+        if len(self):
             return {
                 a: (self.tight_lower[i], self.tight_upper[i])
                 for i, a in enumerate(attributes)
@@ -91,10 +152,12 @@ class InputPartition:
         }
 
     def __len__(self) -> int:
-        return len(self.rows)
+        if self._row_source is None:
+            return len(self._rows)
+        return len(self._row_ids)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"InputPartition({self.source}{list(self.coords)}, "
-            f"{len(self.rows)} rows, box={self.lower}->{self.upper})"
+            f"{len(self)} rows, box={self.lower}->{self.upper})"
         )

@@ -9,6 +9,13 @@ the quad-tree realisation: leaves split recursively at the box midpoint
 early emission), sparse areas stay coarse (less bookkeeping) — which is
 precisely what skewed data wants.
 
+Like the grid partitioner, consumption is **batch-first** over the
+:class:`~repro.storage.sources.base.DataSource` protocol: one streaming
+pass collects the partitioning attributes as a compact ``float64`` matrix
+(8 bytes per value instead of boxed Python floats) plus the join keys,
+then the recursion splits numpy index sets.  Sources advertising
+``prefers_lazy_rows`` produce leaves that store global row ids only.
+
 The produced :class:`QuadTreeIndex` is interface-compatible with
 :class:`~repro.storage.grid.InputGrid` where the ProgXe look-ahead is
 concerned: it exposes ``attributes``, iteration over non-empty
@@ -18,29 +25,14 @@ join-value signatures.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
+
+import numpy as np
 
 from repro.errors import BindingError
 from repro.storage.partition import InputPartition
 from repro.storage.signatures import build_signature
-from repro.storage.table import Table
-
-
-class _Node:
-    """Internal quad-tree node."""
-
-    __slots__ = ("lower", "upper", "depth", "rows", "values", "children")
-
-    def __init__(self, lower: tuple[float, ...], upper: tuple[float, ...], depth: int):
-        self.lower = lower
-        self.upper = upper
-        self.depth = depth
-        self.rows: list[tuple] = []
-        self.values: list[list[float]] = []
-        self.children: list["_Node"] | None = None
-
-    def midpoint(self) -> tuple[float, ...]:
-        return tuple((lo + hi) / 2.0 for lo, hi in zip(self.lower, self.upper))
+from repro.storage.sources.base import DEFAULT_SCAN_BATCH, DataSource, Row
 
 
 class QuadTreeIndex:
@@ -112,95 +104,140 @@ class QuadTreePartitioner:
 
     def partition(
         self,
-        table: Table,
+        table: DataSource,
         attributes: Sequence[str],
         join_attribute: str,
         *,
         source: str | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH,
     ) -> QuadTreeIndex:
         """Build the quad-tree over ``attributes`` with join signatures."""
-        if not table.rows:
+        n = len(table)
+        if n == 0:
             raise BindingError(f"cannot partition empty table {table.name!r}")
         if not attributes:
             raise BindingError(
                 f"table {table.name!r} contributes no mapping attributes"
             )
         attr_idx = table.schema.indices(attributes)
-        join_idx = table.schema.index(join_attribute)
-        d = len(attr_idx)
+        table.schema.index(join_attribute)  # validate early
+        lazy = bool(getattr(table, "prefers_lazy_rows", False))
 
-        mins = [float("inf")] * d
-        maxs = [float("-inf")] * d
-        for row in table.rows:
-            for i, ai in enumerate(attr_idx):
-                v = row[ai]
-                if v < mins[i]:
-                    mins[i] = v
-                if v > maxs[i]:
-                    maxs[i] = v
+        # Single streaming pass: values matrix + join keys (+ rows or ids).
+        value_chunks: list[np.ndarray] = []
+        keys: list[Any] = []
+        rows: list[Row] | None = None if lazy else []
+        id_chunks: list[np.ndarray] = []
+        for batch in table.scan_batches(
+            batch_size, columns=attributes, key_column=join_attribute,
+            with_rows=not lazy,
+        ):
+            value_chunks.append(batch.matrix(attr_idx))
+            keys.extend(batch.join_keys)
+            if lazy:
+                id_chunks.append(batch.global_ids())
+            else:
+                assert rows is not None
+                rows.extend(batch.rows)
+        values = np.vstack(value_chunks)
+        row_ids = np.concatenate(id_chunks) if lazy else None
+
+        mins = values.min(axis=0)
+        maxs = values.max(axis=0)
         # Give zero-width dimensions some room so midpoints separate.
+        lower = tuple(float(m) for m in mins)
         upper = tuple(
-            hi if hi > lo else lo + 1.0 for lo, hi in zip(mins, maxs)
+            float(hi) if hi > lo else float(lo) + 1.0
+            for lo, hi in zip(mins, maxs)
         )
-        root = _Node(tuple(float(m) for m in mins), upper, 0)
-        for row in table.rows:
-            root.rows.append(row)
-            root.values.append([row[ai] for ai in attr_idx])
 
         index = QuadTreeIndex(source or table.name, tuple(attributes))
-        self._split(root, index, join_idx, path=())
+        builder = _TreeBuilder(
+            self, index, values, keys, rows, row_ids, table if lazy else None
+        )
+        builder.split(np.arange(len(values), dtype=np.intp), lower, upper,
+                      depth=0, path=())
         return index
 
-    # ------------------------------------------------------------------
-    def _split(
-        self, node: _Node, index: QuadTreeIndex, join_idx: int,
+
+class _TreeBuilder:
+    """Recursion state for one quad-tree build (arrays shared, index sets split)."""
+
+    __slots__ = (
+        "partitioner", "index", "values", "keys", "rows", "row_ids",
+        "row_source",
+    )
+
+    def __init__(self, partitioner, index, values, keys, rows, row_ids,
+                 row_source) -> None:
+        self.partitioner = partitioner
+        self.index = index
+        self.values = values
+        self.keys = keys
+        self.rows = rows
+        self.row_ids = row_ids
+        self.row_source = row_source
+
+    def split(
+        self,
+        sel: np.ndarray,
+        lower: tuple[float, ...],
+        upper: tuple[float, ...],
+        depth: int,
         path: tuple[int, ...],
     ) -> None:
-        if len(node.rows) <= self.leaf_capacity or node.depth >= self.max_depth:
-            self._emit_leaf(node, index, join_idx, path)
+        p = self.partitioner
+        if len(sel) <= p.leaf_capacity or depth >= p.max_depth:
+            self._emit_leaf(sel, lower, upper, depth, path)
             return
-        mid = node.midpoint()
+        mid = tuple((lo + hi) / 2.0 for lo, hi in zip(lower, upper))
+        vals = self.values[sel]
         d = len(mid)
-        children: dict[int, _Node] = {}
-        for row, values in zip(node.rows, node.values):
-            child_id = 0
-            for i in range(d):
-                if values[i] >= mid[i]:
-                    child_id |= 1 << i
-            child = children.get(child_id)
-            if child is None:
-                lower = tuple(
-                    mid[i] if child_id >> i & 1 else node.lower[i]
-                    for i in range(d)
-                )
-                upper = tuple(
-                    node.upper[i] if child_id >> i & 1 else mid[i]
-                    for i in range(d)
-                )
-                child = _Node(lower, upper, node.depth + 1)
-                children[child_id] = child
-            child.rows.append(row)
-            child.values.append(values)
+        child_of = np.zeros(len(sel), dtype=np.int64)
+        for i in range(d):
+            child_of |= (vals[:, i] >= mid[i]).astype(np.int64) << i
         # A single populated child is fine: its box is half the parent's, so
         # recursion still makes progress toward the data (clustered inputs
         # produce exactly these chains); max_depth bounds duplicates.
-        node.rows = []
-        node.values = []
-        for child_id in sorted(children):
-            self._split(children[child_id], index, join_idx, path + (child_id,))
+        for child_id in np.unique(child_of):
+            members = sel[child_of == child_id]  # ascending: order kept
+            cid = int(child_id)
+            child_lower = tuple(
+                mid[i] if cid >> i & 1 else lower[i] for i in range(d)
+            )
+            child_upper = tuple(
+                upper[i] if cid >> i & 1 else mid[i] for i in range(d)
+            )
+            self.split(members, child_lower, child_upper, depth + 1,
+                       path + (cid,))
 
     def _emit_leaf(
-        self, node: _Node, index: QuadTreeIndex, join_idx: int,
+        self,
+        sel: np.ndarray,
+        lower: tuple[float, ...],
+        upper: tuple[float, ...],
+        depth: int,
         path: tuple[int, ...],
     ) -> None:
-        part = InputPartition(index.source, path, node.lower, node.upper)
+        p = self.partitioner
+        part = InputPartition(self.index.source, path, lower, upper)
         part.signature = build_signature(
-            (), self.signature_kind,
-            num_bits=self.bloom_bits, num_hashes=self.bloom_hashes,
+            (), p.signature_kind,
+            num_bits=p.bloom_bits, num_hashes=p.bloom_hashes,
         )
-        for row, values in zip(node.rows, node.values):
-            part.rows.append(row)
-            part.observe(values)
-            part.signature.add(row[join_idx])
-        index.partitions.append(part)
-        index.depth_used = max(index.depth_used, node.depth)
+        if len(sel):
+            sub = self.values[sel]
+            part.observe_bounds(sub.min(axis=0).tolist(),
+                                sub.max(axis=0).tolist())
+            keys = self.keys
+            sig = part.signature
+            for i in sel:
+                sig.add(keys[i])
+            if self.row_source is not None:
+                part.set_lazy_rows(self.row_source, self.row_ids[sel])
+            else:
+                assert self.rows is not None
+                rows = self.rows
+                part.add_rows(rows[i] for i in sel)
+        self.index.partitions.append(part)
+        self.index.depth_used = max(self.index.depth_used, depth)

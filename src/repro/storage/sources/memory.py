@@ -1,0 +1,227 @@
+"""The RAM-resident :class:`DataSource` backend.
+
+:class:`InMemorySource` holds rows as plain tuples and is the base class
+of :class:`~repro.storage.table.Table` (which adds the CSV/dict
+construction conveniences) — so every existing ``Table`` *is* a
+``DataSource`` and flows through the same batch-scan consumption path as
+the file- and database-backed sources.
+
+Every in-memory source carries a cheap **content-version token**
+(:attr:`InMemorySource.cache_token`): an identity/version/cardinality
+triple that the cross-query :mod:`repro.cache` layer keys partitioning
+work on.  Mutating through the mutation API (:meth:`append_row`,
+:meth:`extend_rows`, :meth:`touch`) bumps the version, so cached
+partitions built over the old contents can never be served for the new
+ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+from repro.storage.schema import Schema
+from repro.storage.sources.base import DEFAULT_SCAN_BATCH, Row
+
+#: Process-wide monotonically increasing source identities.  Unlike
+#: ``id()``, a sequence number is never reused after a source is
+#: garbage-collected, so a cache keyed on it can never serve a stale entry
+#: to a new source that happens to land at the same address.
+_SOURCE_UIDS = itertools.count(1)
+
+
+class InMemorySource:
+    """A named in-memory relation with an immutable schema.
+
+    The reference :class:`~repro.storage.sources.base.DataSource`
+    implementation: rows live in a Python list, batches are views over
+    slices of it, and ``rows`` is the live backing list.
+
+    Example::
+
+        source = InMemorySource("R", ["id", "price"], [(1, 9.5), (2, 7.0)])
+        next(source.scan_batches(columns=["price"])).column(1)  # array([9.5, 7.])
+        source.append_row((3, 8.25))   # validated; bumps the version token
+    """
+
+    __slots__ = ("name", "schema", "rows", "_uid", "_version")
+
+    kind = "memory"
+
+    def __init__(self, name: str, schema: Schema | Sequence[str], rows: Iterable[Row]) -> None:
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self.name = name
+        self.schema = schema
+        self.rows: list[Row] = []
+        self._uid = next(_SOURCE_UIDS)
+        self._version = 0
+        for row in rows:
+            self.rows.append(self._validated(row))
+
+    def _validated(self, row: Sequence[Any]) -> Row:
+        """``row`` as a tuple, or :class:`SchemaError` on a width mismatch."""
+        t = tuple(row)
+        if len(t) != len(self.schema):
+            raise SchemaError(
+                f"row {t!r} has {len(t)} values but schema "
+                f"{list(self.schema.columns)} has {len(self.schema)} columns"
+            )
+        return t
+
+    # ------------------------------------------------------------------
+    # mutation / cache identity
+    # ------------------------------------------------------------------
+    @property
+    def uid(self) -> int:
+        """Process-unique source identity (stable across the source's life)."""
+        return self._uid
+
+    @property
+    def version(self) -> int:
+        """Content version; bumped by every mutation through the source API."""
+        return self._version
+
+    @property
+    def cache_token(self) -> tuple[int, int, int]:
+        """``(uid, version, row_count)`` — the key component the partition
+        cache uses to tell whether previously built grids are still valid.
+
+        The row count is included defensively: code that appends to
+        ``source.rows`` directly (bypassing :meth:`append_row`) still misses
+        the cache whenever the cardinality changed.  In-place *value* edits
+        to the raw row list are the one mutation the token cannot see; call
+        :meth:`touch` after those.
+        """
+        return (self._uid, self._version, len(self.rows))
+
+    def append_row(self, row: Sequence[Any]) -> "InMemorySource":
+        """Append one row (validated against the schema); bumps the version."""
+        self.rows.append(self._validated(row))
+        self._version += 1
+        return self
+
+    def extend_rows(self, rows: Iterable[Sequence[Any]]) -> "InMemorySource":
+        """Append several rows (validated); bumps the version once.
+
+        Validation stages first: a width mismatch anywhere leaves the
+        table unchanged.  An empty iterable is a no-op — the contents did
+        not change, so the version token must not change either (a
+        spurious bump would invalidate every cached partitioning of the
+        source for no reason).
+        """
+        staged = [self._validated(row) for row in rows]
+        if not staged:
+            return self
+        self.rows.extend(staged)
+        self._version += 1
+        return self
+
+    def touch(self) -> "InMemorySource":
+        """Declare an out-of-band mutation: bump the version token.
+
+        Use after editing ``source.rows`` in place (same cardinality), so
+        partition caches keyed on :attr:`cache_token` stop serving grids
+        built over the old values.
+        """
+        self._version += 1
+        return self
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        i = self.schema.index(name)
+        return [row[i] for row in self.rows]
+
+    def value(self, row: Row, column: str) -> Any:
+        """Value of ``column`` in ``row``."""
+        return row[self.schema.index(column)]
+
+    def filter(
+        self, predicate: Callable[[Row], bool], name: str | None = None
+    ) -> "InMemorySource":
+        """New source (same class) containing the rows satisfying ``predicate``."""
+        return type(self)(
+            name or self.name, self.schema, (r for r in self.rows if predicate(r))
+        )
+
+    def with_derived_identity(
+        self, base: "InMemorySource", fingerprint: tuple
+    ) -> "InMemorySource":
+        """Adopt a structural cache identity derived from ``base``.
+
+        For sources *deterministically derived* from another (the bind-time
+        filter path): the uid becomes ``("derived", base.uid, fingerprint)``
+        and the version snapshots the base's.  Re-deriving from the same
+        base generation therefore reuses cached partitionings instead of
+        minting a fresh uid per bind (which could never hit again and would
+        only crowd the bounded partition store); when the base mutates, the
+        next derivation carries its new version and misses.
+        """
+        self._uid = ("derived", base.uid, fingerprint)  # type: ignore[assignment]
+        self._version = base.version
+        return self
+
+    def head(self, n: int = 5) -> list[Row]:
+        """First ``n`` rows (for inspection)."""
+        return self.rows[:n]
+
+    def row_dict(self, row: Row) -> dict[str, Any]:
+        """Render one row as a ``{column: value}`` dict."""
+        return dict(zip(self.schema.columns, row))
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # ------------------------------------------------------------------
+    # DataSource protocol
+    # ------------------------------------------------------------------
+    def iter_rows(self) -> Iterator[Row]:
+        """Stream the rows (the protocol spelling of ``iter(source)``)."""
+        return iter(self.rows)
+
+    def scan_batches(
+        self,
+        batch_size: int = DEFAULT_SCAN_BATCH,
+        *,
+        columns: Sequence[str] = (),
+        key_column: str | None = None,
+        with_rows: bool = True,
+    ):
+        """Yield :class:`~repro.storage.column_batch.ColumnBatch` slices.
+
+        Rows are always attached (they already live in RAM — slicing is
+        free), so ``with_rows`` is accepted for protocol symmetry only.
+        """
+        from repro.storage.column_batch import ColumnBatch
+
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        indices = self.schema.indices(columns)
+        key_index = self.schema.index(key_column) if key_column else None
+        width = len(self.schema)
+        for start in range(0, len(self.rows), batch_size):
+            batch = ColumnBatch(
+                self.rows[start:start + batch_size],
+                width,
+                indices,
+                key_index,
+                offset=start,
+            )
+            yield batch
+
+    def describe(self) -> str:
+        """One-line backend description (CLI ``serve`` prints this)."""
+        return f"memory({len(self.rows)} rows)"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}({self.name!r}, {len(self.rows)} rows, "
+            f"{list(self.schema.columns)})"
+        )

@@ -1,0 +1,364 @@
+"""The SQLite :class:`DataSource` backend (stdlib ``sqlite3``, no new deps).
+
+:class:`SQLiteSource` exposes a table — or an arbitrary ``SELECT`` — of a
+SQLite database through the batch-scan protocol, streaming rows with
+``fetchmany`` so the working set stays one batch.
+
+Two capabilities matter beyond plain scanning:
+
+**Version tokens.**  ``version`` combines three counters so every
+observable mutation misses the partition cache:
+
+* ``PRAGMA data_version`` — bumps when *another connection* (or process)
+  commits a change to the database file;
+* ``Connection.total_changes`` — counts changes made through *this*
+  source's own connection (which ``data_version`` cannot see);
+* an explicit :meth:`touch` counter for out-of-band edits.
+
+**Predicate push-down.**  :meth:`apply_filters` translates the query's
+local filter conditions into a SQL ``WHERE`` clause (parameterised, never
+string-interpolated literals), returning a derived source that scans only
+the surviving rows; conditions SQLite cannot express (e.g. ``contains``
+over a collection column) are applied as a residual
+:class:`~repro.storage.sources.filtered.FilteredSource` on top.  When the
+plan's push-through phase prunes a side this keeps the pruned scan inside
+the database instead of shipping every row to Python first.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import re
+import sqlite3
+from typing import Any, Iterator, Sequence
+
+from repro.errors import BindingError, SchemaError
+from repro.storage.column_batch import ColumnBatch
+from repro.storage.schema import Schema
+from repro.storage.sources.base import DEFAULT_SCAN_BATCH, Row
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+#: Process-wide sequence for connection-backed sources.  Never an ``id()``:
+#: memory addresses are reused after garbage collection, and the partition
+#: cache's safety rests on uids never colliding across sources.
+_CONNECTION_UIDS = itertools.count(1)
+
+#: Filter operators with a direct SQL translation.
+_SQL_OPS = {"=": "=", "!=": "<>", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+def _quote_identifier(name: str) -> str:
+    if not _IDENTIFIER_RE.match(name):
+        raise SchemaError(f"invalid SQL identifier {name!r}")
+    return f'"{name}"'
+
+
+class SQLiteSource:
+    """A SQLite table (or query) behind the batch-scan storage protocol.
+
+    Parameters
+    ----------
+    database:
+        Path to the database file, or an existing ``sqlite3.Connection``.
+    table:
+        Table (or view) name to scan.  Mutually exclusive with ``query``.
+    query:
+        An arbitrary ``SELECT`` whose result set becomes the relation.
+    name:
+        Relation name; defaults to the table name (or ``"sqlite"``).
+
+    Table-backed sources scan ``ORDER BY rowid`` so the row order is stable
+    whatever access path SQLite chooses (WITHOUT ROWID tables fall back to
+    their PRIMARY KEY order, which is equally stable); ``query=`` sources
+    scan in whatever order the SELECT defines — add an ``ORDER BY`` to the
+    query text if downstream determinism matters.
+
+    Example::
+
+        source = SQLiteSource("catalog.db", table="offers")
+        len(source)                       # COUNT(*) under the hood
+        cheap = source.apply_filters(
+            [FilterCondition("R", "price", "<=", 40.0)]
+        )                                 # pushed down as WHERE "price" <= ?
+    """
+
+    kind = "sqlite"
+
+    def __init__(
+        self,
+        database: "str | os.PathLike[str] | sqlite3.Connection",
+        *,
+        table: str | None = None,
+        query: str | None = None,
+        name: str | None = None,
+        _where: tuple = (),
+    ) -> None:
+        if (table is None) == (query is None):
+            raise BindingError("SQLiteSource needs exactly one of table= or query=")
+        if isinstance(database, sqlite3.Connection):
+            self.connection = database
+            self.database = f"<connection #{next(_CONNECTION_UIDS)}>"
+        else:
+            path = os.fspath(database)
+            if not os.path.exists(path):
+                raise BindingError(f"SQLite database {path!r} does not exist")
+            self.database = os.path.abspath(path)
+            self.connection = sqlite3.connect(self.database)
+        self.table = table
+        self._where: tuple = tuple(_where)  # ((sql_fragment, params), ...)
+        if table is not None:
+            self._select = f"SELECT * FROM {_quote_identifier(table)}"
+            self.name = name or table
+            # Scan order must be *stable* whatever access path SQLite picks
+            # (an index scan after WHERE push-down would otherwise return
+            # rows in index order and break backend invariance).
+            self._order = " ORDER BY rowid"
+        else:
+            assert query is not None
+            self._select = f"SELECT * FROM ({query})"
+            self.name = name or "sqlite"
+            # An arbitrary SELECT has whatever order the query defines; we
+            # cannot impose rowid ordering on it.  Callers wanting stable
+            # scans should put an ORDER BY in the query text.
+            self._order = ""
+        try:
+            cursor = self._probe()
+        except sqlite3.Error as exc:
+            raise BindingError(f"cannot open SQLite source: {exc}") from exc
+        self.schema = Schema([d[0] for d in cursor.description])
+        self._bump = 0
+
+    def _probe(self) -> sqlite3.Cursor:
+        try:
+            return self.connection.execute(
+                f"{self._sql()} LIMIT 0", self._params()
+            )
+        except sqlite3.OperationalError:
+            if not self._order:
+                raise
+            # WITHOUT ROWID tables have no rowid column; fall back to the
+            # engine's natural order (their PRIMARY KEY order — stable).
+            self._order = ""
+            return self.connection.execute(
+                f"{self._sql()} LIMIT 0", self._params()
+            )
+
+    def _sql(self) -> str:
+        if not self._where:
+            return f"{self._select}{self._order}"
+        clause = " AND ".join(fragment for fragment, _ in self._where)
+        return f"{self._select} WHERE {clause}{self._order}"
+
+    def _params(self) -> tuple:
+        return tuple(p for _, params in self._where for p in params)
+
+    # ------------------------------------------------------------------
+    # cache identity
+    # ------------------------------------------------------------------
+    @property
+    def uid(self) -> tuple:
+        """``("sqlite", database, select, where)`` — stable and collision-free.
+
+        Path-constructed handles over the same table share the uid (and may
+        share cached partitionings): cross-connection mutations are caught
+        by ``data_version``, same-connection ones by ``total_changes``.
+        Connection-constructed sources get a process-unique sequence id
+        instead of a path, so they never share (a memory address would be
+        reusable after garbage collection — unsafe as a cache identity).
+        """
+        return ("sqlite", self.database, self._select, self._where)
+
+    @property
+    def version(self) -> tuple:
+        """``(data_version, total_changes, manual bumps)`` — see module docs."""
+        data_version = self.connection.execute("PRAGMA data_version").fetchone()[0]
+        return (data_version, self.connection.total_changes, self._bump)
+
+    @property
+    def cache_token(self) -> tuple:
+        """``(uid, version, row_count)`` for partition-cache keying."""
+        return (self.uid, self.version, len(self))
+
+    def touch(self) -> "SQLiteSource":
+        """Explicitly bump the version token (out-of-band mutation)."""
+        self._bump += 1
+        return self
+
+    def describe(self) -> str:
+        """One-line backend description (CLI ``serve`` prints this)."""
+        target = self.table if self.table else "<query>"
+        pushed = f", where={len(self._where)}" if self._where else ""
+        return f"sqlite({self.database}:{target}{pushed})"
+
+    @property
+    def pushed_where(self) -> tuple[str, ...]:
+        """The SQL fragments :meth:`apply_filters` pushed down (for tests/CLI)."""
+        return tuple(fragment for fragment, _ in self._where)
+
+    # ------------------------------------------------------------------
+    # predicate push-down
+    # ------------------------------------------------------------------
+    def apply_filters(self, conditions: Sequence) -> "SQLiteSource":
+        """Source with the filter conditions applied, pushed into SQL.
+
+        ``conditions`` are :class:`~repro.query.smj.FilterCondition`-shaped
+        objects (``attribute`` / ``op`` / ``literal`` / ``matches``).
+        Unsupported operators fall back to a residual
+        :class:`~repro.storage.sources.filtered.FilteredSource` wrapper, so
+        the result always has exactly the filtered contents.
+        """
+        from repro.storage.sources.filtered import FilteredSource
+
+        pushed: list[tuple] = list(self._where)
+        residual = []
+        for cond in conditions:
+            fragment = self._translate(cond)
+            if fragment is None:
+                residual.append(cond)
+            else:
+                pushed.append(fragment)
+        source = SQLiteSource(
+            self.connection,
+            table=self.table,
+            query=None if self.table else self._select[len("SELECT * FROM ("):-1],
+            name=self.name,
+            _where=tuple(pushed),
+        )
+        source.database = self.database
+        if residual:
+            return FilteredSource(source, residual)  # type: ignore[return-value]
+        return source
+
+    def _translate(self, cond) -> tuple | None:
+        op = getattr(cond, "op", None)
+        attribute = getattr(cond, "attribute", None)
+        literal = getattr(cond, "literal", None)
+        if attribute not in self.schema:
+            return None
+        column = _quote_identifier(attribute)
+        if op in _SQL_OPS and isinstance(literal, (int, float, str)):
+            return (f"{column} {_SQL_OPS[op]} ?", (literal,))
+        if op == "in" and isinstance(literal, (tuple, list, set, frozenset)):
+            values = list(literal)
+            if values and all(isinstance(v, (int, float, str)) for v in values):
+                marks = ", ".join("?" for _ in values)
+                return (f"{column} IN ({marks})", tuple(values))
+        return None
+
+    # ------------------------------------------------------------------
+    # DataSource protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        sql = f"SELECT COUNT(*) FROM ({self._sql()})"
+        return int(self.connection.execute(sql, self._params()).fetchone()[0])
+
+    def scan_batches(
+        self,
+        batch_size: int = DEFAULT_SCAN_BATCH,
+        *,
+        columns: Sequence[str] = (),
+        key_column: str | None = None,
+        with_rows: bool = True,
+    ) -> Iterator[ColumnBatch]:
+        """Stream the relation with ``fetchmany``; one batch resident at a time.
+
+        SQLite hands us row tuples either way, so ``with_rows`` is accepted
+        for protocol symmetry only.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        indices = self.schema.indices(columns)
+        key_index = self.schema.index(key_column) if key_column else None
+        width = len(self.schema)
+        cursor = self.connection.execute(self._sql(), self._params())
+        offset = 0
+        while True:
+            rows = cursor.fetchmany(batch_size)
+            if not rows:
+                break
+            yield ColumnBatch(rows, width, indices, key_index, offset=offset)
+            offset += len(rows)
+
+    def iter_rows(self) -> Iterator[Row]:
+        """Stream the rows as tuples."""
+        cursor = self.connection.execute(self._sql(), self._params())
+        while True:
+            rows = cursor.fetchmany(DEFAULT_SCAN_BATCH)
+            if not rows:
+                return
+            yield from rows
+
+    @property
+    def rows(self) -> list[Row]:
+        """All rows, **materialised** — prefer :meth:`iter_rows` at scale."""
+        return list(self.iter_rows())
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> sqlite3.Cursor:
+        """Run a statement on the source's own connection (version-tracked).
+
+        Mutations made this way bump ``total_changes`` and therefore the
+        :attr:`version` token; remember to ``connection.commit()``.
+        """
+        return self.connection.execute(sql, params)
+
+    @classmethod
+    def write_table(
+        cls,
+        database: "str | os.PathLike[str] | sqlite3.Connection",
+        table: str,
+        source,
+        *,
+        replace: bool = True,
+    ) -> "SQLiteSource":
+        """Materialise a source (or ``(columns, rows)`` pair) as a SQLite table.
+
+        The small writer utility mirroring
+        :func:`~repro.storage.sources.columnar.write_columnar`: creates the
+        table with **untyped columns** (values keep their natural storage
+        class — no affinity coercion) and bulk-inserts every row, then
+        returns a :class:`SQLiteSource` over it.
+        """
+        if isinstance(database, sqlite3.Connection):
+            conn = database
+        else:
+            conn = sqlite3.connect(os.fspath(database))
+        schema = getattr(source, "schema", None)
+        if schema is not None:
+            columns = list(schema.columns)
+            rows_iter = source.iter_rows()
+        else:
+            columns, rows_iter = source
+            rows_iter = iter(rows_iter)
+        quoted = [_quote_identifier(c) for c in columns]
+        if replace:
+            conn.execute(f"DROP TABLE IF EXISTS {_quote_identifier(table)}")
+        conn.execute(
+            f"CREATE TABLE {_quote_identifier(table)} ({', '.join(quoted)})"
+        )
+        marks = ", ".join("?" for _ in columns)
+        insert = f"INSERT INTO {_quote_identifier(table)} VALUES ({marks})"
+        batch: list[tuple] = []
+        for row in rows_iter:
+            batch.append(tuple(_adapt(v) for v in row))
+            if len(batch) >= DEFAULT_SCAN_BATCH:
+                conn.executemany(insert, batch)
+                batch.clear()
+        if batch:
+            conn.executemany(insert, batch)
+        conn.commit()
+        return cls(conn, table=table)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SQLiteSource({self.name!r}, {self.database}:"
+            f"{self.table or '<query>'}, {list(self.schema.columns)})"
+        )
+
+
+def _adapt(value: Any) -> Any:
+    """SQLite-storable form of a cell (tuples/lists become their repr)."""
+    if value is None or isinstance(value, (int, float, str, bytes)):
+        return value
+    return repr(value)

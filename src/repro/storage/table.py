@@ -1,34 +1,30 @@
 """In-memory relations.
 
 Rows are plain tuples (fast, hashable); the :class:`Schema` provides
-name-to-position lookup.  This is the storage substrate every algorithm in
-the library runs against — the paper's ``Suppliers`` and ``Transporters``
-become two :class:`Table` instances.
+name-to-position lookup.  :class:`Table` is the historical name for the
+in-memory storage backend — since the :class:`DataSource` redesign it is a
+thin subclass of :class:`~repro.storage.sources.memory.InMemorySource`
+adding the CSV/dict construction conveniences, so every ``Table``
+satisfies the storage protocol and flows through the same batch-scan
+consumption path as the columnar-file and SQLite backends.
 
-Every table carries a cheap **content-version token**
-(:attr:`Table.cache_token`): an identity/version/cardinality triple that the
-cross-query :mod:`repro.cache` layer keys partitioning work on.  Mutating a
-table through its mutation API (:meth:`Table.append_row`,
-:meth:`Table.extend_rows`, :meth:`Table.touch`) bumps the version, so cached
-partitions built over the old contents can never be served for the new ones.
+The content-version token (:attr:`Table.cache_token`) and the
+version-bumping mutation API (:meth:`Table.append_row`,
+:meth:`Table.extend_rows`, :meth:`Table.touch`) are inherited; see the
+base class for the cache-invalidation contract.
 """
 
 from __future__ import annotations
 
-import itertools
 import os  # noqa: F401  (referenced in type annotations only)
-from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.errors import SchemaError
 from repro.storage.schema import Schema
+from repro.storage.sources.base import Row
+from repro.storage.sources.memory import InMemorySource
 
-Row = tuple
-
-#: Process-wide monotonically increasing table identities.  Unlike ``id()``,
-#: a sequence number is never reused after a table is garbage-collected, so a
-#: cache keyed on it can never serve a stale entry to a new table that
-#: happens to land at the same address.
-_TABLE_UIDS = itertools.count(1)
+__all__ = ["Row", "Table"]
 
 
 def _coerce(value: str) -> Any:
@@ -39,7 +35,7 @@ def _coerce(value: str) -> Any:
         return value
 
 
-class Table:
+class Table(InMemorySource):
     """A named in-memory relation with an immutable schema.
 
     Example::
@@ -49,28 +45,7 @@ class Table:
         table.append_row((3, 8.25))  # validated; bumps the version token
     """
 
-    __slots__ = ("name", "schema", "rows", "_uid", "_version")
-
-    def __init__(self, name: str, schema: Schema | Sequence[str], rows: Iterable[Row]) -> None:
-        if not isinstance(schema, Schema):
-            schema = Schema(schema)
-        self.name = name
-        self.schema = schema
-        self.rows: list[Row] = []
-        self._uid = next(_TABLE_UIDS)
-        self._version = 0
-        for row in rows:
-            self.rows.append(self._validated(row))
-
-    def _validated(self, row: Sequence[Any]) -> Row:
-        """``row`` as a tuple, or :class:`SchemaError` on a width mismatch."""
-        t = tuple(row)
-        if len(t) != len(self.schema):
-            raise SchemaError(
-                f"row {t!r} has {len(t)} values but schema "
-                f"{list(self.schema.columns)} has {len(self.schema)} columns"
-            )
-        return t
+    __slots__ = ()
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -128,89 +103,6 @@ class Table:
             except KeyError as exc:
                 raise SchemaError(f"record {rec!r} is missing column {exc}") from None
         return cls(name, Schema(cols), rows)
-
-    # ------------------------------------------------------------------
-    # mutation / cache identity
-    # ------------------------------------------------------------------
-    @property
-    def uid(self) -> int:
-        """Process-unique table identity (stable across the table's life)."""
-        return self._uid
-
-    @property
-    def version(self) -> int:
-        """Content version; bumped by every mutation through the table API."""
-        return self._version
-
-    @property
-    def cache_token(self) -> tuple[int, int, int]:
-        """``(uid, version, row_count)`` — the key component the partition
-        cache uses to tell whether previously built grids are still valid.
-
-        The row count is included defensively: code that appends to
-        ``table.rows`` directly (bypassing :meth:`append_row`) still misses
-        the cache whenever the cardinality changed.  In-place *value* edits
-        to the raw row list are the one mutation the token cannot see; call
-        :meth:`touch` after those.
-        """
-        return (self._uid, self._version, len(self.rows))
-
-    def append_row(self, row: Sequence[Any]) -> "Table":
-        """Append one row (validated against the schema); bumps the version."""
-        self.rows.append(self._validated(row))
-        self._version += 1
-        return self
-
-    def extend_rows(self, rows: Iterable[Sequence[Any]]) -> "Table":
-        """Append several rows (validated); bumps the version once.
-
-        Validation stages first: a width mismatch anywhere leaves the
-        table unchanged.
-        """
-        staged = [self._validated(row) for row in rows]
-        self.rows.extend(staged)
-        self._version += 1
-        return self
-
-    def touch(self) -> "Table":
-        """Declare an out-of-band mutation: bump the version token.
-
-        Use after editing ``table.rows`` in place (same cardinality), so
-        partition caches keyed on :attr:`cache_token` stop serving grids
-        built over the old values.
-        """
-        self._version += 1
-        return self
-
-    # ------------------------------------------------------------------
-    # access
-    # ------------------------------------------------------------------
-    def column(self, name: str) -> list[Any]:
-        """All values of one column, in row order."""
-        i = self.schema.index(name)
-        return [row[i] for row in self.rows]
-
-    def value(self, row: Row, column: str) -> Any:
-        """Value of ``column`` in ``row``."""
-        return row[self.schema.index(column)]
-
-    def filter(self, predicate: Callable[[Row], bool], name: str | None = None) -> "Table":
-        """New table containing the rows satisfying ``predicate``."""
-        return Table(name or self.name, self.schema, (r for r in self.rows if predicate(r)))
-
-    def head(self, n: int = 5) -> list[Row]:
-        """First ``n`` rows (for inspection)."""
-        return self.rows[:n]
-
-    def row_dict(self, row: Row) -> dict[str, Any]:
-        """Render one row as a ``{column: value}`` dict."""
-        return dict(zip(self.schema.columns, row))
-
-    def __iter__(self) -> Iterator[Row]:
-        return iter(self.rows)
-
-    def __len__(self) -> int:
-        return len(self.rows)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Table({self.name!r}, {len(self.rows)} rows, {list(self.schema.columns)})"

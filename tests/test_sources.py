@@ -1,0 +1,707 @@
+"""The DataSource storage protocol: conformance + engine equivalence.
+
+Three layers of guarantees:
+
+* **Conformance** — every backend (in-memory, columnar-mmap, SQLite, and
+  the filtered view) satisfies the protocol surface: schema, ``len``,
+  batch scans that reassemble to the same rows at any batch size,
+  uncoerced join keys, stable/row-count-aware cache tokens, and
+  mutation-visible version tokens.
+* **Cache-key hygiene** — the same logical data in two different backends
+  produces distinct :class:`PartitionKey` values; mutating a SQLite
+  source (through its own connection or another one) misses the cache.
+* **Engine equivalence** — ProgXe produces the *same step reports and
+  result sequences* whichever backend holds the data, vectorized on and
+  off, grid and quadtree (hypothesis property test).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import sqlite3
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.plan_cache import PlanCache
+from repro.cache.store import PartitionKey
+from repro.core.engine import ProgXeEngine
+from repro.data.workloads import SyntheticWorkload
+from repro.errors import BindingError, SchemaError
+from repro.query.smj import FilterCondition
+from repro.runtime.clock import VirtualClock
+from repro.session.service import Session
+from repro.storage.grid import GridPartitioner
+from repro.storage.quadtree import QuadTreePartitioner
+from repro.storage.sources import (
+    ColumnarFileSource,
+    ColumnarWriter,
+    FilteredSource,
+    InMemorySource,
+    SQLiteSource,
+    is_data_source,
+    is_source_uri,
+    open_source,
+    rows_of,
+    write_columnar,
+)
+from repro.storage.table import Table
+
+ROWS = [
+    ("r0", "J1", 4.0, 30.0),
+    ("r1", "J2", 1.5, 12.0),
+    ("r2", "J1", 9.25, 5.0),
+    ("r3", "J3", 2.0, 44.5),
+    ("r4", "J2", 7.75, 21.0),
+]
+COLUMNS = ["id", "jkey", "a0", "a1"]
+
+BACKENDS = ["memory", "table", "columnar", "sqlite", "filtered-columnar"]
+
+
+def make_source(backend: str, tmp_path, rows=ROWS, columns=COLUMNS, name="R"):
+    """One logical relation in the requested backend."""
+    if backend == "memory":
+        return InMemorySource(name, columns, rows)
+    if backend == "table":
+        return Table.from_rows(name, columns, rows)
+    if backend == "columnar":
+        path = tmp_path / f"{name}-{backend}.col"
+        write_columnar(path, rows, columns=columns, name=name)
+        return ColumnarFileSource(path, name=name)
+    if backend == "sqlite":
+        db = tmp_path / f"{name}-{backend}.sqlite"
+        conn = sqlite3.connect(db)
+        return SQLiteSource.write_table(conn, name, (columns, rows))
+    if backend == "filtered-columnar":
+        # A filter that keeps everything: same logical contents.
+        base = make_source("columnar", tmp_path, rows, columns, name)
+        return FilteredSource(base, [FilterCondition("R", "a0", ">=", -1e9)])
+    raise AssertionError(backend)
+
+
+@pytest.fixture(params=BACKENDS)
+def source(request, tmp_path):
+    return make_source(request.param, tmp_path)
+
+
+class TestConformance:
+    def test_is_data_source(self, source):
+        assert is_data_source(source)
+        assert not is_data_source(object())
+        assert not is_data_source([1, 2, 3])
+
+    def test_identity_surface(self, source):
+        assert source.name == "R"
+        assert list(source.schema.columns) == COLUMNS
+        assert len(source) == len(ROWS)
+        assert isinstance(source.kind, str) and source.kind
+
+    def test_rows_roundtrip(self, source):
+        assert [tuple(r) for r in source.iter_rows()] == ROWS
+        assert rows_of(source) == ROWS
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 3, 100])
+    def test_scan_batches_reassemble(self, source, batch_size):
+        rows = []
+        for batch in source.scan_batches(batch_size):
+            assert len(batch.rows) == len(batch)
+            rows.extend(batch.rows)
+        assert rows == ROWS
+
+    def test_scan_materialises_requested_columns(self, source):
+        batches = list(
+            source.scan_batches(2, columns=["a0", "a1"], key_column="jkey")
+        )
+        a0 = np.concatenate([b.column(2) for b in batches])
+        a1 = np.concatenate([b.column(3) for b in batches])
+        keys = [k for b in batches for k in b.join_keys]
+        assert a0.tolist() == [r[2] for r in ROWS]
+        assert a1.tolist() == [r[3] for r in ROWS]
+        assert keys == [r[1] for r in ROWS]  # uncoerced strings
+
+    def test_global_ids_cover_the_relation(self, source):
+        ids = np.concatenate(
+            [b.global_ids() for b in source.scan_batches(2)]
+        )
+        assert sorted(ids.tolist()) == list(range(len(ROWS)))
+
+    def test_cache_token_is_stable(self, source):
+        assert source.cache_token == source.cache_token
+        uid, version, count = source.cache_token
+        assert count == len(ROWS)
+        assert source.uid == uid and source.version == version
+
+    def test_touch_changes_version(self, source):
+        if not hasattr(source, "touch"):
+            pytest.skip("filtered view: version follows the base source")
+        before = source.cache_token
+        source.touch()
+        assert source.cache_token != before
+
+    def test_distinct_instances_distinct_uids(self, source, tmp_path):
+        other = InMemorySource("R", COLUMNS, ROWS)
+        assert other.uid != source.uid or other is source
+
+
+class TestMutationVisibility:
+    def test_memory_append_bumps_version(self):
+        src = InMemorySource("R", COLUMNS, ROWS)
+        before = src.cache_token
+        src.append_row(("r5", "J4", 1.0, 1.0))
+        assert src.cache_token != before
+
+    def test_sqlite_same_connection_mutation_bumps_version(self, tmp_path):
+        src = make_source("sqlite", tmp_path)
+        before = src.cache_token
+        src.execute("INSERT INTO R VALUES ('r5', 'J4', 1.0, 1.0)")
+        src.connection.commit()
+        assert src.cache_token != before
+
+    def test_sqlite_other_connection_mutation_bumps_version(self, tmp_path):
+        db = tmp_path / "x.sqlite"
+        conn = sqlite3.connect(db)
+        src = SQLiteSource.write_table(conn, "R", (COLUMNS, ROWS))
+        before = src.cache_token
+        other = sqlite3.connect(db)
+        other.execute("INSERT INTO R VALUES ('r9', 'J9', 3.0, 3.0)")
+        other.commit()
+        other.close()
+        assert src.cache_token != before
+
+    def test_columnar_rewrite_bumps_version(self, tmp_path):
+        path = tmp_path / "rw.col"
+        write_columnar(path, ROWS, columns=COLUMNS, name="R")
+        src = ColumnarFileSource(path)
+        before = src.cache_token
+        extended = ROWS + [("r5", "J4", 0.5, 0.5)]
+        write_columnar(path, extended, columns=COLUMNS, name="R")
+        after = ColumnarFileSource(path)
+        assert after.cache_token != before
+
+    def test_filtered_version_follows_base(self):
+        base = InMemorySource("R", COLUMNS, ROWS)
+        view = FilteredSource(base, [FilterCondition("R", "a0", ">=", 2.0)])
+        before = view.cache_token
+        base.touch()
+        assert view.cache_token != before
+
+
+class TestExtendRowsRegression:
+    """Empty mutations must not invalidate cached partitionings."""
+
+    def test_extend_rows_empty_keeps_version(self):
+        t = Table.from_rows("R", COLUMNS, ROWS)
+        version = t.version
+        t.extend_rows([])
+        t.extend_rows(iter(()))
+        assert t.version == version
+        t.extend_rows([("r5", "J4", 2.0, 2.0)])
+        assert t.version == version + 1
+
+    def test_empty_extend_does_not_miss_partition_cache(self):
+        t = Table.from_rows("R", COLUMNS, ROWS)
+        cache = PlanCache()
+        partitioner = GridPartitioner(2)
+        _, hit = cache.get_or_partition(partitioner, t, ("a0", "a1"), "jkey",
+                                        source="R")
+        assert not hit
+        t.extend_rows([])  # no-op: version must not change
+        _, hit = cache.get_or_partition(partitioner, t, ("a0", "a1"), "jkey",
+                                        source="R")
+        assert hit
+
+    def test_failed_extend_keeps_version(self):
+        t = Table.from_rows("R", COLUMNS, ROWS)
+        version = t.version
+        with pytest.raises(SchemaError):
+            t.extend_rows([("r5", "J4", 2.0, 2.0), ("bad",)])
+        assert t.version == version and len(t) == len(ROWS)
+
+
+class TestCacheKeyHygiene:
+    def test_same_data_different_backends_distinct_keys(self, tmp_path):
+        descriptor = GridPartitioner(4).descriptor()
+        keys = {}
+        for backend in ["memory", "columnar", "sqlite"]:
+            src = make_source(backend, tmp_path)
+            keys[backend] = PartitionKey.for_source(
+                src, ("a0", "a1"), "jkey", descriptor, source="R"
+            )
+        assert len(set(keys.values())) == 3
+        assert {k.backend for k in keys.values()} == {
+            "memory", "columnar", "sqlite",
+        }
+
+    def test_for_table_alias_still_works(self):
+        t = Table.from_rows("R", COLUMNS, ROWS)
+        d = GridPartitioner(4).descriptor()
+        assert PartitionKey.for_table(t, ("a0",), "jkey", d) == \
+            PartitionKey.for_source(t, ("a0",), "jkey", d)
+
+    def test_backend_cache_entries_do_not_cross(self, tmp_path):
+        cache = PlanCache()
+        partitioner = GridPartitioner(4)
+        for backend in ["memory", "columnar", "sqlite"]:
+            src = make_source(backend, tmp_path)
+            _, hit = cache.get_or_partition(
+                partitioner, src, ("a0", "a1"), "jkey", source="R"
+            )
+            assert not hit, backend
+        assert cache.stats().misses == 3 and cache.stats().hits == 0
+
+    def test_sqlite_mutation_misses_cache(self, tmp_path):
+        src = make_source("sqlite", tmp_path)
+        cache = PlanCache()
+        partitioner = GridPartitioner(4)
+        args = (partitioner, src, ("a0", "a1"), "jkey")
+        _, hit = cache.get_or_partition(*args, source="R")
+        assert not hit
+        _, hit = cache.get_or_partition(*args, source="R")
+        assert hit
+        src.execute("INSERT INTO R VALUES ('r7', 'J1', 6.0, 6.0)")
+        src.connection.commit()
+        _, hit = cache.get_or_partition(*args, source="R")
+        assert not hit
+
+    def test_two_handles_share_entries_until_mutation(self, tmp_path):
+        db = tmp_path / "share.sqlite"
+        conn = sqlite3.connect(db)
+        SQLiteSource.write_table(conn, "R", (COLUMNS, ROWS))
+        conn.close()
+        a = SQLiteSource(db, table="R")
+        b = SQLiteSource(db, table="R")
+        cache = PlanCache()
+        partitioner = GridPartitioner(4)
+        _, hit = cache.get_or_partition(partitioner, a, ("a0",), "jkey", source="R")
+        assert not hit
+        _, hit = cache.get_or_partition(partitioner, b, ("a0",), "jkey", source="R")
+        assert hit  # same uid + same version: sharing across handles
+        a.execute("INSERT INTO R VALUES ('r8', 'J1', 2.0, 2.0)")
+        a.connection.commit()
+        _, hit = cache.get_or_partition(partitioner, b, ("a0",), "jkey", source="R")
+        assert not hit  # b's data_version saw a's committed change
+
+
+class TestLazyPartitions:
+    def test_columnar_partitions_store_ids_not_rows(self, tmp_path):
+        src = make_source("columnar", tmp_path)
+        grid = GridPartitioner(2).partition(src, ("a0", "a1"), "jkey", source="R")
+        for part in grid:
+            assert part.is_lazy
+            assert part.rows == src.fetch_rows(part._row_ids)
+        assert grid.total_rows() == len(ROWS)
+
+    def test_quadtree_lazy_leaves(self, tmp_path):
+        src = make_source("columnar", tmp_path)
+        index = QuadTreePartitioner(leaf_capacity=2).partition(
+            src, ("a0", "a1"), "jkey", source="R"
+        )
+        assert index.total_rows() == len(ROWS)
+        assert all(p.is_lazy for p in index if len(p))
+
+    def test_structures_match_memory_build(self, tmp_path):
+        mem = make_source("memory", tmp_path)
+        col = make_source("columnar", tmp_path)
+        for partitioner in (GridPartitioner(3), QuadTreePartitioner(2)):
+            g_mem = partitioner.partition(mem, ("a0", "a1"), "jkey", source="R")
+            g_col = partitioner.partition(col, ("a0", "a1"), "jkey", source="R")
+            mem_parts = list(g_mem)
+            col_parts = list(g_col)
+            assert [p.coords for p in mem_parts] == [p.coords for p in col_parts]
+            for pm, pc in zip(mem_parts, col_parts):
+                assert pm.rows == pc.rows
+                assert pm.tight_lower == pc.tight_lower
+                assert pm.tight_upper == pc.tight_upper
+
+
+class TestSQLitePushdown:
+    def test_where_pushdown_filters(self, tmp_path):
+        src = make_source("sqlite", tmp_path)
+        kept = src.apply_filters([FilterCondition("R", "a0", ">=", 3.0)])
+        assert isinstance(kept, SQLiteSource)
+        assert kept.pushed_where == ('"a0" >= ?',)
+        assert sorted(r[0] for r in kept.iter_rows()) == ["r0", "r2", "r4"]
+        assert len(kept) == 3
+
+    def test_in_operator_pushdown(self, tmp_path):
+        src = make_source("sqlite", tmp_path)
+        kept = src.apply_filters([FilterCondition("R", "jkey", "in", ("J1", "J3"))])
+        assert isinstance(kept, SQLiteSource)
+        assert len(kept) == 3
+
+    def test_unpushable_op_becomes_residual_filter(self, tmp_path):
+        src = make_source("sqlite", tmp_path)
+        kept = src.apply_filters(
+            [FilterCondition("R", "id", "contains", "0"),
+             FilterCondition("R", "a0", ">=", 0.0)]
+        )
+        assert isinstance(kept, FilteredSource)  # residual wraps pushed base
+        assert isinstance(kept.base, SQLiteSource)
+        assert kept.base.pushed_where == ('"a0" >= ?',)
+        assert [r[0] for r in kept.iter_rows()] == ["r0"]
+
+    def test_indexed_scan_keeps_insertion_order(self, tmp_path):
+        """WHERE push-down over an indexed column must not reorder rows.
+
+        Without ORDER BY rowid, SQLite may serve the filtered scan from
+        the index (value order) — which would silently change progressive
+        result sequences versus the other backends.
+        """
+        src = make_source("sqlite", tmp_path)
+        src.execute('CREATE INDEX idx_a0 ON R ("a0")')
+        src.connection.commit()
+        kept = src.apply_filters([FilterCondition("R", "a0", ">=", 0.0)])
+        assert [r[0] for r in kept.iter_rows()] == [r[0] for r in ROWS]
+
+    def test_without_rowid_table_falls_back(self, tmp_path):
+        db = tmp_path / "worowid.sqlite"
+        conn = sqlite3.connect(db)
+        conn.execute(
+            "CREATE TABLE R (id TEXT PRIMARY KEY, a0 REAL) WITHOUT ROWID"
+        )
+        conn.executemany(
+            "INSERT INTO R VALUES (?, ?)", [("b", 2.0), ("a", 1.0)]
+        )
+        conn.commit()
+        src = SQLiteSource(conn, table="R")
+        assert len(src) == 2  # opens fine; PRIMARY KEY order is stable
+        assert [r[0] for r in src.iter_rows()] == ["a", "b"]
+
+    def test_bound_query_pushes_filters_into_sqlite(self, tmp_path):
+        workload = SyntheticWorkload(n=60, d=2, seed=5)
+        tables = workload.tables()
+        db = tmp_path / "push.sqlite"
+        conn = sqlite3.connect(db)
+        srcs = {a: SQLiteSource.write_table(conn, a, t) for a, t in tables.items()}
+        query = dataclasses.replace(
+            workload.query(), filters=(FilterCondition("R", "a0", "<=", 50.0),)
+        )
+        bound = query.bind(srcs)
+        assert isinstance(bound.left_table, SQLiteSource)
+        assert bound.left_table.pushed_where == ('"a0" <= ?',)
+        assert len(bound.left_table) == sum(
+            1 for r in tables["R"].rows if r[2] <= 50.0
+        )
+
+
+class TestFilteredSource:
+    def test_streaming_filter_semantics(self, tmp_path):
+        base = make_source("columnar", tmp_path)
+        view = FilteredSource(base, [FilterCondition("R", "a0", ">=", 3.0)])
+        assert len(view) == 3
+        assert [r[0] for r in view.iter_rows()] == ["r0", "r2", "r4"]
+        batch_rows = [r for b in view.scan_batches(2) for r in b.rows]
+        assert [r[0] for r in batch_rows] == ["r0", "r2", "r4"]
+
+    def test_row_ids_refer_to_base(self, tmp_path):
+        base = make_source("columnar", tmp_path)
+        view = FilteredSource(base, [FilterCondition("R", "a0", ">=", 3.0)])
+        ids = np.concatenate([b.global_ids() for b in view.scan_batches(2)])
+        assert ids.tolist() == [0, 2, 4]
+        assert view.fetch_rows(ids) == [ROWS[0], ROWS[2], ROWS[4]]
+
+    def test_grid_over_filtered_columnar_is_lazy(self, tmp_path):
+        base = make_source("columnar", tmp_path)
+        view = FilteredSource(base, [FilterCondition("R", "a0", ">=", 2.0)])
+        grid = GridPartitioner(2).partition(view, ("a0",), "jkey", source="R")
+        assert grid.total_rows() == 4
+        assert all(p.is_lazy for p in grid)
+
+
+class TestColumnarFormat:
+    def test_writer_roundtrip_types(self, tmp_path):
+        path = tmp_path / "types.col"
+        rows = [("x", 1, 2.5), ("y", 2, -3.25)]
+        write_columnar(path, rows, columns=["s", "i", "f"], name="X")
+        src = ColumnarFileSource(path)
+        assert src.kinds == ("utf8", "f8", "f8")
+        assert rows_of(src) == [("x", 1.0, 2.5), ("y", 2.0, -3.25)]
+
+    def test_writer_streams_many_buffers(self, tmp_path):
+        path = tmp_path / "big.col"
+        n = 20_000  # spans multiple flush buffers
+        with ColumnarWriter(path, ["i", "v"], name="B") as w:
+            for i in range(n):
+                w.write_row((float(i), i * 0.5))
+        src = ColumnarFileSource(path)
+        assert len(src) == n
+        total = sum(batch.column(1).sum() for batch in
+                    src.scan_batches(4096, columns=["v"], with_rows=False))
+        assert total == pytest.approx(sum(i * 0.5 for i in range(n)))
+
+    def test_fetch_rows_random_access(self, tmp_path):
+        src = make_source("columnar", tmp_path)
+        assert src.fetch_rows([3, 0]) == [ROWS[3], ROWS[0]]
+        assert src.fetch_rows(np.asarray([], dtype=int)) == []
+
+    def test_row_width_validation(self, tmp_path):
+        with ColumnarWriter(tmp_path / "w.col", ["a", "b"]) as w:
+            with pytest.raises(SchemaError):
+                w.write_row((1.0,))
+
+    def test_missing_dataset_raises(self, tmp_path):
+        with pytest.raises(SchemaError):
+            ColumnarFileSource(tmp_path / "nope.col")
+
+    def test_utf8_column_rejects_float_scan(self, tmp_path):
+        src = make_source("columnar", tmp_path)
+        with pytest.raises(SchemaError):
+            list(src.scan_batches(columns=["id"]))
+
+
+class TestSourceURIs:
+    def test_is_source_uri(self):
+        assert is_source_uri("columnar:/x")
+        assert is_source_uri("sqlite:db?table=t")
+        assert is_source_uri("mem:rows.csv")
+        assert not is_source_uri("/plain/path.csv")
+        assert not is_source_uri("http://example.com")
+
+    def test_open_columnar(self, tmp_path):
+        path = tmp_path / "u.col"
+        write_columnar(path, ROWS, columns=COLUMNS, name="R")
+        src = open_source(f"columnar:{path}", name="L")
+        assert isinstance(src, ColumnarFileSource) and src.name == "L"
+
+    def test_open_sqlite_table_and_query(self, tmp_path):
+        db = tmp_path / "u.sqlite"
+        conn = sqlite3.connect(db)
+        SQLiteSource.write_table(conn, "R", (COLUMNS, ROWS))
+        conn.close()
+        by_table = open_source(f"sqlite:{db}?table=R")
+        assert len(by_table) == len(ROWS)
+        by_query = open_source(
+            f"sqlite:{db}?query=SELECT id, a0 FROM R WHERE a0 >= 3.0"
+        )
+        assert list(by_query.schema.columns) == ["id", "a0"]
+        assert len(by_query) == 3
+
+    def test_open_mem_csv(self, tmp_path):
+        t = Table.from_rows("R", COLUMNS, ROWS)
+        csv_path = tmp_path / "r.csv"
+        t.to_csv(csv_path)
+        src = open_source(f"mem:{csv_path}", name="R")
+        assert isinstance(src, Table) and len(src) == len(ROWS)
+
+    def test_bad_uris(self, tmp_path):
+        for uri in ["nope:x", "mem:", "columnar:", "sqlite:",
+                    f"sqlite:{tmp_path}/missing.db?table=a&query=b",
+                    "sqlite:db"]:
+            with pytest.raises(BindingError):
+                open_source(uri)
+
+    def test_session_open_source_registers(self, tmp_path):
+        path = tmp_path / "s.col"
+        write_columnar(path, ROWS, columns=COLUMNS, name="R")
+        session = Session()
+        src = session.open_source(f"columnar:{path}", name="R")
+        assert session.table("R") is src
+
+
+# ----------------------------------------------------------------------
+# engine / scheduler equivalence across backends
+# ----------------------------------------------------------------------
+
+def _workload_sources(backend: str, tmp_path, n: int, seed: int, d: int = 2):
+    workload = SyntheticWorkload(n=n, d=d, sigma=0.05, seed=seed)
+    tables = workload.tables()
+    if backend == "memory":
+        return workload, tables
+    sources = {}
+    if backend == "columnar":
+        for alias, t in tables.items():
+            path = tmp_path / f"{alias}-{seed}-{n}.col"
+            write_columnar(path, t)
+            sources[alias] = ColumnarFileSource(path, name=alias)
+    else:
+        db = tmp_path / f"w-{seed}-{n}.sqlite"
+        conn = sqlite3.connect(db)
+        for alias, t in tables.items():
+            sources[alias] = SQLiteSource.write_table(conn, alias, t)
+    return workload, sources
+
+
+def _step_trace(bound, **engine_kwargs):
+    """(step summaries, result-key sequence) of a full kernel drive."""
+    kernel = ProgXeEngine(bound, VirtualClock(), **engine_kwargs).kernel()
+    steps = []
+    keys = []
+    while not kernel.finished:
+        report = kernel.step()
+        steps.append(
+            (report.kind, report.region_id, round(report.vtime_delta, 6),
+             tuple(sorted(report.charges.items())))
+        )
+        keys.extend(r.key() for r in report.results)
+    return steps, keys
+
+
+@pytest.mark.parametrize("backend", ["columnar", "sqlite"])
+@pytest.mark.parametrize("use_vectorized", [True, False])
+def test_engine_step_reports_match_memory(backend, use_vectorized, tmp_path):
+    workload, mem_tables = _workload_sources("memory", tmp_path, 150, 11)
+    _, other = _workload_sources(backend, tmp_path, 150, 11)
+    mem_steps, mem_keys = _step_trace(
+        workload.query().bind(mem_tables), use_vectorized=use_vectorized
+    )
+    other_steps, other_keys = _step_trace(
+        workload.query().bind(other), use_vectorized=use_vectorized
+    )
+    assert other_keys == mem_keys
+    assert other_steps == mem_steps
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    backend=st.sampled_from(["columnar", "sqlite"]),
+    use_vectorized=st.booleans(),
+    partitioning=st.sampled_from(["grid", "quadtree"]),
+    seed=st.integers(0, 3),
+)
+def test_property_backend_equivalence(
+    backend, use_vectorized, partitioning, seed, tmp_path_factory
+):
+    tmp_path = tmp_path_factory.mktemp("prop")
+    workload, mem_tables = _workload_sources("memory", tmp_path, 80, seed)
+    _, other = _workload_sources(backend, tmp_path, 80, seed)
+    kwargs = dict(use_vectorized=use_vectorized, partitioning=partitioning)
+    mem_steps, mem_keys = _step_trace(workload.query().bind(mem_tables), **kwargs)
+    other_steps, other_keys = _step_trace(workload.query().bind(other), **kwargs)
+    assert other_keys == mem_keys
+    assert other_steps == mem_steps
+
+
+@pytest.mark.parametrize("backend", ["columnar", "sqlite"])
+def test_scheduler_equivalence_across_backends(backend, tmp_path):
+    workload, mem_tables = _workload_sources("memory", tmp_path, 120, 23)
+    _, other = _workload_sources(backend, tmp_path, 120, 23)
+
+    def interleaved_keys(tables):
+        session = Session()
+        scheduler = session.scheduler(policy="round-robin")
+        bound_a = workload.query().bind(tables)
+        bound_b = workload.query().bind(tables)
+        qa = scheduler.submit(bound_a, name="a")
+        qb = scheduler.submit(bound_b, name="b")
+        for _ in scheduler.run():
+            pass
+        return ([r.key() for r in qa.results], [r.key() for r in qb.results])
+
+    assert interleaved_keys(other) == interleaved_keys(mem_tables)
+
+
+def test_pushthrough_variant_works_on_any_backend(tmp_path):
+    workload, mem_tables = _workload_sources("memory", tmp_path, 120, 31)
+    for backend in ["columnar", "sqlite"]:
+        _, other = _workload_sources(backend, tmp_path, 120, 31)
+        mem = Session().run(workload.query().bind(mem_tables), algorithm="ProgXe+")
+        got = Session().run(workload.query().bind(other), algorithm="ProgXe+")
+        assert [r.key() for r in got.results] == [r.key() for r in mem.results]
+
+
+def test_baselines_accept_any_backend(tmp_path):
+    workload, mem_tables = _workload_sources("memory", tmp_path, 90, 37)
+    _, columnar = _workload_sources("columnar", tmp_path, 90, 37)
+    mem_report = Session().compare(
+        workload.query().bind(mem_tables), ["JF-SL", "SSMJ", "SAJ"]
+    )
+    col_report = Session().compare(
+        workload.query().bind(columnar), ["JF-SL", "SSMJ", "SAJ"]
+    )
+    for name in ["JF-SL", "SSMJ", "SAJ"]:
+        # Full sequences, not sets: a backend must change neither the
+        # result membership nor emission order/multiplicity (SSMJ's
+        # LS(N)∖LS(S) split keys on row identity and once emitted
+        # duplicates when each pass re-materialised a non-resident source).
+        assert (
+            [r.key() for r in col_report.runs[name].results]
+            == [r.key() for r in mem_report.runs[name].results]
+        )
+
+
+def test_compare_plans_each_contender_privately(tmp_path):
+    """compare() must not let later algorithms inherit phase-1 work."""
+    workload, tables = _workload_sources("memory", tmp_path, 100, 41)
+    session = Session().register_tables(tables)
+    bound = workload.query().bind(tables)
+    report = session.compare(bound, ["ProgXe", "ProgXe+"])
+    stats = session.plan_cache.stats()
+    assert stats.lookups == 0, "compare() touched the shared partition cache"
+    # Same query through execute() still shares (the default is unchanged).
+    session.execute(bound).drain()
+    rebound = workload.query().bind(tables)
+    session.execute(rebound).drain()
+    assert session.plan_cache.stats().hits >= 2
+    assert len(report.runs) == 2
+
+
+def test_connection_backed_sqlite_uids_never_collide(tmp_path):
+    """uids must come from a sequence, not a reusable memory address."""
+    uids = set()
+    for i in range(3):
+        conn = sqlite3.connect(tmp_path / f"u{i}.sqlite")
+        src = SQLiteSource.write_table(conn, "R", (COLUMNS, ROWS))
+        uids.add(src.uid)
+        conn.close()
+        del src, conn  # let the address be reused
+    assert len(uids) == 3
+
+
+def test_filtered_in_memory_bind_reuses_cache_entries(tmp_path):
+    """Re-binding the same filtered query hits the partition cache.
+
+    Bind-time filtered tables adopt a structural (base uid + conditions)
+    identity; a fresh uid per bind could never hit again and would only
+    crowd the bounded store.
+    """
+    workload, tables = _workload_sources("memory", tmp_path, 100, 43)
+    session = Session().register_tables(tables)
+    filtered = dataclasses.replace(
+        workload.query(), filters=(FilterCondition("R", "a0", "<=", 80.0),)
+    )
+    session.execute(filtered.bind(tables)).drain()   # cold: misses
+    stream = session.execute(filtered.bind(tables))  # fresh bind, same filter
+    stream.drain()
+    assert stream.stats().partition_cache.get("partition_hits") == 2
+    # Mutating the base table invalidates the derived identity too.
+    tables["R"].touch()
+    stream = session.execute(filtered.bind(tables))
+    stream.drain()
+    assert stream.stats().partition_cache.get("partition_hits", 0) < 2
+
+
+def test_ssmj_emits_no_duplicates_on_columnar(tmp_path):
+    from repro.core.verify import verify_results
+
+    workload, columnar = _workload_sources("columnar", tmp_path, 120, 7)
+    bound = workload.query().bind(columnar)
+    results = Session().execute(bound, algorithm="SSMJ").drain()
+    report = verify_results(bound, results)
+    assert report.ok, report.render()
+
+
+def test_cli_source_flags(tmp_path, capsys):
+    from repro.cli import main
+
+    prefix = os.path.join(tmp_path, "w")
+    assert main(["generate", "-n", "80", "--format", "columnar",
+                 "--prefix", prefix]) == 0
+    assert main(["generate", "-n", "80", "--format", "sqlite",
+                 "--prefix", prefix]) == 0
+    capsys.readouterr()
+    assert main(["run", "-n", "80",
+                 "--source", f"R=columnar:{prefix}_R.col",
+                 "--source", f"T=sqlite:{prefix}.sqlite?table=T"]) == 0
+    out = capsys.readouterr().out
+    assert "columnar(mmap:" in out and "sqlite(" in out
+    assert main(["serve", "-n", "80", "-c", "2",
+                 "--source", f"R=columnar:{prefix}_R.col",
+                 "--source", f"T=columnar:{prefix}_T.col"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("columnar(mmap:") >= 4  # printed per query
+    with pytest.raises(SystemExit):
+        main(["run", "-n", "80", "--source", "X=columnar:nope"])
