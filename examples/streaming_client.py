@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Streaming client for the ``repro serve`` HTTP edge — stdlib asyncio only.
+
+Submits one query per client over a raw socket (``POST /query``), then
+prints each NDJSON frame the moment it arrives: results stream in
+progressively, exactly as the engine proves them final — you see the first
+skyline members long before the query completes.  With ``--concurrent N``
+the same query is submitted by N clients at once, each on its own
+connection, to watch the scheduler interleave them.
+
+Run against a local server (defaults match ``python -m repro serve``)::
+
+    python -m repro serve &               # serves a synthetic workload
+    python examples/streaming_client.py   # stream its example query
+    python examples/streaming_client.py --concurrent 2 --progress-every 40
+    python examples/streaming_client.py "SELECT ... PREFERRING LOWEST(x0)"
+
+If nothing is listening on the (local) target address, the script starts
+an in-process demo server over the same synthetic workload, so it also
+runs standalone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+#: The example query `repro serve` prints for its default workload (d=2).
+DEFAULT_SQL = (
+    "SELECT R.id, T.id, (R.a0 + T.b0) AS x0, (R.a1 + T.b1) AS x1 "
+    "FROM R R, T T WHERE R.jkey = T.jkey "
+    "PREFERRING LOWEST(x0) AND LOWEST(x1)"
+)
+
+
+async def stream_query(
+    host: str, port: int, request: dict, *, tag: str = "", quiet: bool = False
+) -> list[dict]:
+    """POST the request and decode NDJSON frames until the stream closes.
+
+    Returns every frame; raises ``RuntimeError`` on a non-200 response
+    (bad request, 429 admission rejection, server shutting down).
+    """
+    body = json.dumps(request).encode()
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        (
+            f"POST /query HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode()
+        + body
+    )
+    await writer.drain()
+    head = await reader.readuntil(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    if status != 200:
+        error = (await reader.read()).decode(errors="replace")
+        writer.close()
+        await writer.wait_closed()
+        raise RuntimeError(f"HTTP {status}: {error.strip()}")
+
+    t0 = time.perf_counter()
+    frames: list[dict] = []
+    buffer = b""
+    while True:
+        chunk = await reader.read(65536)
+        if not chunk:
+            break
+        buffer += chunk
+        while b"\n" in buffer:
+            line, _, buffer = buffer.partition(b"\n")
+            if not line.strip():
+                continue
+            frame = json.loads(line)
+            frames.append(frame)
+            if not quiet:
+                print(f"{tag}{render(frame, time.perf_counter() - t0)}")
+    writer.close()
+    await writer.wait_closed()
+    return frames
+
+
+def render(frame: dict, elapsed: float) -> str:
+    stamp = f"[{elapsed:7.3f}s #{frame['seq']:>3}]"
+    event = frame["event"]
+    if event == "accepted":
+        return f"{stamp} accepted qid={frame['qid']} ({frame['algorithm']})"
+    if event == "result":
+        values = " ".join(f"{k}={v}" for k, v in frame["values"].items())
+        return f"{stamp} result {frame['index']:>3}: {values}"
+    if event == "progress":
+        return (
+            f"{stamp} progress: {frame['steps']} steps, "
+            f"{frame['results']} results, vtime {frame['vtime']:.0f}"
+        )
+    if event == "error":
+        return f"{stamp} ERROR: {frame['error']}"
+    stats = frame.get("stats") or {}
+    return (
+        f"{stamp} complete: {frame['state']}"
+        + (f" ({frame['stop_reason']})" if frame.get("stop_reason") else "")
+        + f" — {stats.get('results', '?')} results in "
+        f"{stats.get('steps', '?')} steps"
+    )
+
+
+async def ensure_server(args: argparse.Namespace):
+    """Fall back to an in-process demo server when nothing is listening.
+
+    Only for local targets — a dead remote host should fail loudly, not
+    be silently impersonated.  Returns the server to stop, or ``None``
+    when an external one answered.
+    """
+    try:
+        _reader, writer = await asyncio.open_connection(args.host, args.port)
+        writer.close()
+        await writer.wait_closed()
+        return None
+    except OSError:
+        if args.host not in ("127.0.0.1", "localhost"):
+            raise
+    from repro.data.workloads import SyntheticWorkload
+    from repro.serve import QueryServer
+    from repro.session.service import Session
+
+    session = Session().register_tables(
+        SyntheticWorkload(n=200, d=2, sigma=0.01, seed=7).tables()
+    )
+    server = QueryServer(session, host="127.0.0.1", port=0)
+    await server.start()
+    args.host, args.port = server.host, server.port
+    print(f"(no server found — started an in-process demo on port {args.port})")
+    return server
+
+
+async def main_async(args: argparse.Namespace) -> int:
+    request = {"sql": args.sql, "algorithm": args.algorithm}
+    if args.max_results:
+        request["max_results"] = args.max_results
+    if args.progress_every:
+        request["progress_every"] = args.progress_every
+
+    async def one(i: int) -> list[dict]:
+        tag = f"[client {i}] " if args.concurrent > 1 else ""
+        return await stream_query(
+            args.host, args.port,
+            {**request, "client": f"example-{i}", "name": f"example-{i}"},
+            tag=tag,
+        )
+
+    try:
+        demo_server = await ensure_server(args)
+    except OSError as exc:
+        print(
+            f"cannot reach {args.host}:{args.port} ({exc})", file=sys.stderr
+        )
+        return 1
+    try:
+        streams = await asyncio.gather(
+            *(one(i) for i in range(args.concurrent))
+        )
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"cannot reach {args.host}:{args.port} ({exc}) — "
+            "start one with: python -m repro serve",
+            file=sys.stderr,
+        )
+        return 1
+    except RuntimeError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    finally:
+        if demo_server is not None:
+            await demo_server.stop(timeout=10.0)
+
+    failed = [
+        frames[-1]
+        for frames in streams
+        if not frames or frames[-1].get("state") not in
+        ("completed", "budget_exhausted")
+    ]
+    if failed:
+        print(f"{len(failed)} stream(s) did not complete", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "sql", nargs="?", default=DEFAULT_SQL,
+        help="query to stream (default: the serve demo workload's query)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8484)
+    parser.add_argument("--algorithm", default="ProgXe")
+    parser.add_argument(
+        "--max-results", type=int, default=None,
+        help="stop cleanly after this many results (StreamBudget)",
+    )
+    parser.add_argument(
+        "--progress-every", type=int, default=0,
+        help="ask for a progress frame every N kernel steps",
+    )
+    parser.add_argument(
+        "--concurrent", type=int, default=1,
+        help="submit the query from this many clients at once",
+    )
+    return asyncio.run(main_async(parser.parse_args(argv)))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,13 @@ Commands
     Show the ProgXe plan for a workload without executing it.
 
 ``serve``
+    Start the streaming HTTP server
+    (:class:`~repro.serve.app.QueryServer`): clients POST queries to
+    ``/query`` and receive NDJSON/SSE result frames the moment the
+    interleaved engine emits them, under admission control and per-client
+    backpressure.
+
+``interleave``
     Concurrency demo: admit several queries to the cooperative
     :class:`~repro.session.scheduler.QueryScheduler` and interleave their
     execution kernels, printing results as each query emits them plus a
@@ -47,6 +54,7 @@ from repro.data.workloads import SyntheticWorkload
 from repro.errors import RegistryError, ReproError
 from repro.session.config import (
     PRESETS,
+    SCHEDULER_PRESETS,
     SCHEDULING_POLICIES,
     EngineConfig,
     SchedulerConfig,
@@ -200,7 +208,7 @@ def _one_algorithm(
     if len(names) != 1:
         hint = (
             "all submitted queries share one algorithm"
-            if command == "serve"
+            if command == "interleave"
             else "use compare for several"
         )
         raise SystemExit(f"{command} takes exactly one algorithm; {hint}")
@@ -258,10 +266,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _cmd_interleave(args: argparse.Namespace) -> int:
     """Interleave N concurrent queries through the scheduler (demo)."""
     session = _session(args)
-    [name] = _one_algorithm(session, args.algorithm, command="serve")
+    [name] = _one_algorithm(session, args.algorithm, command="interleave")
     sharing = not args.no_share
     scheduler = session.scheduler(
         SchedulerConfig(
@@ -295,7 +303,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         scheduler.submit(bound, algorithm=name, budget=budget, name=qname)
         query_backends[qname] = _backend_line(tables, backends)
     print(
-        f"serving {args.concurrency} queries ({name}) under "
+        f"interleaving {args.concurrency} queries ({name}) under "
         f"{args.policy}, quantum={args.quantum}, "
         f"sharing={'on' if sharing else 'off'}"
     )
@@ -330,6 +338,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"evictions={cache.evictions}  entries={cache.entries}  "
         f"hit-rate={cache.hit_rate:.0%}"
     )
+    return 0
+
+
+def _workload_sql(workload: SyntheticWorkload) -> str:
+    """The SQL form of the synthetic workload's query (client copy-paste)."""
+    left, right = workload.left_alias, workload.right_alias
+    maps = ", ".join(
+        f"({left}.a{i} + {right}.b{i}) AS x{i}" for i in range(workload.d)
+    )
+    prefs = " AND ".join(f"LOWEST(x{i})" for i in range(workload.d))
+    return (
+        f"SELECT {left}.id, {right}.id, {maps} "
+        f"FROM {left} {left}, {right} {right} "
+        f"WHERE {left}.jkey = {right}.jkey PREFERRING {prefs}"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Start the streaming HTTP server over a session's tables."""
+    from repro.serve import AdmissionPolicy, QueryServer, Watermarks
+
+    session = _session(args)
+    if args.table:
+        for spec in args.table:
+            name, _, path = spec.partition("=")
+            if not path:
+                raise SystemExit(f"--table expects NAME=PATH, got {spec!r}")
+            if is_source_uri(path):
+                session.open_source(path, name)
+            else:
+                session.register_table(Table.from_csv(name, path), name)
+    else:
+        workload = _workload(args)
+        session.register_tables(workload.tables())
+        print(f"tables: synthetic workload (seed={args.seed}); example query:")
+        print(f"  {_workload_sql(workload)}")
+    policy = AdmissionPolicy(
+        max_active=args.max_active,
+        max_per_client=args.max_per_client,
+        max_wall_seconds=args.timeout_wall,
+        max_vtime=args.timeout_vtime,
+    )
+    watermarks = Watermarks(high=args.high_water, low=args.low_water)
+    server = QueryServer(
+        session,
+        host=args.host,
+        port=args.port,
+        scheduler=args.scheduler,
+        admission=policy,
+        watermarks=watermarks,
+    )
+    server.run()
     return 0
 
 
@@ -435,45 +495,92 @@ def build_parser() -> argparse.ArgumentParser:
                          help="stop cleanly after this many results (0 = all)")
     p_query.set_defaults(fn=_cmd_query)
 
-    p_serve = sub.add_parser(
-        "serve",
+    p_il = sub.add_parser(
+        "interleave",
         help="interleave N concurrent queries via the cooperative scheduler",
     )
-    _add_workload_args(p_serve)
-    _add_budget_args(p_serve)
-    _add_source_args(p_serve)
-    p_serve.add_argument(
+    _add_workload_args(p_il)
+    _add_budget_args(p_il)
+    _add_source_args(p_il)
+    p_il.add_argument(
         "--concurrency", "-c", type=int, default=4,
         help="number of concurrent queries to admit (workload seeds "
         "SEED..SEED+N-1)",
     )
-    p_serve.add_argument(
+    p_il.add_argument(
         "--policy", choices=list(SCHEDULING_POLICIES), default="round-robin",
         help="cross-query dispatch policy",
     )
-    p_serve.add_argument(
+    p_il.add_argument(
         "--quantum", type=int, default=1,
         help="consecutive kernel steps per dispatch (1 = max interleaving)",
     )
-    p_serve.add_argument(
+    p_il.add_argument(
         "--max-active", type=int, default=None,
         help="admission ceiling; further queries wait (default: admit all)",
     )
-    p_serve.add_argument("--algorithm", "-a", default="ProgXe",
-                         help="algorithm to run each query with")
-    p_serve.add_argument("--preset", choices=list(PRESETS), help=preset_help)
-    p_serve.add_argument("--stream", action="store_true",
-                         help="print every result as it is emitted")
-    p_serve.add_argument(
+    p_il.add_argument("--algorithm", "-a", default="ProgXe",
+                      help="algorithm to run each query with")
+    p_il.add_argument("--preset", choices=list(PRESETS), help=preset_help)
+    p_il.add_argument("--stream", action="store_true",
+                      help="print every result as it is emitted")
+    p_il.add_argument(
         "--shared-tables", action="store_true",
         help="submit all queries over ONE workload's tables (seed=SEED) so "
         "cross-query partition sharing kicks in; default gives each query "
         "its own tables",
     )
-    p_serve.add_argument(
+    p_il.add_argument(
         "--no-share", action="store_true",
         help="disable cross-query work sharing: every query partitions its "
         "inputs privately instead of reusing the session's partition cache",
+    )
+    p_il.set_defaults(fn=_cmd_interleave)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="start the streaming HTTP server (POST /query, NDJSON/SSE)",
+    )
+    _add_workload_args(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument("--port", type=int, default=8484,
+                         help="bind port (0 picks a free one)")
+    p_serve.add_argument(
+        "--table", action="append", default=[], metavar="NAME=PATH",
+        help="serve table NAME from a CSV file or source URI "
+        "(columnar:PATH, sqlite:PATH?table=T); default: the synthetic "
+        "workload's tables",
+    )
+    p_serve.add_argument(
+        "--scheduler", choices=list(SCHEDULER_PRESETS), default="serving",
+        help="scheduler preset driving the serving loop",
+    )
+    p_serve.add_argument("--preset", choices=list(PRESETS), help=preset_help)
+    p_serve.add_argument(
+        "--max-active", type=int, default=64,
+        help="reject (429) beyond this many concurrent streaming queries",
+    )
+    p_serve.add_argument(
+        "--max-per-client", type=int, default=None,
+        help="per-client concurrent-query quota (default: none)",
+    )
+    p_serve.add_argument(
+        "--timeout-wall", type=float, default=None,
+        help="per-query wall-clock timeout ceiling in seconds; clamps "
+        "client-requested timeouts",
+    )
+    p_serve.add_argument(
+        "--timeout-vtime", type=float, default=None,
+        help="per-query virtual-time timeout ceiling; clamps "
+        "client-requested timeouts",
+    )
+    p_serve.add_argument(
+        "--high-water", type=int, default=32 * 1024,
+        help="pause a query's kernel once its client buffers this many bytes",
+    )
+    p_serve.add_argument(
+        "--low-water", type=int, default=8 * 1024,
+        help="resume once the client's buffer drains to this many bytes",
     )
     p_serve.set_defaults(fn=_cmd_serve)
 

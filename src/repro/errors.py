@@ -58,3 +58,15 @@ class ExecutionError(ReproError):
     Seeing this exception indicates a bug in the engine, never bad user
     input; the message names the broken invariant.
     """
+
+
+class ServeError(ReproError):
+    """The streaming server edge could not honour a request or operation."""
+
+
+class ProtocolError(ServeError):
+    """A serving request violates the wire protocol (malformed or invalid).
+
+    The server edge maps this onto an HTTP 400 response; the message is the
+    client-facing explanation.
+    """

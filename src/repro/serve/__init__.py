@@ -1,0 +1,60 @@
+"""The streaming server edge: ``repro.serve``.
+
+Turns one :class:`~repro.session.service.Session` into a long-lived
+asyncio HTTP server that streams provably-final results to many
+concurrent clients, with admission control, per-client backpressure, and
+per-query failure isolation.  Stdlib only — no framework dependency.
+
+Layers (each unit-testable without sockets):
+
+* :mod:`repro.serve.protocol` — request validation and event frames,
+* :mod:`repro.serve.admission` — capacity / quota / timeout ceilings,
+* :mod:`repro.serve.backpressure` — slow clients pause their own kernel,
+* :mod:`repro.serve.app` — the asyncio HTTP server tying them together.
+
+Start one from the CLI (``python -m repro serve``) or in-process::
+
+    from repro.serve import QueryServer
+
+    server = QueryServer(session, port=8484)
+    await server.start()
+    ...
+    await server.stop()          # graceful: drains active streams
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+    DeadlineGuard,
+)
+from repro.serve.app import QueryServer, ServedQuery
+from repro.serve.backpressure import (
+    BackpressureBridge,
+    OutboundChannel,
+    Watermarks,
+)
+from repro.serve.protocol import (
+    CONTENT_TYPES,
+    FORMATS,
+    FrameFactory,
+    QueryRequest,
+    encode_frame,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "BackpressureBridge",
+    "CONTENT_TYPES",
+    "DeadlineGuard",
+    "FORMATS",
+    "FrameFactory",
+    "OutboundChannel",
+    "QueryRequest",
+    "QueryServer",
+    "ServedQuery",
+    "Watermarks",
+    "encode_frame",
+]

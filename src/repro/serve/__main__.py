@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — shorthand for ``python -m repro serve``."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - thin dispatch
+    raise SystemExit(main(["serve", *sys.argv[1:]]))

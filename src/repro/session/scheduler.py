@@ -143,12 +143,16 @@ class ScheduledQuery:
         self.stop_reason: str | None = None
         self.steps = 0
         self.admitted = False
+        #: Scheduling decisions since this query was last dispatched while
+        #: runnable — the counter behind the starvation bound.
+        self.rounds_waiting = 0
         #: Global (cross-query) virtual time at this query's first emission.
         self.first_result_global_vtime: float | None = None
         #: Global virtual time at each emission (step-granular stamps).
         self.emission_global_vtimes: list[float] = []
         self._stepper = None
         self._cancel_reason: str | None = None
+        self._paused = False
         self._wall_start = time.perf_counter()
 
     @property
@@ -157,12 +161,40 @@ class ScheduledQuery:
         return self.state in (COMPLETED, CANCELLED, BUDGET_EXHAUSTED, FAILED)
 
     @property
+    def paused(self) -> bool:
+        """True while the query is suspended (see :meth:`pause`)."""
+        return self._paused and not self.finished
+
+    @property
     def result_keys(self) -> set[tuple]:
         """Identity keys of the results emitted so far."""
         return {r.key() for r in self.results}
 
+    def pause(self) -> None:
+        """Suspend this query: the scheduler stops dispatching it.
+
+        Pausing mutates no execution state, so a paused-and-resumed query
+        reproduces its uninterrupted step and result sequence exactly.  A
+        paused query keeps its admission slot (it is mid-flight, not
+        requeued); :meth:`cancel` releases the slot immediately.  The
+        serving edge's backpressure bridge pauses a query whose client
+        stopped reading, so a slow consumer never buffers unboundedly —
+        and never stalls anyone else's query.
+        """
+        if not self.finished:
+            self._paused = True
+
+    def resume(self) -> None:
+        """Lift a :meth:`pause`; the scheduler may dispatch again."""
+        self._paused = False
+
     def cancel(self, reason: str = "cancelled by caller") -> None:
-        """Request cooperative cancellation before the query's next step."""
+        """Request cooperative cancellation before the query's next step.
+
+        Works on paused queries too: the next scheduling decision retires
+        the query and frees its admission slot for a waiting one — a
+        paused query never leaks its slot.
+        """
         if not self.finished:
             self._cancel_reason = reason
 
@@ -253,11 +285,39 @@ class DeadlinePolicy:
         return min(active, key=slack)
 
 
+class WallDeadlinePolicy:
+    """Least-slack-first over *wall-clock* budgets.
+
+    The real-time counterpart of :class:`DeadlinePolicy`: a query's
+    deadline is its budget's ``max_wall_seconds`` and its slack is the real
+    time remaining until then — measured with ``perf_counter`` against the
+    moment the query was submitted, not in virtual time.  A serving edge
+    that promises "first results within two seconds" wants this policy:
+    vtime slack drifts from wall slack as soon as queries differ in
+    per-operation cost.  Queries without a wall deadline sort with infinite
+    slack and run only when no deadline is pressing.
+    """
+
+    name = "wall-deadline"
+
+    def choose(self, active: Sequence[ScheduledQuery]) -> ScheduledQuery:
+        now = time.perf_counter()
+
+        def slack(q: ScheduledQuery) -> tuple[float, int]:
+            if q.budget is None or q.budget.max_wall_seconds is None:
+                return (float("inf"), q.qid)
+            remaining = q.budget.max_wall_seconds - (now - q._wall_start)
+            return (remaining, q.qid)
+
+        return min(active, key=slack)
+
+
 _POLICY_FACTORIES = {
     "round-robin": RoundRobinPolicy,
     "benefit-greedy": BenefitGreedyPolicy,
     "fair-share": FairSharePolicy,
     "deadline": DeadlinePolicy,
+    "wall-deadline": WallDeadlinePolicy,
 }
 assert set(_POLICY_FACTORIES) == set(SCHEDULING_POLICIES)
 
@@ -360,6 +420,11 @@ class QueryScheduler:
         """All submitted query handles, in submission order."""
         return list(self._queries)
 
+    @property
+    def live_queries(self) -> list[ScheduledQuery]:
+        """Handles of the queries not yet in a terminal state."""
+        return [q for q in self._rotation if not q.finished]
+
     def cache_stats(self):
         """Partition-sharing counters of the session's plan cache.
 
@@ -404,6 +469,56 @@ class QueryScheduler:
                 yield query, result
             await asyncio.sleep(0)
 
+    def tick(self) -> list[tuple[ScheduledQuery, StepReport]]:
+        """One scheduling decision: admit, choose a query, run one quantum.
+
+        The serving-loop entry point — a long-lived server calls ``tick()``
+        whenever it wants the engine to advance, interleaving it freely
+        with network I/O.  Returns the ``(query, report)`` pairs of the
+        dispatched burst, or ``[]`` when nothing is runnable right now:
+        every query is terminal, paused, or waiting for an admission slot
+        held by a paused query.  An empty tick performs no work (beyond
+        finalising pending cancellations), so over-ticking an idle
+        scheduler is harmless.
+
+        The burst length is bounded by ``config.quantum`` (steps) and, when
+        set, ``config.quantum_vtime`` — the burst ends with the step whose
+        cumulative virtual time crosses the cap, so it overshoots by at
+        most one region's work.  With ``config.starvation_rounds`` set, a
+        runnable query that has waited that many decisions is dispatched
+        ahead of the policy's preference.
+        """
+        runnable = self._admit()
+        if not runnable:
+            return []
+        chosen = self._choose(runnable)
+        for query in runnable:
+            if query is chosen:
+                query.rounds_waiting = 0
+            else:
+                query.rounds_waiting += 1
+        burst: list[tuple[ScheduledQuery, StepReport]] = []
+        burst_vtime_start = chosen.clock.now()
+        for _ in range(self.config.quantum):
+            report = self._dispatch(chosen)
+            burst.append((chosen, report))
+            # A consumer may cancel or pause from a callback between steps:
+            # surrender the rest of the quantum so no further work runs
+            # after the request (the next _admit() finalises cancellation).
+            if (
+                chosen.finished
+                or chosen._cancel_reason is not None
+                or chosen.paused
+            ):
+                break
+            if (
+                self.config.quantum_vtime is not None
+                and chosen.clock.now() - burst_vtime_start
+                >= self.config.quantum_vtime
+            ):
+                break
+        return burst
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
@@ -414,38 +529,46 @@ class QueryScheduler:
         self._running = True
         try:
             while True:
-                active = self._admit()
-                if not active:
+                burst = self.tick()
+                if not burst:
                     # _admit always fills a free slot from the waiting
-                    # queries, so an empty active set means every query is
-                    # terminal; anything else is an admission bug.
-                    assert not self._rotation, (
-                        "admission left unfinished queries unscheduled"
-                    )
+                    # queries, so an idle tick means every query is
+                    # terminal — or paused (run() returns with paused
+                    # queries still admitted; resume() and re-run to
+                    # continue them).  Anything else is an admission bug.
+                    assert not self._rotation or any(
+                        q.paused for q in self._rotation
+                    ), "admission left unfinished queries unscheduled"
                     return
-                chosen = self._policy.choose(active)
-                for _ in range(self.config.quantum):
-                    report = self._dispatch(chosen)
-                    yield chosen, report
-                    # A consumer may cancel from between yields: surrender
-                    # the rest of the quantum so no further work runs after
-                    # the request (the next _admit() finalises the state).
-                    if chosen.finished or chosen._cancel_reason is not None:
-                        break
+                yield from burst
         finally:
             self._running = False
 
+    def _choose(self, runnable: list[ScheduledQuery]) -> ScheduledQuery:
+        """Apply the policy, overridden by the starvation bound if due."""
+        bound = self.config.starvation_rounds
+        if bound is not None:
+            starving = [q for q in runnable if q.rounds_waiting >= bound]
+            if starving:
+                # Longest-waiting first; ties to the oldest submission.
+                return min(starving, key=lambda q: (-q.rounds_waiting, q.qid))
+        return self._policy.choose(runnable)
+
     def _admit(self) -> list[ScheduledQuery]:
-        """Finalise cancellations, fill admission slots, return the active set.
+        """Finalise cancellations, fill admission slots, return the runnable set.
 
         Also evicts terminal queries from the rotation — their handles (and
         result buffers) stay reachable through :attr:`queries` for as long
         as the caller keeps the scheduler, but they cost nothing per
-        dispatch.
+        dispatch.  Paused queries keep their admission slot (they count
+        against ``max_active``) but are not runnable; a cancelled paused
+        query is retired here, before slots are filled, so its slot passes
+        to a waiting query in the same decision.
         """
         live: list[ScheduledQuery] = []
-        active: list[ScheduledQuery] = []
+        runnable: list[ScheduledQuery] = []
         limit = self.config.max_active
+        held = 0
         for query in self._rotation:
             if query._cancel_reason is not None and not query.finished:
                 self._retire(query, CANCELLED, query._cancel_reason)
@@ -453,17 +576,21 @@ class QueryScheduler:
                 continue
             live.append(query)
             if query.admitted:
-                active.append(query)
-        if limit is None or len(active) < limit:
+                held += 1
+                if not query.paused:
+                    runnable.append(query)
+        if limit is None or held < limit:
             for query in live:
                 if query.admitted:
                     continue
                 query.admitted = True
-                active.append(query)
-                if limit is not None and len(active) >= limit:
+                held += 1
+                if not query.paused:
+                    runnable.append(query)
+                if limit is not None and held >= limit:
                     break
         self._rotation = live
-        return active
+        return runnable
 
     def _dispatch(self, query: ScheduledQuery) -> StepReport:
         """Run one step of ``query`` and account for it."""

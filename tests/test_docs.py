@@ -19,6 +19,7 @@ import yaml
 import repro
 import repro.cache
 import repro.core
+import repro.serve
 import repro.session
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -44,6 +45,16 @@ EXAMPLE_REQUIRED = [
     "PartitionStore",
     "CacheStats",
     "Table",
+]
+
+#: Same contract for the serving edge (checked against ``repro.serve``).
+SERVE_EXAMPLE_REQUIRED = [
+    "QueryServer",
+    "QueryRequest",
+    "FrameFactory",
+    "AdmissionPolicy",
+    "AdmissionController",
+    "OutboundChannel",
 ]
 
 
@@ -150,9 +161,21 @@ class TestDocstringAudit:
         for name, obj in self.exported(repro.cache):
             assert (obj.__doc__ or "").strip(), f"{name} lacks a docstring"
 
+    def test_serve_exports_have_docstrings(self):
+        for name, obj in self.exported(repro.serve):
+            assert (obj.__doc__ or "").strip(), f"{name} lacks a docstring"
+
     def test_major_surface_docstrings_include_examples(self):
         for name in EXAMPLE_REQUIRED:
             doc = getattr(repro, name).__doc__ or ""
             assert "::" in doc or ">>>" in doc, (
                 f"{name}'s docstring should include a usage example"
+            )
+
+    def test_serve_surface_docstrings_include_examples(self):
+        for name in SERVE_EXAMPLE_REQUIRED:
+            doc = getattr(repro.serve, name).__doc__ or ""
+            assert "::" in doc or ">>>" in doc, (
+                f"repro.serve.{name}'s docstring should include a usage "
+                "example"
             )

@@ -1,0 +1,353 @@
+"""Tests for the scheduler's serving-loop surface.
+
+What the server edge leans on: the ``tick()`` API, per-query
+pause/resume (backpressure), immediate slot release on cancelling a
+paused query, vtime-capped quanta, the starvation bound, and the
+wall-deadline policy.  The central property stays the paper's: none of
+these mechanisms may change any query's result sequence or step reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import make_bound
+from repro.session.config import SCHEDULER_PRESETS, SchedulerConfig
+from repro.session.service import Session
+from repro.session.stream import CANCELLED, COMPLETED, StreamBudget
+
+
+@pytest.fixture
+def session() -> Session:
+    return Session()
+
+
+def bounds(count: int, **kwargs):
+    defaults = dict(distribution="independent", n=100, d=2, sigma=0.1)
+    defaults.update(kwargs)
+    return [make_bound(seed=170 + i, **defaults) for i in range(count)]
+
+
+def drive(scheduler, max_ticks: int = 100_000) -> None:
+    """Run a scheduler to idleness through the serving API."""
+    for _ in range(max_ticks):
+        if not scheduler.tick():
+            return
+    raise AssertionError("scheduler did not go idle")
+
+
+class TestTick:
+    def test_empty_scheduler_ticks_idle(self, session):
+        assert session.scheduler().tick() == []
+
+    def test_tick_drives_to_completion(self, session):
+        scheduler = session.scheduler()
+        handle = scheduler.submit(bounds(1)[0])
+        drive(scheduler)
+        assert handle.state == COMPLETED
+        assert handle.results
+
+    def test_overticking_an_idle_scheduler_is_harmless(self, session):
+        scheduler = session.scheduler()
+        handle = scheduler.submit(bounds(1)[0])
+        drive(scheduler)
+        steps = handle.steps
+        for _ in range(5):
+            assert scheduler.tick() == []
+        assert handle.steps == steps
+
+    def test_tick_matches_run_sequences(self, session):
+        queries = bounds(2)
+        solo = [
+            [r.key() for r in session.execute(b).drain()] for b in queries
+        ]
+        scheduler = session.scheduler()
+        handles = [scheduler.submit(b) for b in queries]
+        drive(scheduler)
+        for handle, expected in zip(handles, solo):
+            assert [r.key() for r in handle.results] == expected
+
+    def test_live_queries_shrinks_as_queries_finish(self, session):
+        scheduler = session.scheduler()
+        scheduler.submit(bounds(1)[0])
+        assert len(scheduler.live_queries) == 1
+        drive(scheduler)
+        assert scheduler.live_queries == []
+
+
+class TestPauseResume:
+    def test_paused_query_is_not_dispatched(self, session):
+        scheduler = session.scheduler()
+        handle = scheduler.submit(bounds(1)[0])
+        scheduler.tick()
+        steps = handle.steps
+        handle.pause()
+        assert scheduler.tick() == []
+        assert handle.steps == steps
+        handle.resume()
+        drive(scheduler)
+        assert handle.state == COMPLETED
+
+    def test_pause_does_not_change_the_sequence(self, session):
+        bound = bounds(1)[0]
+        solo = [r.key() for r in session.execute(bound).drain()]
+        scheduler = session.scheduler()
+        handle = scheduler.submit(bound)
+        while not handle.finished:
+            if not scheduler.tick():
+                handle.resume()
+                continue
+            handle.pause()  # pause after every burst, then resume
+        assert [r.key() for r in handle.results] == solo
+
+    def test_other_queries_progress_past_a_paused_one(self, session):
+        first, second = bounds(2)
+        scheduler = session.scheduler()
+        paused = scheduler.submit(first)
+        running = scheduler.submit(second)
+        scheduler.tick()
+        paused.pause()
+        drive(scheduler)
+        assert running.state == COMPLETED
+        assert not paused.finished
+        paused.resume()
+        drive(scheduler)
+        assert paused.state == COMPLETED
+
+    def test_paused_query_holds_its_admission_slot(self, session):
+        first, second = bounds(2)
+        scheduler = session.scheduler(max_active=1)
+        held = scheduler.submit(first)
+        waiting = scheduler.submit(second)
+        scheduler.tick()
+        held.pause()
+        # The slot is occupied by the paused query: nothing is runnable.
+        assert scheduler.tick() == []
+        assert waiting.steps == 0
+        held.resume()
+        drive(scheduler)
+        assert held.state == COMPLETED and waiting.state == COMPLETED
+
+    def test_pause_after_finish_is_a_noop(self, session):
+        scheduler = session.scheduler()
+        handle = scheduler.submit(bounds(1)[0])
+        drive(scheduler)
+        handle.pause()
+        assert not handle.paused
+
+
+class TestCancelPausedReleasesSlot:
+    def test_slot_passes_to_waiting_query_in_the_same_decision(self, session):
+        first, second = bounds(2)
+        scheduler = session.scheduler(max_active=1)
+        held = scheduler.submit(first)
+        waiting = scheduler.submit(second)
+        scheduler.tick()
+        held.pause()
+        assert scheduler.tick() == []
+        held.cancel("client disconnected")
+        # The very next decision retires the paused query AND dispatches
+        # the waiting one — no dead tick in between.
+        burst = scheduler.tick()
+        assert burst and burst[0][0] is waiting
+        assert held.state == CANCELLED
+        assert held.stop_reason == "client disconnected"
+        drive(scheduler)
+        assert waiting.state == COMPLETED
+
+    def test_cancelled_paused_query_emits_nothing_further(self, session):
+        scheduler = session.scheduler()
+        handle = scheduler.submit(bounds(1)[0])
+        while not handle.results:
+            scheduler.tick()
+        handle.pause()
+        emitted = len(handle.results)
+        handle.cancel()
+        drive(scheduler)
+        assert handle.state == CANCELLED
+        assert len(handle.results) == emitted
+
+
+class TestQuantumVtime:
+    def test_burst_overshoots_by_at_most_one_step(self, session):
+        cap = 500.0
+        scheduler = session.scheduler(
+            SchedulerConfig(quantum=1_000, quantum_vtime=cap)
+        )
+        handle = scheduler.submit(bounds(1, n=200)[0])
+        while not handle.finished:
+            burst = scheduler.tick()
+            if not burst:
+                break
+            deltas = [report.vtime_delta for _, report in burst]
+            # Every step but the last started under the cap.
+            assert all(
+                sum(deltas[:i]) < cap for i in range(1, len(deltas))
+            )
+
+    def test_vtime_cap_shortens_bursts(self, session):
+        uncapped = session.scheduler(SchedulerConfig(quantum=1_000))
+        free = uncapped.submit(bounds(1)[0])
+        capped = session.scheduler(
+            SchedulerConfig(quantum=1_000, quantum_vtime=200.0)
+        )
+        tight = capped.submit(bounds(1)[0])
+        assert len(uncapped.tick()) > len(capped.tick())
+        drive(uncapped), drive(capped)
+        # ...and never changes what is computed.
+        assert [r.key() for r in free.results] == [
+            r.key() for r in tight.results
+        ]
+
+    def test_config_validation(self):
+        with pytest.raises(Exception, match="quantum_vtime"):
+            SchedulerConfig(quantum_vtime=0)
+        with pytest.raises(Exception, match="starvation_rounds"):
+            SchedulerConfig(starvation_rounds=0)
+
+
+class TestStarvationBound:
+    def test_benefit_greedy_cannot_starve_under_the_bound(self, session):
+        bound_rounds = 4
+        scheduler = session.scheduler(
+            SchedulerConfig(
+                policy="benefit-greedy", starvation_rounds=bound_rounds
+            )
+        )
+        handles = [scheduler.submit(b) for b in bounds(3)]
+        while any(not h.finished for h in handles):
+            if not scheduler.tick():
+                break
+            for handle in handles:
+                assert handle.rounds_waiting <= bound_rounds
+
+    def test_every_admitted_query_steps_within_k_rounds(self, session):
+        k = 3
+        scheduler = session.scheduler(
+            SchedulerConfig(policy="fair-share", starvation_rounds=k)
+        )
+        handles = [scheduler.submit(b) for b in bounds(3)]
+        last_dispatch = {h.qid: 0 for h in handles}
+        decision = 0
+        while True:
+            burst = scheduler.tick()
+            if not burst:
+                break
+            decision += 1
+            chosen = burst[0][0]
+            gap = decision - last_dispatch[chosen.qid]
+            last_dispatch[chosen.qid] = decision
+            live = [h for h in handles if not h.finished]
+            # With L live queries and bound k, no runnable query waits
+            # more than max(k, L-1) + 1 decisions between dispatches.
+            assert gap <= max(k, len(live) - 1) + 1
+
+    def test_deadline_strictness_preserved_without_the_bound(self, session):
+        """The default (no bound) keeps strict policy order intact."""
+        assert SchedulerConfig().starvation_rounds is None
+        assert SCHEDULER_PRESETS["deadline"].starvation_rounds is None
+
+
+class TestWallDeadlinePolicy:
+    def test_wall_budgeted_query_runs_first(self, session):
+        first, second = bounds(2)
+        scheduler = session.scheduler(policy="wall-deadline")
+        relaxed = scheduler.submit(first)
+        urgent = scheduler.submit(
+            second, budget=StreamBudget(max_wall_seconds=30.0)
+        )
+        order = [query.qid for query, _ in scheduler.run()]
+        assert order.index(urgent.qid) < order.index(relaxed.qid)
+        # The relaxed query only ran after the urgent one completed.
+        assert order[: order.index(relaxed.qid)].count(urgent.qid) == len(
+            [q for q in order if q == urgent.qid]
+        )
+
+    def test_preset_realtime_uses_wall_deadline(self):
+        preset = SCHEDULER_PRESETS["realtime"]
+        assert preset.policy == "wall-deadline"
+        assert preset.starvation_rounds is not None
+
+    def test_preset_serving_profile(self):
+        preset = SCHEDULER_PRESETS["serving"]
+        assert preset.policy == "fair-share"
+        assert preset.quantum_vtime is not None
+        assert preset.starvation_rounds is not None
+        assert preset.record_interleaving is False
+
+    def test_session_scheduler_accepts_the_new_presets(self, session):
+        for name in ("realtime", "serving"):
+            scheduler = session.scheduler(name)
+            handle = scheduler.submit(bounds(1)[0])
+            scheduler.run_all()
+            assert handle.state == COMPLETED
+
+
+def report_signature(report):
+    """The observable identity of one step: kind, region, work, results."""
+    return (
+        report.kind,
+        report.region_id,
+        report.vtime_delta,
+        tuple(r.key() for r in report.results),
+    )
+
+
+class TestBackpressureIsolationProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        pause_period=st.integers(min_value=1, max_value=7),
+        stall_ticks=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=3),
+    )
+    def test_slow_reader_pauses_only_its_own_query(
+        self, pause_period, stall_ticks, seed
+    ):
+        """A pause/resume pattern on one query (a slow client's
+        backpressure) leaves every other query's result sequence AND step
+        reports byte-identical to an undisturbed run."""
+        session = Session()
+        slow_bound = make_bound(n=80, sigma=0.1, seed=200 + seed)
+        fast_bound = make_bound(n=80, sigma=0.1, seed=300 + seed)
+
+        def run(paused_pattern: bool):
+            scheduler = session.scheduler(
+                SchedulerConfig(policy="round-robin", share_partitions=False)
+            )
+            slow = scheduler.submit(slow_bound)
+            fast = scheduler.submit(fast_bound)
+            reports = {slow.qid: [], fast.qid: []}
+            stalled = 0
+            dispatches = 0
+            while True:
+                if slow.paused:
+                    stalled += 1
+                    if stalled >= stall_ticks:
+                        slow.resume()
+                        stalled = 0
+                burst = scheduler.tick()
+                if not burst:
+                    if slow.paused:
+                        continue
+                    break
+                for query, report in burst:
+                    reports[query.qid].append(report_signature(report))
+                dispatches += 1
+                if paused_pattern and dispatches % pause_period == 0:
+                    slow.pause()
+            return (
+                [r.key() for r in slow.results],
+                [r.key() for r in fast.results],
+                reports[slow.qid],
+                reports[fast.qid],
+            )
+
+        undisturbed = run(paused_pattern=False)
+        throttled = run(paused_pattern=True)
+        # Both queries: identical result sequences and step reports.
+        assert throttled[0] == undisturbed[0]
+        assert throttled[1] == undisturbed[1]
+        assert throttled[2] == undisturbed[2]
+        assert throttled[3] == undisturbed[3]

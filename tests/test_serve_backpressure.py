@@ -1,0 +1,166 @@
+"""Tests for the outbound channel and its backpressure bridge."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.backpressure import (
+    BackpressureBridge,
+    OutboundChannel,
+    Watermarks,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class FakeHandle:
+    def __init__(self):
+        self.paused = False
+        self.pause_calls = 0
+        self.resume_calls = 0
+
+    def pause(self):
+        self.paused = True
+        self.pause_calls += 1
+
+    def resume(self):
+        self.paused = False
+        self.resume_calls += 1
+
+
+class TestWatermarks:
+    def test_validation(self):
+        with pytest.raises(ServeError, match="high"):
+            Watermarks(high=0)
+        with pytest.raises(ServeError, match="low"):
+            Watermarks(high=10, low=10)
+        with pytest.raises(ServeError, match="low"):
+            Watermarks(high=10, low=-1)
+        Watermarks(high=10, low=0)  # zero low water is legal
+
+
+class TestOutboundChannel:
+    def test_fifo_roundtrip(self):
+        async def main():
+            channel = OutboundChannel()
+            channel.put(b"a")
+            channel.put(b"b")
+            assert await channel.get() == b"a"
+            assert await channel.get() == b"b"
+
+        run(main())
+
+    def test_pause_above_high_resume_at_low(self):
+        async def main():
+            events = []
+            channel = OutboundChannel(
+                Watermarks(high=10, low=2),
+                on_pause=lambda: events.append("pause"),
+                on_resume=lambda: events.append("resume"),
+            )
+            channel.put(b"x" * 8)          # 8 <= 10: no pause
+            assert events == []
+            channel.put(b"x" * 8)          # 16 > 10: pause fires once
+            channel.put(b"x" * 8)          # still paused: no second call
+            assert events == ["pause"]
+            assert channel.paused
+            await channel.get()            # 16 left: above low
+            assert events == ["pause"]
+            await channel.get()            # 8 left: above low
+            await channel.get()            # 0 <= 2: resume
+            assert events == ["pause", "resume"]
+            assert not channel.paused
+            assert channel.pauses == 1 and channel.resumes == 1
+
+        run(main())
+
+    def test_get_waits_for_put(self):
+        async def main():
+            channel = OutboundChannel()
+
+            async def producer():
+                await asyncio.sleep(0.01)
+                channel.put(b"late")
+
+            task = asyncio.ensure_future(producer())
+            assert await channel.get() == b"late"
+            await task
+
+        run(main())
+
+    def test_close_drains_then_returns_none(self):
+        async def main():
+            channel = OutboundChannel()
+            channel.put(b"tail")
+            channel.close()
+            assert channel.put(b"dropped") is False
+            assert await channel.get() == b"tail"
+            assert await channel.get() is None
+
+        run(main())
+
+    def test_close_wakes_a_blocked_consumer(self):
+        async def main():
+            channel = OutboundChannel()
+
+            async def closer():
+                await asyncio.sleep(0.01)
+                channel.close()
+
+            task = asyncio.ensure_future(closer())
+            assert await channel.get() is None
+            await task
+
+        run(main())
+
+    def test_byte_accounting(self):
+        async def main():
+            channel = OutboundChannel()
+            channel.put(b"12345")
+            assert channel.buffered_bytes == 5
+            await channel.get()
+            assert channel.buffered_bytes == 0
+            assert channel.frames_in == 1 and channel.frames_out == 1
+
+        run(main())
+
+
+class TestBackpressureBridge:
+    def test_bridge_pauses_and_resumes_the_handle(self):
+        async def main():
+            handle = FakeHandle()
+            woken = []
+            bridge = BackpressureBridge(
+                handle, Watermarks(high=4, low=0),
+                on_runnable=lambda: woken.append(True),
+            )
+            bridge.channel.put(b"xxxxx")       # crosses high water
+            assert handle.paused and handle.pause_calls == 1
+            assert not woken                   # pausing never wakes
+            await bridge.channel.get()         # drains to zero
+            assert not handle.paused and handle.resume_calls == 1
+            assert woken == [True]             # resume wakes the pump
+
+        run(main())
+
+    def test_slow_consumer_bounds_the_buffer(self):
+        """The producer can push forever; the buffer stays near the mark
+        because the pause callback stops the (cooperating) producer."""
+
+        async def main():
+            handle = FakeHandle()
+            bridge = BackpressureBridge(handle, Watermarks(high=100, low=10))
+            pushed = 0
+            while not handle.paused and pushed < 1_000:
+                bridge.channel.put(b"x" * 30)
+                pushed += 1
+            assert handle.paused
+            # One frame past the mark at most: bounded, not unbounded.
+            assert bridge.channel.buffered_bytes <= 100 + 30
+
+        run(main())

@@ -698,7 +698,7 @@ def test_cli_source_flags(tmp_path, capsys):
                  "--source", f"T=sqlite:{prefix}.sqlite?table=T"]) == 0
     out = capsys.readouterr().out
     assert "columnar(mmap:" in out and "sqlite(" in out
-    assert main(["serve", "-n", "80", "-c", "2",
+    assert main(["interleave", "-n", "80", "-c", "2",
                  "--source", f"R=columnar:{prefix}_R.col",
                  "--source", f"T=columnar:{prefix}_T.col"]) == 0
     out = capsys.readouterr().out
