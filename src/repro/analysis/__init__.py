@@ -1,0 +1,53 @@
+"""Static analysis for the repro engine: ``repro lint``.
+
+A small plugin framework (stdlib :mod:`ast` only) enforcing the
+invariants the test suite cannot see — comparison accounting, core
+determinism, event-loop hygiene, honest error handling and export
+consistency.  See ``docs/static-analysis.md`` for the rule catalogue and
+how to add a rule.
+"""
+
+from repro.analysis.base import (
+    Checker,
+    ParsedModule,
+    package_path_of,
+    parse_module,
+)
+from repro.analysis.cli import run_lint
+from repro.analysis.findings import SEVERITIES, Finding
+from repro.analysis.registry import all_checkers, checker_for, register
+from repro.analysis.suppressions import (
+    SUPPRESSION_RULE,
+    Suppressions,
+    collect_suppressions,
+    parse_marker,
+)
+from repro.analysis.walker import (
+    PARSE_ERROR_RULE,
+    LintReport,
+    check_module,
+    iter_python_files,
+    run_checks,
+)
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintReport",
+    "PARSE_ERROR_RULE",
+    "ParsedModule",
+    "SEVERITIES",
+    "SUPPRESSION_RULE",
+    "Suppressions",
+    "all_checkers",
+    "check_module",
+    "checker_for",
+    "collect_suppressions",
+    "iter_python_files",
+    "package_path_of",
+    "parse_marker",
+    "parse_module",
+    "register",
+    "run_checks",
+    "run_lint",
+]

@@ -1,0 +1,204 @@
+"""Checker plugin interface and shared AST utilities.
+
+A rule is a :class:`Checker` subclass: it names itself (``rule_id``),
+declares which part of the tree it patrols (``scope`` — package-path
+prefixes), and yields :class:`~repro.analysis.findings.Finding` objects
+from :meth:`check`.  Registration is one decorator::
+
+    from repro.analysis.registry import register
+
+    @register
+    class NoEvalChecker(Checker):
+        rule_id = "no-eval"
+        description = "eval() is banned in engine code"
+
+        def check(self, module: ParsedModule) -> Iterator[Finding]:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call) and call_name(node) == "eval":
+                    yield self.finding(module, node, "eval() call")
+
+The framework (walker + suppressions + CLI) then handles file discovery,
+``# repro: allow[...]`` filtering, output formats and exit codes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import ClassVar, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.suppressions import Suppressions, collect_suppressions
+
+
+@dataclass(frozen=True)
+class ParsedModule:
+    """One parsed source file handed to every applicable checker."""
+
+    #: Path as discovered (used verbatim in findings).
+    path: str
+    #: Normalised package path anchored at ``repro/`` when the file lives
+    #: inside the package (``repro/core/engine.py``); otherwise the
+    #: discovery-relative posix path.  Scope matching uses this.
+    package_path: str
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+    @property
+    def is_package_init(self) -> bool:
+        """Whether this module is a package ``__init__.py``."""
+        return self.package_path.endswith("__init__.py")
+
+
+def parse_module(path: Path, display_path: str | None = None) -> ParsedModule:
+    """Read and parse one file into a :class:`ParsedModule`.
+
+    Raises :class:`SyntaxError` when the file does not parse; the walker
+    converts that into a ``parse-error`` finding.
+    """
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    shown = display_path if display_path is not None else str(path)
+    return ParsedModule(
+        path=shown,
+        package_path=package_path_of(path),
+        source=source,
+        tree=tree,
+        suppressions=collect_suppressions(source),
+    )
+
+
+def package_path_of(path: Path) -> str:
+    """Posix path anchored at the last ``repro`` directory, if any.
+
+    ``/repo/src/repro/core/engine.py`` -> ``repro/core/engine.py``; a file
+    outside any ``repro`` tree keeps its name-only path.  Anchoring makes
+    scope prefixes (``repro/core/``) independent of where the tree was
+    checked out or which path the CLI was invoked with.
+    """
+    parts = path.parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return path.name
+
+
+class Checker:
+    """Base class every lint rule extends."""
+
+    #: Unique kebab-case rule identifier (used in suppressions and output).
+    rule_id: ClassVar[str] = ""
+    #: One-line description shown by ``repro lint --list-rules``.
+    description: ClassVar[str] = ""
+    #: Package-path prefixes the rule applies to; empty means every file.
+    scope: ClassVar[tuple[str, ...]] = ()
+    #: Severity stamped on this rule's findings.
+    severity: ClassVar[str] = "error"
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        """Whether ``module`` falls inside this rule's scope."""
+        if not self.scope:
+            return True
+        return any(
+            module.package_path.startswith(prefix) for prefix in self.scope
+        )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        """Yield every violation found in ``module``."""
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: ParsedModule,
+        where: ast.AST | int,
+        message: str,
+        hint: str | None = None,
+    ) -> Finding:
+        """Build a finding for this rule at ``where`` (a node or line)."""
+        line = where if isinstance(where, int) else getattr(where, "lineno", 1)
+        return Finding(
+            path=module.path,
+            line=line,
+            rule=self.rule_id,
+            message=message,
+            severity=self.severity,
+            hint=hint,
+        )
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.expr) -> str | None:
+    """The dotted name of a ``Name``/``Attribute`` chain, or ``None``.
+
+    ``np.random.default_rng`` -> ``"np.random.default_rng"``; anything
+    containing a call or subscript in the chain resolves to ``None``.
+    """
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Last segment of the called name: ``a.b.c()`` -> ``"c"``."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def parameter_names(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> frozenset[str]:
+    """All parameter names of a function (positional, kw-only, varargs)."""
+    args = node.args
+    names = [
+        a.arg
+        for a in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+        )
+    ]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return frozenset(names)
+
+
+def iter_function_defs(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function definition in the module, at any nesting depth."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def own_nodes(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    """Nodes belonging to ``func`` itself, excluding nested ``def`` bodies.
+
+    Lambdas and comprehensions stay included — they execute in the
+    function's dynamic context — while nested named functions are analysed
+    on their own.
+    """
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.append(child)

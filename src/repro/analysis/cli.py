@@ -1,0 +1,77 @@
+"""Command-line surface of the analyzer: ``repro lint``.
+
+Exit status: 0 when every scanned file is clean, 1 when any finding
+survives suppression, 2 on usage errors (unknown rule, missing path).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from repro.analysis.registry import all_checkers
+from repro.analysis.walker import LintReport, run_checks
+
+#: Exit codes, by name.
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def default_paths() -> list[Path]:
+    """``src`` when it exists (repo checkout), else the current directory."""
+    src = Path("src")
+    return [src] if src.is_dir() else [Path(".")]
+
+
+def list_rules(out: TextIO) -> int:
+    """Print the registered rule catalogue."""
+    for checker in all_checkers():
+        scope = ", ".join(checker.scope) if checker.scope else "all files"
+        out.write(f"{checker.rule_id} [{checker.severity}] ({scope})\n")
+        out.write(f"    {checker.description}\n")
+    return EXIT_CLEAN
+
+
+def render_text(report: LintReport, out: TextIO) -> None:
+    for finding in report.findings:
+        out.write(finding.format() + "\n")
+    noun = "file" if report.files_scanned == 1 else "files"
+    if report.ok:
+        out.write(f"clean: {report.files_scanned} {noun} scanned\n")
+    else:
+        count = len(report.findings)
+        problems = "finding" if count == 1 else "findings"
+        out.write(
+            f"{count} {problems} in {report.files_scanned} {noun} scanned\n"
+        )
+
+
+def run_lint(
+    paths: Sequence[str],
+    fmt: str = "text",
+    rules: Sequence[str] | None = None,
+    out: TextIO | None = None,
+    err: TextIO | None = None,
+) -> int:
+    """Run the analyzer; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    targets = [Path(p) for p in paths] if paths else default_paths()
+    missing = [str(p) for p in targets if not p.exists()]
+    if missing:
+        err.write(f"repro lint: no such path: {', '.join(missing)}\n")
+        return EXIT_USAGE
+    try:
+        report = run_checks(targets, rules=rules)
+    except KeyError as exc:
+        err.write(f"repro lint: {exc.args[0]}\n")
+        return EXIT_USAGE
+    if fmt == "json":
+        json.dump(report.to_json(), out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        render_text(report, out)
+    return EXIT_CLEAN if report.ok else EXIT_FINDINGS

@@ -1,0 +1,65 @@
+"""The :class:`Finding` model: one rule violation at one source location.
+
+Findings are plain, ordered, hashable values so checkers can be tested by
+comparing lists, the CLI can sort deterministically (path, line, rule), and
+the JSON output is a direct field dump.  Severities exist so future rules
+can downgrade to advisory without changing the exit-code contract:
+``repro lint`` exits non-zero when any finding of severity ``error`` (the
+default) survives suppression filtering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Finding severities, in increasing order of strictness.
+SEVERITIES: tuple[str, ...] = ("advice", "warning", "error")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: *rule* at *path:line* with a message and fix hint.
+
+    Example::
+
+        Finding(
+            rule="determinism",
+            path="src/repro/core/progorder.py",
+            line=122,
+            message="seeded random.Random(...) in a deterministic-core module",
+            hint="document with '# repro: allow[determinism] — reason'",
+        )
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    severity: str = field(default="error", compare=False)
+    hint: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown finding severity {self.severity!r}; "
+                f"expected one of {SEVERITIES}"
+            )
+
+    def format(self) -> str:
+        """One-line human rendering: ``path:line: [rule] message (hint)``."""
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready field dump (the ``repro lint --format json`` schema)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }

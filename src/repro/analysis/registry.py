@@ -1,0 +1,66 @@
+"""The checker registry: plug-in point for lint rules.
+
+Built-in rules live in :mod:`repro.analysis.rules` and register themselves
+at import time via :func:`register`; external code can do the same before
+calling :func:`~repro.analysis.walker.run_checks` — the framework treats
+both identically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.analysis.base import Checker
+
+_CHECKERS: dict[str, type[Checker]] = {}
+
+C = TypeVar("C", bound=type[Checker])
+
+
+def register(checker: C) -> C:
+    """Class decorator adding a :class:`Checker` subclass to the registry."""
+    rule_id = checker.rule_id
+    if not rule_id:
+        raise ValueError(f"{checker.__name__} does not define rule_id")
+    existing = _CHECKERS.get(rule_id)
+    if existing is not None and existing is not checker:
+        raise ValueError(
+            f"duplicate checker registration for rule {rule_id!r}: "
+            f"{existing.__name__} vs {checker.__name__}"
+        )
+    _CHECKERS[rule_id] = checker
+    return checker
+
+
+def all_checkers() -> tuple[type[Checker], ...]:
+    """Every registered checker class, in rule-id order."""
+    _load_builtin_rules()
+    return tuple(_CHECKERS[rule] for rule in sorted(_CHECKERS))
+
+
+def checker_for(rule_id: str) -> type[Checker]:
+    """The checker class registered under ``rule_id``."""
+    _load_builtin_rules()
+    try:
+        return _CHECKERS[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_CHECKERS))
+        raise KeyError(
+            f"unknown lint rule {rule_id!r}; registered rules: {known}"
+        ) from None
+
+
+_load: Callable[[], None] | None = None
+
+
+def _load_builtin_rules() -> None:
+    """Import the built-in rule modules exactly once (self-registering)."""
+    global _load
+    if _load is not None:
+        return
+
+    def loaded() -> None:
+        return None
+
+    _load = loaded
+    import repro.analysis.rules  # noqa: F401  (imports register the rules)

@@ -1,0 +1,147 @@
+"""async-hygiene: no blocking work on the event loop, no dropped coroutines.
+
+The serving edge (``serve/``) and the scheduler's async shims run many
+queries on one event loop; a single ``time.sleep`` or synchronous socket
+call stalls every connected client for its duration.  Inside ``async
+def`` bodies in scope this rule flags:
+
+* known blocking calls — ``time.sleep``, synchronous socket/urllib/
+  subprocess entry points, ``sqlite3.connect`` and bare ``open()``/
+  ``input()``;
+* calls to same-module ``async def`` functions used as bare expression
+  statements — the coroutine object is created and dropped, so the call
+  silently never runs (use ``await`` or ``asyncio.create_task``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.base import (
+    Checker,
+    ParsedModule,
+    dotted_name,
+    iter_function_defs,
+    own_nodes,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+#: Dotted names that block the calling thread.
+BLOCKING_CALLS: frozenset[str] = frozenset(
+    {
+        "time.sleep",
+        "sqlite3.connect",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "urllib.request.urlopen",
+        "requests.get",
+        "requests.post",
+        "requests.request",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "os.system",
+        "os.waitpid",
+    }
+)
+
+#: Bare built-in names that block (or prompt) when called from a coroutine.
+BLOCKING_BUILTINS: frozenset[str] = frozenset({"open", "input"})
+
+_BLOCKING_HINT = (
+    "run blocking work off the loop (loop.run_in_executor / "
+    "asyncio.to_thread) or use the async equivalent "
+    "(asyncio.sleep, asyncio.open_connection, loop.sock_* APIs)"
+)
+
+_DROPPED_HINT = (
+    "calling an async def returns a coroutine object without running it; "
+    "await it, or hand it to asyncio.create_task / an ensure-future helper"
+)
+
+
+@register
+class AsyncHygieneChecker(Checker):
+    """Event-loop code must not block, and must not drop coroutines."""
+
+    rule_id = "async-hygiene"
+    description = (
+        "async def bodies in serve/ and the session scheduler must not "
+        "call blocking APIs or drop un-awaited coroutines"
+    )
+    scope: ClassVar[tuple[str, ...]] = (
+        "repro/serve/",
+        "repro/session/scheduler.py",
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        local_coroutines = {
+            func.name
+            for func in iter_function_defs(module.tree)
+            if isinstance(func, ast.AsyncFunctionDef)
+        }
+        for func in iter_function_defs(module.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in own_nodes(func):
+                if isinstance(node, ast.Call):
+                    blocked = self._blocking_message(node)
+                    if blocked is not None:
+                        yield self.finding(
+                            module, node, blocked, hint=_BLOCKING_HINT
+                        )
+                if isinstance(node, ast.Expr) and isinstance(
+                    node.value, ast.Call
+                ):
+                    dropped = self._dropped_coroutine(
+                        node.value, local_coroutines
+                    )
+                    if dropped is not None:
+                        yield self.finding(
+                            module, node, dropped, hint=_DROPPED_HINT
+                        )
+
+    def _blocking_message(self, node: ast.Call) -> str | None:
+        if isinstance(node.func, ast.Name):
+            if node.func.id in BLOCKING_BUILTINS:
+                return (
+                    f"blocking builtin {node.func.id}() inside an async def "
+                    "stalls the event loop"
+                )
+            return None
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return None
+        if dotted in BLOCKING_CALLS or any(
+            dotted.endswith("." + known) for known in BLOCKING_CALLS
+        ):
+            return (
+                f"blocking call {dotted}() inside an async def stalls the "
+                "event loop for every connected client"
+            )
+        return None
+
+    def _dropped_coroutine(
+        self, call: ast.Call, local_coroutines: set[str]
+    ) -> str | None:
+        func = call.func
+        name: str | None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ) and func.value.id in {"self", "cls"}:
+            name = func.attr
+        else:
+            name = None
+        if name is not None and name in local_coroutines:
+            return (
+                f"coroutine {name}() is called but never awaited: the call "
+                "builds a coroutine object and drops it, so the body never "
+                "runs"
+            )
+        return None

@@ -1,0 +1,104 @@
+"""clock-discipline: every dominance comparison is charged to a clock.
+
+The paper's vtime accounting (Fig. 10–13 reproductions, the scheduler's
+fairness policies) is only honest if no comparison happens off the books.
+This rule patrols ``core/``, ``skyline/`` and ``join/``: a call to one of
+the dominance kernels must sit in a function that either takes an
+accounting parameter (``on_comparison`` / ``on_comparisons`` / ``clock``)
+or visibly charges a :class:`~repro.runtime.clock.VirtualClock`
+(``clock.charge``, ``self._charge``, invoking the accounting callback).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.base import (
+    Checker,
+    ParsedModule,
+    call_name,
+    iter_function_defs,
+    own_nodes,
+    parameter_names,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+#: Dominance kernels whose invocation represents comparison work.
+COMPARISON_CALLS: frozenset[str] = frozenset(
+    {"dominates", "weakly_dominates", "dominates_matrix", "pareto_mask"}
+)
+
+#: Parameter names that mark a function as accounting-aware.
+ACCOUNTING_PARAMETERS: frozenset[str] = frozenset(
+    {"clock", "on_comparison", "on_comparisons", "charge", "charger"}
+)
+
+#: Called names that count as charging the clock inside the function body.
+ACCOUNTING_CALLS: frozenset[str] = frozenset(
+    {"charge", "_charge", "charger", "on_comparison", "on_comparisons"}
+)
+
+_HINT = (
+    "charge the comparison to a VirtualClock (or accept an "
+    "on_comparison/on_comparisons callback and invoke it); a deliberate "
+    "exemption needs '# repro: allow[clock-discipline] — reason'"
+)
+
+
+@register
+class ClockDisciplineChecker(Checker):
+    """No free dominance comparisons in engine code."""
+
+    rule_id = "clock-discipline"
+    description = (
+        "dominance-kernel calls in core/, skyline/ and join/ must occur in "
+        "functions that charge a VirtualClock or take an accounting callback"
+    )
+    scope: ClassVar[tuple[str, ...]] = (
+        "repro/core/",
+        "repro/skyline/",
+        "repro/join/",
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        covered: set[int] = set()
+        for func in iter_function_defs(module.tree):
+            accounted = bool(parameter_names(func) & ACCOUNTING_PARAMETERS)
+            comparison_sites: list[ast.Call] = []
+            for node in own_nodes(func):
+                covered.add(id(node))
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_name(node)
+                if name in ACCOUNTING_CALLS:
+                    accounted = True
+                elif name in COMPARISON_CALLS:
+                    comparison_sites.append(node)
+            if accounted:
+                continue
+            for site in comparison_sites:
+                yield self._free_comparison(module, site, func.name)
+        # Module-level comparison calls have no function to account them.
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and id(node) not in covered
+                and call_name(node) in COMPARISON_CALLS
+            ):
+                yield self._free_comparison(module, node, None)
+
+    def _free_comparison(
+        self, module: ParsedModule, node: ast.Call, function: str | None
+    ) -> Finding:
+        where = (
+            f"function {function!r}" if function else "module level"
+        )
+        return self.finding(
+            module,
+            node,
+            f"unaccounted {call_name(node)}() call at {where}: the "
+            "comparison is never charged to a clock",
+            hint=_HINT,
+        )

@@ -1,0 +1,140 @@
+"""determinism: engine code must be reproducible for a fixed seed.
+
+Pause/resume equivalence, cache-shared planning and the multi-backend
+equivalence suites all assert byte-identical step reports; a single wall
+clock read or unseeded RNG in kernel/plan code breaks them silently and
+only under load.  Inside the deterministic core (``core/``, ``skyline/``,
+``query/``, ``cache/``, ``data/``):
+
+* wall-clock reads (``time.time``, ``time.perf_counter``,
+  ``datetime.now``, ...) are banned — virtual time comes from
+  :class:`~repro.runtime.clock.VirtualClock`;
+* randomness must be injected by the caller as a seeded generator; every
+  RNG construction or module-level ``random.*`` call is flagged.  A
+  legitimately *seeded* construction stays visible through an explicit
+  ``# repro: allow[determinism] — reason`` marker rather than a checker
+  allowlist;
+* ``id()`` is banned — identity values change across runs, so keying or
+  ordering on them is nondeterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.base import Checker, ParsedModule, dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+#: Dotted call names that read a wall clock.
+WALL_CLOCK_CALLS: frozenset[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+    }
+)
+
+#: Trailing dotted suffixes that read a calendar clock.
+CALENDAR_SUFFIXES: tuple[str, ...] = (
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: Functions of the global (process-seeded) ``random`` module.
+GLOBAL_RANDOM_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "random", "randint", "randrange", "uniform", "gauss", "normalvariate",
+        "shuffle", "choice", "choices", "sample", "seed", "betavariate",
+        "expovariate", "triangular", "getrandbits", "randbytes",
+    }
+)
+
+#: RNG constructors: flagged seeded or not — seeding is a call-site claim
+#: the checker cannot verify, so it must be documented with a marker.
+RNG_CONSTRUCTORS: tuple[str, ...] = ("default_rng", "Random", "RandomState")
+
+_HINT = (
+    "deterministic-core modules must derive all values from their inputs "
+    "and seeds; use VirtualClock for time, accept a seeded Generator from "
+    "the caller, and document deliberate seeded RNGs with "
+    "'# repro: allow[determinism] — reason'"
+)
+
+
+@register
+class DeterminismChecker(Checker):
+    """No wall clocks, unseeded RNGs or id()-keying in the deterministic core."""
+
+    rule_id = "determinism"
+    description = (
+        "core/, skyline/, query/, cache/ and data/ must be deterministic: "
+        "no wall-clock reads, undocumented RNGs, or id()-derived ordering"
+    )
+    scope: ClassVar[tuple[str, ...]] = (
+        "repro/core/",
+        "repro/skyline/",
+        "repro/query/",
+        "repro/cache/",
+        "repro/data/",
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = (
+                dotted_name(node.func)
+                if not isinstance(node.func, ast.Name)
+                else node.func.id
+            )
+            if dotted is None:
+                continue
+            message = self._classify(dotted, node)
+            if message is not None:
+                yield self.finding(module, node, message, hint=_HINT)
+
+    def _classify(self, dotted: str, node: ast.Call) -> str | None:
+        if dotted in WALL_CLOCK_CALLS:
+            return (
+                f"wall-clock read {dotted}() in a deterministic-core module"
+            )
+        if any(
+            dotted == suffix or dotted.endswith("." + suffix)
+            for suffix in CALENDAR_SUFFIXES
+        ):
+            return (
+                f"calendar-clock read {dotted}() in a deterministic-core "
+                "module"
+            )
+        last = dotted.rsplit(".", 1)[-1]
+        if last in RNG_CONSTRUCTORS and (
+            "." in dotted or last != "Random" or dotted == "Random"
+        ):
+            seeded = bool(node.args or node.keywords)
+            if seeded:
+                return (
+                    f"RNG construction {dotted}(...) in a deterministic-core "
+                    "module; if the argument is a genuine seed, document it"
+                )
+            return (
+                f"unseeded RNG construction {dotted}() in a "
+                "deterministic-core module"
+            )
+        if dotted.startswith("random.") and last in GLOBAL_RANDOM_FUNCTIONS:
+            return (
+                f"{dotted}() uses the process-global RNG, which is seeded "
+                "outside the engine's control"
+            )
+        if dotted == "id":
+            return (
+                "id() values are allocation-dependent; keying or ordering "
+                "on them is nondeterministic across runs"
+            )
+        return None

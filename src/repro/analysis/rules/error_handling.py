@@ -1,0 +1,134 @@
+"""error-handling: broad handlers must record failure or re-raise.
+
+A kernel or pump error that is swallowed by ``except Exception: pass``
+leaves its query in a zombie state: the client never receives an error
+frame and the scheduler keeps re-dispatching a stepper that can no longer
+make progress.  A bare/broad ``except`` in engine code is therefore only
+acceptable when its body visibly does one of:
+
+* re-raise (a ``raise`` statement anywhere in the handler);
+* record a terminal state — call a ``fail``/``retire``/``abort``-style
+  API, emit an error frame, or assign to a ``state`` / ``stop_reason`` /
+  ``error`` attribute.
+
+``contextlib.suppress(Exception)`` / ``suppress(BaseException)`` is the
+same swallow in disguise and is flagged unconditionally.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.base import Checker, ParsedModule, call_name, dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+#: Exception names considered "broad" when caught.
+BROAD_EXCEPTIONS: frozenset[str] = frozenset({"Exception", "BaseException"})
+
+#: Substrings of called names that count as recording a terminal state.
+RECORDING_CALL_MARKERS: tuple[str, ...] = (
+    "fail", "retire", "abort", "error", "terminate", "record", "finish",
+    "close", "log", "warning", "exception",
+)
+
+#: Attribute names whose assignment counts as recording a terminal state.
+RECORDING_ATTRIBUTES: frozenset[str] = frozenset(
+    {"state", "stop_reason", "error", "failed", "aborted", "last_error"}
+)
+
+_HINT = (
+    "narrow the caught types, or make the handler honest: re-raise, or "
+    "record the failure on the owning query/stream (retire it FAILED, "
+    "emit an error frame, set .error/.state) before continuing"
+)
+
+
+@register
+class ErrorHandlingChecker(Checker):
+    """No silently-swallowed kernel or pump errors."""
+
+    rule_id = "error-handling"
+    description = (
+        "bare/broad except blocks must re-raise or record a terminal "
+        "state; contextlib.suppress(Exception) is never acceptable"
+    )
+    scope: ClassVar[tuple[str, ...]] = ()  # repo-wide under src/repro
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                caught = self._broad_name(node)
+                if caught is not None and not self._handler_is_honest(node):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{caught} swallows the error: the handler neither "
+                        "re-raises nor records a terminal state",
+                        hint=_HINT,
+                    )
+            if isinstance(node, ast.Call):
+                suppressed = self._broad_suppress(node)
+                if suppressed is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"contextlib.suppress({suppressed}) silently drops "
+                        "errors that should retire the query or re-raise",
+                        hint=_HINT,
+                    )
+
+    def _broad_name(self, handler: ast.ExceptHandler) -> str | None:
+        """The caught spelling when the handler is bare or broad."""
+        if handler.type is None:
+            return "bare except:"
+        names: list[ast.expr]
+        if isinstance(handler.type, ast.Tuple):
+            names = list(handler.type.elts)
+        else:
+            names = [handler.type]
+        for expr in names:
+            dotted = dotted_name(expr)
+            if dotted is not None and dotted.rsplit(".", 1)[-1] in (
+                BROAD_EXCEPTIONS
+            ):
+                return f"except {dotted}:"
+        return None
+
+    def _handler_is_honest(self, handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name is not None and any(
+                    marker in name.lower()
+                    for marker in RECORDING_CALL_MARKERS
+                ):
+                    return True
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr in RECORDING_ATTRIBUTES
+                    ):
+                        return True
+        return False
+
+    def _broad_suppress(self, node: ast.Call) -> str | None:
+        name = call_name(node)
+        if name != "suppress":
+            return None
+        for arg in node.args:
+            dotted = dotted_name(arg)
+            if dotted is not None and dotted.rsplit(".", 1)[-1] in (
+                BROAD_EXCEPTIONS
+            ):
+                return dotted
+        return None

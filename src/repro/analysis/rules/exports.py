@@ -1,0 +1,189 @@
+"""export-consistency: ``__all__`` and the actual surface must agree.
+
+The docs site's API reference and the README examples are generated and
+written against each package's declared surface; an ``__all__`` naming a
+symbol that was renamed away breaks ``from repro.x import *`` and the
+mkdocstrings build, while a re-export missing from ``__all__`` is a
+silent API removal for star-importers.  For every package
+``__init__.py`` under ``repro``:
+
+* ``__all__`` must exist and be a literal list/tuple of strings;
+* every entry must resolve to a module-level definition or import;
+* entries must be unique;
+* every public (non-underscore) name pulled in via ``from ... import``
+  must appear in ``__all__`` — an undeclared re-export is either missing
+  surface or an implementation detail that should be underscored.
+
+Plain modules that opt in by declaring ``__all__`` get the resolution
+and uniqueness checks, not the completeness one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Checker, ParsedModule
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+_HINT = (
+    "keep __all__, the module-level definitions and the __init__ "
+    "re-exports in lockstep; underscore genuinely-private imports"
+)
+
+
+@register
+class ExportConsistencyChecker(Checker):
+    """Declared exports, definitions and re-exports agree."""
+
+    rule_id = "export-consistency"
+    description = (
+        "__all__ in package __init__ files must exist, resolve, be "
+        "duplicate-free and cover every public re-export"
+    )
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        return module.package_path.startswith("repro/") or (
+            module.package_path == "repro/__init__.py"
+        )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        declaration = _find_all_declaration(module.tree)
+        if declaration is None:
+            if module.is_package_init:
+                yield self.finding(
+                    module,
+                    1,
+                    "package __init__ has no __all__: the public surface "
+                    "is undeclared, so star-imports and the API reference "
+                    "drift silently",
+                    hint=_HINT,
+                )
+            return
+        node, names = declaration
+        if names is None:
+            yield self.finding(
+                module,
+                node,
+                "__all__ is not a literal list/tuple of strings, so the "
+                "export surface cannot be checked",
+                hint=_HINT,
+            )
+            return
+        seen: set[str] = set()
+        for name in names:
+            if name in seen:
+                yield self.finding(
+                    module, node, f"duplicate __all__ entry {name!r}",
+                    hint=_HINT,
+                )
+            seen.add(name)
+        defined, imported_public, has_star = _module_surface(module.tree)
+        if not has_star:
+            for name in sorted(seen - defined):
+                yield self.finding(
+                    module,
+                    node,
+                    f"__all__ entry {name!r} does not resolve to any "
+                    "module-level definition or import",
+                    hint=_HINT,
+                )
+        if module.is_package_init:
+            for name, line in sorted(imported_public.items()):
+                if name not in seen:
+                    yield self.finding(
+                        module,
+                        line,
+                        f"re-export {name!r} is missing from __all__: "
+                        "public surface and declaration disagree",
+                        hint=_HINT,
+                    )
+
+
+def _find_all_declaration(
+    tree: ast.Module,
+) -> tuple[ast.stmt, list[str] | None] | None:
+    """The ``__all__`` statement and its entries (``None`` if non-literal)."""
+    for stmt in tree.body:
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            target, value = stmt.target, stmt.value
+        if (
+            target is None
+            or not isinstance(target, ast.Name)
+            or target.id != "__all__"
+            or value is None
+        ):
+            continue
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return stmt, None
+        names: list[str] = []
+        for element in value.elts:
+            if not isinstance(element, ast.Constant) or not isinstance(
+                element.value, str
+            ):
+                return stmt, None
+            names.append(element.value)
+        return stmt, names
+    return None
+
+
+def _module_surface(
+    tree: ast.Module,
+) -> tuple[set[str], dict[str, int], bool]:
+    """Module-level names: all definitions, public imports, star-import flag.
+
+    Returns ``(defined, imported_public, has_star_import)`` where
+    ``imported_public`` maps each non-underscore imported name to its line.
+    """
+    defined: set[str] = set()
+    imported_public: dict[str, int] = {}
+    has_star = False
+    for stmt in _toplevel_statements(tree):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defined.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        defined.add(leaf.id)
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                defined.add(stmt.target.id)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                bound = alias.asname or alias.name.split(".", 1)[0]
+                defined.add(bound)
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name == "*":
+                    has_star = True
+                    continue
+                bound = alias.asname or alias.name
+                defined.add(bound)
+                if not bound.startswith("_"):
+                    imported_public[bound] = stmt.lineno
+    return defined, imported_public, has_star
+
+
+def _toplevel_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Module-level statements, descending into top-level if/try guards
+    (``if TYPE_CHECKING:``, optional-dependency try blocks) but not into
+    function or class bodies."""
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        stmt = stack.pop()
+        yield stmt
+        if isinstance(stmt, ast.If):
+            stack.extend(stmt.body)
+            stack.extend(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            stack.extend(stmt.body)
+            stack.extend(stmt.orelse)
+            stack.extend(stmt.finalbody)
+            for handler in stmt.handlers:
+                stack.extend(handler.body)

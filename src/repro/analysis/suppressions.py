@@ -1,0 +1,105 @@
+"""Per-line suppression comments: ``# repro: allow[rule-id] — reason``.
+
+A finding is suppressed when a marker naming its rule sits on the same
+physical line.  The *reason* text after the bracket is mandatory policy:
+a marker without one still suppresses its target (one problem should not
+report as two), but is itself reported under the ``suppression`` rule —
+an allowlist entry nobody can explain is a finding, not an exemption.
+
+Several rules may share one marker: ``# repro: allow[determinism,
+clock-discipline] — seeded ablation``.  Markers are extracted with
+:mod:`tokenize`, so the pattern inside a string literal is never
+mistaken for a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+
+#: The marker grammar.  The reason is everything after the closing bracket,
+#: stripped of decorative separators (dashes, em-dashes, colons).
+MARKER_PATTERN = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[^\]]*)\](?P<reason>.*)$"
+)
+
+_SEPARATORS = " \t—–:-"
+
+#: Rule id carried by findings about the markers themselves.
+SUPPRESSION_RULE = "suppression"
+
+
+@dataclass(frozen=True)
+class Suppressions:
+    """The suppression markers of one module, keyed by physical line."""
+
+    #: line -> rule ids allowed on that line.
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: (line, rule ids) of markers missing a reason.
+    unexplained: tuple[tuple[int, frozenset[str]], ...] = ()
+
+    def allows(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is suppressed on ``line``."""
+        return rule in self.by_line.get(line, frozenset())
+
+    def findings(self, path: str) -> list[Finding]:
+        """Findings for the module's reason-less markers."""
+        return [
+            Finding(
+                path=path,
+                line=line,
+                rule=SUPPRESSION_RULE,
+                message=(
+                    "suppression without a reason: "
+                    f"allow[{','.join(sorted(rules))}]"
+                ),
+                hint=(
+                    "explain the exemption after the bracket: "
+                    "# repro: allow[rule-id] — reason"
+                ),
+            )
+            for line, rules in self.unexplained
+        ]
+
+
+def parse_marker(comment: str) -> tuple[frozenset[str], str] | None:
+    """Parse one comment; returns ``(rule ids, reason)`` or ``None``."""
+    match = MARKER_PATTERN.search(comment)
+    if match is None:
+        return None
+    rules = frozenset(
+        part.strip() for part in match.group("rules").split(",") if part.strip()
+    )
+    reason = match.group("reason").strip(_SEPARATORS)
+    return rules, reason
+
+
+def collect_suppressions(source: str) -> Suppressions:
+    """Extract every suppression marker from ``source``.
+
+    Tokenisation failures (the file will separately fail ``ast.parse``)
+    yield an empty table rather than raising: suppression handling must
+    never mask the underlying syntax error.
+    """
+    by_line: dict[int, frozenset[str]] = {}
+    unexplained: list[tuple[int, frozenset[str]]] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return Suppressions()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        parsed = parse_marker(token.string)
+        if parsed is None:
+            continue
+        rules, reason = parsed
+        line = token.start[0]
+        by_line[line] = by_line.get(line, frozenset()) | rules
+        if not reason:
+            unexplained.append((line, rules))
+    return Suppressions(by_line=by_line, unexplained=tuple(unexplained))

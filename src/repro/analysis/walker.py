@@ -1,0 +1,124 @@
+"""File discovery and the check-running loop.
+
+:func:`run_checks` is the framework's engine: walk the requested paths,
+parse each ``.py`` file once, hand it to every applicable checker, apply
+the suppression table, and fold everything into a :class:`LintReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.base import Checker, ParsedModule, parse_module
+from repro.analysis.findings import Finding
+from repro.analysis.registry import all_checkers
+
+#: Rule id used for files that fail to parse.
+PARSE_ERROR_RULE = "parse-error"
+
+#: Directory names never descended into.
+SKIPPED_DIRECTORIES: frozenset[str] = frozenset(
+    {"__pycache__", ".git", ".hypothesis", ".pytest_cache", ".mypy_cache"}
+)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one analysis run."""
+
+    findings: tuple[Finding, ...]
+    files_scanned: int
+    rules: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run produced no findings."""
+        return not self.findings
+
+    def to_json(self) -> dict[str, object]:
+        """JSON-ready representation (see ``docs/static-analysis.md``)."""
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "rules": list(self.rules),
+            "findings": [finding.to_json() for finding in self.findings],
+        }
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through verbatim)."""
+    for path in paths:
+        if path.is_file():
+            yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if not any(
+                part in SKIPPED_DIRECTORIES for part in candidate.parts
+            ):
+                yield candidate
+
+
+def run_checks(
+    paths: Sequence[Path],
+    rules: Iterable[str] | None = None,
+) -> LintReport:
+    """Run the (optionally filtered) checkers over every file in ``paths``."""
+    wanted = None if rules is None else frozenset(rules)
+    checkers: list[Checker] = [
+        cls()
+        for cls in all_checkers()
+        if wanted is None or cls.rule_id in wanted
+    ]
+    if wanted is not None:
+        known = {cls.rule_id for cls in all_checkers()}
+        unknown = sorted(wanted - known)
+        if unknown:
+            raise KeyError(
+                f"unknown lint rule(s): {', '.join(unknown)}; "
+                f"registered rules: {', '.join(sorted(known))}"
+            )
+    findings: list[Finding] = []
+    files_scanned = 0
+    for path in iter_python_files(paths):
+        files_scanned += 1
+        try:
+            module = parse_module(path)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            findings.append(
+                Finding(
+                    path=str(path),
+                    line=int(line),
+                    rule=PARSE_ERROR_RULE,
+                    message=f"file does not parse: {exc}",
+                )
+            )
+            continue
+        findings.extend(check_module(module, checkers))
+    return LintReport(
+        findings=tuple(sorted(findings)),
+        files_scanned=files_scanned,
+        rules=tuple(checker.rule_id for checker in checkers),
+    )
+
+
+def check_module(
+    module: ParsedModule, checkers: Sequence[Checker]
+) -> list[Finding]:
+    """All unsuppressed findings for one parsed module.
+
+    Reason-less suppression markers surface here as ``suppression``
+    findings regardless of which rule filter is active: an unexplained
+    exemption is a problem with the file, not with any one rule.
+    """
+    found: list[Finding] = []
+    for checker in checkers:
+        if not checker.applies_to(module):
+            continue
+        for finding in checker.check(module):
+            if not module.suppressions.allows(finding.rule, finding.line):
+                found.append(finding)
+    found.extend(module.suppressions.findings(module.path))
+    return found

@@ -119,7 +119,7 @@ class RandomOrder:
         self.graph = graph
         self.clock = clock
         order = list(graph.regions.values())
-        random.Random(seed).shuffle(order)
+        random.Random(seed).shuffle(order)  # repro: allow[determinism] — caller-supplied seed; the shuffle is the ablation's whole point
         self._order = order
         self._cursor = 0
 

@@ -49,7 +49,7 @@ class SyntheticWorkload:
 
     def tables(self) -> dict[str, Table]:
         """Generate both input tables (deterministic in the seed)."""
-        rng = np.random.default_rng(self.seed)
+        rng = np.random.default_rng(self.seed)  # repro: allow[determinism] — generator is seeded by the workload spec
         out = {}
         for alias, prefix in ((self.left_alias, "a"), (self.right_alias, "b")):
             attrs = generate_attributes(self.distribution, self.n, self.d, rng)
@@ -108,7 +108,7 @@ class SupplyChainWorkload:
     part_pool: tuple[str, ...] = ("P1", "P2", "P3", "P4")
 
     def tables(self) -> dict[str, Table]:
-        rng = np.random.default_rng(self.seed)
+        rng = np.random.default_rng(self.seed)  # repro: allow[determinism] — generator is seeded by the workload spec
         countries = [f"C{i}" for i in range(self.n_countries)]
 
         sup_attrs = generate_attributes(
@@ -200,7 +200,7 @@ class TravelWorkload:
     seed: int = 13
 
     def tables(self) -> dict[str, Table]:
-        rng = np.random.default_rng(self.seed)
+        rng = np.random.default_rng(self.seed)  # repro: allow[determinism] — generator is seeded by the workload spec
         out = {}
         for alias, city, n in (("R", "rome", self.n_rome), ("P", "paris", self.n_paris)):
             attrs = generate_attributes(self.distribution, n, 2, rng)
@@ -258,7 +258,7 @@ class RefinementWorkload:
     seed: int = 17
 
     def tables(self) -> dict[str, Table]:
-        rng = np.random.default_rng(self.seed)
+        rng = np.random.default_rng(self.seed)  # repro: allow[determinism] — generator is seeded by the workload spec
         fam = [f"F{i}" for i in range(self.n_families)]
         p_attrs = generate_attributes(self.distribution, self.n_products, 2, rng)
         products = [

@@ -12,7 +12,7 @@ relative behaviour the paper's figures show.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Callable, Mapping
 
 #: Default weight per operation kind.  Dominance comparisons and join steps
 #: are the work the paper's wall-clock measurements are dominated by; the
@@ -51,7 +51,7 @@ class VirtualClock:
             self.weights.update(weights)
         self.counts: dict[str, int] = {}
         self._time = 0.0
-        self._tripwire = None
+        self._tripwire: Callable[[], None] | None = None
 
     def charge(self, kind: str, units: int = 1) -> None:
         """Record ``units`` operations of ``kind``."""
@@ -60,11 +60,11 @@ class VirtualClock:
         if self._tripwire is not None:
             self._tripwire()
 
-    def set_tripwire(self, hook) -> None:
+    def set_tripwire(self, hook: Callable[[], None] | None) -> None:
         """Install (or with ``None``, remove) the post-charge hook."""
         self._tripwire = hook
 
-    def charger(self, kind: str):
+    def charger(self, kind: str) -> Callable[[], None]:
         """A zero-argument callback charging one ``kind`` op (for hot loops)."""
         def tick() -> None:
             self.charge(kind)

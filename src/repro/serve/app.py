@@ -250,10 +250,20 @@ class QueryServer:
             self._wake.clear()
             try:
                 worked = bool(self.scheduler.tick())
-            except Exception:
-                # The raising query was already retired FAILED by the
-                # scheduler; the sweep below turns that into error/complete
-                # frames for its one client.  Other queries are unaffected.
+            except Exception as exc:
+                # A kernel raised mid-step: the scheduler retired the
+                # owning query FAILED and stamped it with the exception,
+                # and the sweep below turns that terminal state into
+                # error/complete frames for its one client.  An exception
+                # no served query owns is a scheduler/policy bug, not a
+                # query failure — swallowing it would spin this loop hot
+                # forever, so it propagates.
+                owned = any(
+                    served.handle.error is exc
+                    for served in self._served.values()
+                )
+                if not owned:
+                    raise
                 worked = True
             now = time.perf_counter()
             for served in list(self._served.values()):

@@ -218,7 +218,9 @@ class QueryRequest:
             raise ProtocolError(str(exc)) from None
 
 
-def _coerce(value, kind, field):
+def _coerce(
+    value: Any, kind: type[float] | type[int], field: str
+) -> float | int | None:
     if value is None:
         return None
     try:

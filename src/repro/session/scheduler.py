@@ -141,6 +141,9 @@ class ScheduledQuery:
         self.results: list[ResultTuple] = []
         self.state = PENDING
         self.stop_reason: str | None = None
+        #: The exception that retired this query FAILED, if any.  Lets the
+        #: serving pump attribute a tick() error to the owning stream.
+        self.error: BaseException | None = None
         self.steps = 0
         self.admitted = False
         #: Scheduling decisions since this query was last dispatched while
@@ -607,6 +610,7 @@ class QueryScheduler:
             # The query's stepper is dead; record the failure terminally so
             # a re-run of the scheduler never mistakes the partial result
             # set for a completed one, then let the caller see the error.
+            query.error = exc
             self._retire(query, FAILED, f"step raised {exc!r}")
             raise
         delta = query.clock.now() - t0

@@ -13,6 +13,10 @@ import enum
 from typing import Sequence
 
 import numpy as np
+import numpy.typing as npt
+
+#: Boolean mask over the rows of a points array.
+BoolMask = npt.NDArray[np.bool_]
 
 
 class Dominance(enum.Enum):
@@ -73,7 +77,9 @@ def compare(u: Sequence[float], v: Sequence[float]) -> Dominance:
     return Dominance.EQUAL
 
 
-def dominated_mask(points: np.ndarray, candidate: Sequence[float]) -> np.ndarray:
+def dominated_mask(
+    points: npt.NDArray[np.float64], candidate: Sequence[float]
+) -> BoolMask:
     """Vectorised test: which rows of ``points`` are dominated by ``candidate``.
 
     ``points`` is an ``(n, d)`` array; returns a boolean mask of length ``n``.
@@ -81,18 +87,22 @@ def dominated_mask(points: np.ndarray, candidate: Sequence[float]) -> np.ndarray
     cand = np.asarray(candidate, dtype=float)
     le = points >= cand  # candidate <= point on every dim
     lt = points > cand  # candidate < point on at least one dim
-    return le.all(axis=1) & lt.any(axis=1)
+    mask: BoolMask = le.all(axis=1) & lt.any(axis=1)
+    return mask
 
 
-def dominating_mask(points: np.ndarray, candidate: Sequence[float]) -> np.ndarray:
+def dominating_mask(
+    points: npt.NDArray[np.float64], candidate: Sequence[float]
+) -> BoolMask:
     """Vectorised test: which rows of ``points`` dominate ``candidate``."""
     cand = np.asarray(candidate, dtype=float)
     le = points <= cand
     lt = points < cand
-    return le.all(axis=1) & lt.any(axis=1)
+    mask: BoolMask = le.all(axis=1) & lt.any(axis=1)
+    return mask
 
 
-def skyline_indices_bruteforce(points: np.ndarray) -> list[int]:
+def skyline_indices_bruteforce(points: npt.NDArray[np.float64]) -> list[int]:
     """Quadratic oracle skyline; used as the reference in tests.
 
     Keeps duplicated (identical) vectors: equal points do not dominate each
@@ -106,7 +116,7 @@ def skyline_indices_bruteforce(points: np.ndarray) -> list[int]:
         for j in range(n):
             if j == i:
                 continue
-            if dominates(pts[j], pts[i]):
+            if dominates(pts[j], pts[i]):  # repro: allow[clock-discipline] — quadratic test oracle, never on the engine's accounted path
                 dominated = True
                 break
         if not dominated:

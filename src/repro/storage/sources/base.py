@@ -61,7 +61,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.storage.schema import Schema
 
 #: A relation row: a plain tuple (fast, hashable).
-Row = tuple
+Row = tuple[Any, ...]
 
 #: Default number of rows per scanned batch.  Structures built through
 #: ``scan_batches`` are independent of the batch size (partition contents,
@@ -122,7 +122,7 @@ class DataSource(Protocol):
         ...
 
     @property
-    def cache_token(self) -> tuple:
+    def cache_token(self) -> tuple[Any, ...]:
         """``(uid, version, row_count)`` for partition-cache keying."""
         ...
 
@@ -164,5 +164,5 @@ def describe_source(source: "DataSource") -> str:
     """One-line human description of a source's backend (for CLI output)."""
     describe = getattr(source, "describe", None)
     if describe is not None:
-        return describe()
-    return getattr(source, "kind", type(source).__name__)
+        return str(describe())
+    return str(getattr(source, "kind", type(source).__name__))

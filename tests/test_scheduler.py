@@ -254,6 +254,9 @@ class TestBudgetsAndCancellation:
         assert doomed.state == FAILED
         assert "Boom" in doomed.stop_reason
         assert doomed.finished
+        # The handle carries the exception instance, so callers catching
+        # the propagated error can attribute it to this query.
+        assert isinstance(doomed.error, Boom)
         # Re-running drives the survivor to completion without touching
         # the failed query again.
         steps_at_failure = doomed.steps
@@ -261,6 +264,7 @@ class TestBudgetsAndCancellation:
         assert doomed.state == FAILED
         assert doomed.steps == steps_at_failure
         assert survivor.state == COMPLETED
+        assert survivor.error is None
         assert [r.key() for r in survivor.results] == solo
 
     def test_stats_shape_matches_stream_stats(self, session):

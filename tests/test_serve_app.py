@@ -513,6 +513,53 @@ class TestIsolation:
 
         serve(test, watermarks=Watermarks(high=256, low=32))
 
+    def test_unattributed_scheduler_error_propagates_out_of_the_pump(self):
+        """The pump only swallows exceptions owned by a served query.
+
+        A tick() failure no handle claims is a scheduler/policy bug, not a
+        query failure; silently treating it as progress would spin the
+        pump hot forever.  It must escape the pump task instead.
+        """
+
+        class PolicyBug(RuntimeError):
+            pass
+
+        async def main():
+            server = QueryServer(make_session(), port=0)
+
+            def broken_tick():
+                raise PolicyBug("scheduling machinery bug")
+
+            server.scheduler.tick = broken_tick
+            with pytest.raises(PolicyBug):
+                await asyncio.wait_for(server._pump(), timeout=5)
+
+        asyncio.run(main())
+
+    def test_kernel_error_is_stamped_on_the_owning_handle(self):
+        """After a kernel failure the served handle carries the exception,
+        which is what lets the pump attribute the tick() error."""
+
+        class Explode:
+            name = "Explode"
+
+            def __init__(self, bound, clock):
+                pass
+
+            def run(self):
+                raise RuntimeError("kernel exploded")
+                yield  # pragma: no cover - makes run() a generator
+
+        async def test(server, session):
+            session.register_algorithm("Explode", Explode)
+            handle = server.scheduler.submit(SQL, algorithm="Explode")
+            with pytest.raises(RuntimeError, match="kernel exploded") as info:
+                while not handle.finished:
+                    server.scheduler.tick()
+            assert handle.error is info.value
+
+        serve(test)
+
 
 class TestLifecycle:
     def test_healthz_and_stats(self):
