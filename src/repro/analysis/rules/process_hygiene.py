@@ -1,0 +1,237 @@
+"""process-hygiene: multiprocessing must be spawn-safe and importable.
+
+The sharded execution layer (``repro.parallel``) runs worker processes
+under the ``spawn`` start method — the only one available everywhere and
+the only one safe regardless of coordinator thread state.  Code that
+relies on ``fork`` semantics (inherited globals, picklable-by-fork
+lambdas, pools created at import time) works on one platform and
+deadlocks or crashes on another, so this rule flags, anywhere in the
+tree:
+
+* pools built from the **fork-default module-level API**
+  (``multiprocessing.Pool(...)`` or an imported ``Pool``) instead of an
+  explicit ``multiprocessing.get_context(method).Pool(...)``;
+* ``get_context()`` with no argument (platform default = fork on Linux)
+  or a literal ``"fork"``, and ``set_start_method("fork")`` — the start
+  method must come from the shared resolver
+  (:func:`repro.parallel.plan.start_method`) so ``REPRO_MP_START``
+  keeps working;
+* **module-level pool creation** — a ``Pool``/``ProcessPoolExecutor``
+  built as an import side effect spawns processes before the program
+  decided anything (and re-spawns recursively under ``spawn`` when the
+  importing module is ``__main__``);
+* **un-importable worker entry points** — a ``lambda`` passed as the
+  task function (or ``initializer``) of a pool dispatch call cannot be
+  pickled by reference, so it fails at the first dispatch under
+  ``spawn``; worker entry points must be module-level functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.base import (
+    Checker,
+    ParsedModule,
+    dotted_name,
+    iter_function_defs,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+
+#: Pool factory attribute names (stdlib multiprocessing + concurrent.futures).
+POOL_FACTORIES: frozenset[str] = frozenset({"Pool", "ProcessPoolExecutor"})
+
+#: Pool methods that take a worker function as their first argument.
+DISPATCH_METHODS: frozenset[str] = frozenset(
+    {
+        "apply",
+        "apply_async",
+        "map",
+        "map_async",
+        "imap",
+        "imap_unordered",
+        "starmap",
+        "starmap_async",
+        "submit",
+    }
+)
+
+_CONTEXT_HINT = (
+    "build pools from an explicit context: "
+    "multiprocessing.get_context(method).Pool(...), with the method taken "
+    "from repro.parallel.plan.start_method()"
+)
+
+_MODULE_LEVEL_HINT = (
+    "create pools lazily inside a function (see "
+    "repro.parallel.pool.shared_pool); import-time pools spawn processes "
+    "before configuration and recurse under the spawn start method"
+)
+
+_LAMBDA_HINT = (
+    "spawn pickles worker functions by reference; use a module-level "
+    "function (importable from a fresh interpreter) instead of a lambda"
+)
+
+
+@register
+class ProcessHygieneChecker(Checker):
+    """Multiprocessing use must be explicit-context, lazy and picklable."""
+
+    rule_id = "process-hygiene"
+    description = (
+        "no fork-default multiprocessing contexts, no import-time pool "
+        "creation, worker entry points must be importable (no lambdas)"
+    )
+    scope: ClassVar[tuple[str, ...]] = ()
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        mp_aliases, pool_names = _multiprocessing_bindings(module.tree)
+        if not mp_aliases and not pool_names:
+            return
+        function_nodes = {
+            id(node)
+            for func in iter_function_defs(module.tree)
+            for node in ast.walk(func)
+            if node is not func
+        }
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            at_module_level = id(node) not in function_nodes
+            yield from self._check_call(
+                module, node, mp_aliases, pool_names, at_module_level
+            )
+
+    def _check_call(
+        self,
+        module: ParsedModule,
+        node: ast.Call,
+        mp_aliases: set[str],
+        pool_names: set[str],
+        at_module_level: bool,
+    ) -> Iterator[Finding]:
+        fork_default = _fork_default_pool(node, mp_aliases, pool_names)
+        if fork_default is not None:
+            yield self.finding(module, node, fork_default, hint=_CONTEXT_HINT)
+        fork_context = _fork_context(node, mp_aliases)
+        if fork_context is not None:
+            yield self.finding(module, node, fork_context, hint=_CONTEXT_HINT)
+        if at_module_level and _is_pool_factory(node, pool_names):
+            yield self.finding(
+                module,
+                node,
+                "pool created at module level: processes start as an "
+                "import side effect",
+                hint=_MODULE_LEVEL_HINT,
+            )
+        lambda_where = _lambda_worker(node)
+        if lambda_where is not None:
+            yield self.finding(
+                module,
+                lambda_where,
+                "lambda used as a pool worker entry point: not picklable "
+                "under the spawn start method",
+                hint=_LAMBDA_HINT,
+            )
+
+
+def _multiprocessing_bindings(
+    tree: ast.Module,
+) -> tuple[set[str], set[str]]:
+    """``(module aliases, imported pool-factory names)`` in this module.
+
+    Tracks ``import multiprocessing [as mp]`` (and its ``.pool`` /
+    ``.context`` submodules), ``from multiprocessing import Pool [as P]``
+    and ``from concurrent.futures import ProcessPoolExecutor``.
+    """
+    aliases: set[str] = set()
+    pool_names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                root = item.name.split(".", 1)[0]
+                if root == "multiprocessing":
+                    aliases.add(item.asname or root)
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".", 1)[0]
+            if root not in {"multiprocessing", "concurrent"}:
+                continue
+            for item in node.names:
+                if item.name in POOL_FACTORIES:
+                    pool_names.add(item.asname or item.name)
+    return aliases, pool_names
+
+
+def _fork_default_pool(
+    node: ast.Call, mp_aliases: set[str], pool_names: set[str]
+) -> str | None:
+    """Message when ``node`` builds a pool on the fork-default module API."""
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in pool_names:
+        return (
+            f"{func.id}() uses the start-method default of the platform; "
+            "pools must come from an explicit get_context()"
+        )
+    dotted = dotted_name(func)
+    if dotted is None:
+        return None
+    head, _, tail = dotted.partition(".")
+    if head in mp_aliases and tail in {"Pool", "pool.Pool"}:
+        return (
+            f"{dotted}() uses the module-level fork-default API; pools "
+            "must come from an explicit get_context()"
+        )
+    return None
+
+
+def _fork_context(node: ast.Call, mp_aliases: set[str]) -> str | None:
+    """Message when ``node`` selects the fork start method."""
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    head, _, tail = dotted.partition(".")
+    in_mp = head in mp_aliases
+    name = tail if in_mp else dotted
+    if name not in {"get_context", "set_start_method"}:
+        return None
+    if not in_mp and not isinstance(node.func, ast.Name):
+        return None
+    if name == "get_context" and not node.args and not node.keywords:
+        return (
+            "get_context() without a method uses the platform default "
+            "(fork on Linux)"
+        )
+    first = node.args[0] if node.args else None
+    if (
+        isinstance(first, ast.Constant)
+        and first.value == "fork"
+    ):
+        return f"{name}('fork') hard-codes the fork start method"
+    return None
+
+
+def _is_pool_factory(node: ast.Call, pool_names: set[str]) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in pool_names
+    if isinstance(func, ast.Attribute):
+        return func.attr in POOL_FACTORIES
+    return False
+
+
+def _lambda_worker(node: ast.Call) -> ast.Lambda | None:
+    """The lambda handed to a pool dispatch call, if any."""
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr not in DISPATCH_METHODS:
+        return None
+    if node.args and isinstance(node.args[0], ast.Lambda):
+        return node.args[0]
+    for keyword in node.keywords:
+        if keyword.arg in {"func", "initializer"} and isinstance(
+            keyword.value, ast.Lambda
+        ):
+            return keyword.value
+    return None

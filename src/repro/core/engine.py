@@ -73,6 +73,7 @@ class ProgXeEngine:
         verify: bool = True,
         use_vectorized: bool = True,
         cache: "PlanCache | None" = None,
+        workers: int = 1,
     ) -> None:
         if partitioning not in ("grid", "quadtree"):
             raise ValueError(
@@ -83,6 +84,8 @@ class ProgXeEngine:
                 f"signature_kind must be one of {SIGNATURE_KINDS}, "
                 f"got {signature_kind!r}"
             )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.bound = bound
         self.clock = clock or VirtualClock()
         self.ordering = ordering
@@ -96,6 +99,16 @@ class ProgXeEngine:
         self.input_cells = input_cells
         self.output_cells = output_cells
         self.cache = cache
+        if workers > 1:
+            from repro.parallel.plan import resolve_workers
+
+            # Library policy allows oversubscription (determinism tests
+            # legitimately run more workers than cores); only an
+            # unavailable start method degrades to the solo kernel here.
+            self.workers, self.worker_fallback = resolve_workers(workers)
+        else:
+            self.workers, self.worker_fallback = 1, None
+        self._shard = None
         base = "ProgXe+" if pushthrough else "ProgXe"
         self.name = base if ordering else f"{base} (No-Order)"
         # Populated during execution for inspection/tests.
@@ -140,8 +153,20 @@ class ProgXeEngine:
         return self._plan
 
     def _build_plan(self) -> QueryPlan:
+        plan_bound = self.bound
+        cache = self.cache
+        if self.workers > 1:
+            from repro.parallel.plan import prepare_shard_context
+
+            self._shard = prepare_shard_context(self.bound)
+            plan_bound = self._shard.bound
+            if self._shard.spilled:
+                # Spilled sources are private scratch files: caching their
+                # partitionings would pin PlanCache entries to directories
+                # the kernel deletes on finalize.
+                cache = None
         return QueryPlan.build(
-            self.bound,
+            plan_bound,
             self.clock,
             ordering=self.ordering,
             pushthrough=self.pushthrough,
@@ -153,7 +178,7 @@ class ProgXeEngine:
             seed=self.seed,
             verify=self.verify,
             use_vectorized=self.use_vectorized,
-            cache=self.cache,
+            cache=cache,
         )
 
     @property
@@ -184,7 +209,16 @@ class ProgXeEngine:
                 "new engine (or keep stepping the existing kernel) instead "
                 "of iterating run() twice"
             )
-        kernel = ExecutionKernel(self.plan(), stats_sink=self.stats)
+        plan = self.plan()
+        if self._shard is not None:
+            from repro.parallel.sharded import ShardedKernel
+
+            kernel: ExecutionKernel = ShardedKernel(
+                plan, self._shard, workers=self.workers,
+                stats_sink=self.stats,
+            )
+        else:
+            kernel = ExecutionKernel(plan, stats_sink=self.stats)
         self._kernel = kernel
         self.state = kernel.state
         return kernel

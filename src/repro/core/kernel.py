@@ -30,7 +30,7 @@ produced after those steps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Mapping
+from typing import Iterator
 
 from repro.core.benefit import region_benefit
 from repro.core.cost import region_cost
@@ -89,6 +89,12 @@ class StepReport:
         Per-operation-kind charge deltas for this step.
     finished:
         True once the kernel has verified and published its stats.
+
+    Step reports are **picklable by contract**: every field is a plain
+    value (tuples, dicts, :class:`~repro.query.smj.ResultTuple`
+    dataclasses), so a report can cross a process boundary intact — the
+    sharded execution worker protocol depends on this, and
+    ``tests/test_kernel.py`` round-trips it.
     """
 
     kind: str
@@ -97,13 +103,18 @@ class StepReport:
     step_index: int
     vtime: float
     vtime_delta: float
-    charges: Mapping[str, int]
+    charges: dict[str, int]
     finished: bool
 
 
 @dataclass(frozen=True)
 class KernelSnapshot:
-    """Point-in-time progress picture of a kernel (cheap, read-only)."""
+    """Point-in-time progress picture of a kernel (cheap, read-only).
+
+    Like :class:`StepReport`, snapshots are plain-data and picklable by
+    contract (``clock_counts`` is a concrete ``dict`` copy, never a live
+    view), so monitoring surfaces can ship them across processes.
+    """
 
     status: str
     steps: int
@@ -119,7 +130,7 @@ class KernelSnapshot:
     inserted: int
     live_entries: int
     vtime: float
-    clock_counts: Mapping[str, int]
+    clock_counts: dict[str, int]
 
     @property
     def regions_done(self) -> int:
@@ -398,9 +409,7 @@ class ExecutionKernel:
                 break
             if region.done:
                 continue
-            for vector, lrow, rrow, mapped in process_region(
-                state, region, use_vectorized=self.use_vectorized
-            ):
+            for vector, lrow, rrow, mapped in self._process(region):
                 yield bound.make_result(lrow, rrow, mapped)
             region.processed = True
             self.regions_processed += 1
@@ -413,6 +422,23 @@ class ExecutionKernel:
             yield _StepBoundary(STEP_REGION, region.rid)
 
         self._finalize()
+
+    def _process(self, region: OutputRegion):
+        """Tuple-level processing of one region (the overridable unit).
+
+        Yields :class:`~repro.core.output_grid.CellEntry` 4-tuples
+        ``(vector, lrow, rrow, mapped)`` as they become safely emittable.
+        The base kernel runs :func:`~repro.core.tuple_level.process_region`
+        inline; :class:`~repro.parallel.ShardedKernel` overrides this hook
+        to source the region's join results from a worker process while
+        committing them through the same
+        :class:`~repro.core.progdetermine.ExecutionState` — everything
+        else in the event loop (policy order, region completion, settle
+        cascades) is shared.
+        """
+        return process_region(
+            self.state, region, use_vectorized=self.use_vectorized
+        )
 
     def _finalize(self) -> None:
         """Verify the completeness invariant and publish engine stats."""

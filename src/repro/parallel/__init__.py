@@ -1,0 +1,52 @@
+"""Sharded multi-process execution: ``repro.parallel``.
+
+Runs a query's phase-2 joins (the dominant cost at scale) across a pool
+of worker processes while keeping every determinism guarantee of the solo
+kernel: emission order, settled-cell sets and virtual-clock totals are
+byte-identical at any worker count.  Stdlib ``multiprocessing`` only,
+``spawn``-safe by default.
+
+Layers:
+
+* :mod:`repro.parallel.plan` — worker resolution (graceful degrade),
+  columnar spill of non-columnar backends, zero-copy shard handles,
+* :mod:`repro.parallel.pool` — shared, lazily-created process pools,
+* :mod:`repro.parallel.worker` — the importable per-region task run in
+  worker processes (join + map over mmap'd shards),
+* :mod:`repro.parallel.sharded` — the coordinator kernel that dispatches
+  speculatively and replays worker results at the solo commit cadence.
+
+Usual entry point is configuration, not this package directly::
+
+    engine = ProgXeEngine(bound, workers=4)   # or EngineConfig(workers=4)
+    for result in engine.run():
+        ...
+"""
+
+from repro.parallel.plan import (
+    DEFAULT_START_METHOD,
+    START_METHOD_ENV,
+    ShardContext,
+    prepare_shard_context,
+    resolve_workers,
+    start_method,
+)
+from repro.parallel.pool import pool_count, shared_pool, shutdown_pools
+from repro.parallel.sharded import ShardedKernel
+from repro.parallel.worker import RegionResult, RegionTask, run_region_task
+
+__all__ = [
+    "DEFAULT_START_METHOD",
+    "START_METHOD_ENV",
+    "RegionResult",
+    "RegionTask",
+    "ShardContext",
+    "ShardedKernel",
+    "pool_count",
+    "prepare_shard_context",
+    "resolve_workers",
+    "run_region_task",
+    "shared_pool",
+    "shutdown_pools",
+    "start_method",
+]

@@ -1,0 +1,168 @@
+"""Shard planning: worker resolution, columnar spill and query rebind.
+
+The sharded kernel needs every input side readable by worker processes
+without shipping tuples through the task queue.  Two cases:
+
+* the bound side already **is** a bare
+  :class:`~repro.storage.sources.columnar.ColumnarFileSource` — workers
+  open the same directory and mmap the same column files (zero-copy;
+  the OS page cache is shared across processes);
+* anything else (in-memory tables, SQLite relations, filtered views) is
+  **spilled once** into a private columnar directory
+  (:func:`~repro.storage.sources.columnar.write_columnar`), and the
+  coordinator re-binds the query over the spilled datasets so planning
+  produces *lazy row-id partitions* — exactly the structures a bare
+  columnar source would have produced (partitioning is backend-invariant
+  by the storage-protocol contract), which keeps the sharded kernel's
+  emission order identical to the solo kernel's.
+
+Filters are stripped from the worker-side logical query: the coordinator's
+bound sources are already post-filter, so the spill materialises the
+filtered view and workers must not re-apply conditions to it.
+"""
+
+from __future__ import annotations
+
+import atexit
+import dataclasses
+import multiprocessing
+import os
+import shutil
+import tempfile
+
+from repro.query.smj import BoundQuery, SkyMapJoinQuery
+from repro.storage.sources.columnar import ColumnarFileSource, write_columnar
+
+#: Start method used when ``REPRO_MP_START`` is not set.  ``spawn`` is the
+#: only method available on every supported platform and the only one that
+#: is safe regardless of coordinator thread state; ``fork`` can be opted
+#: into via the environment variable on platforms that provide it.
+DEFAULT_START_METHOD = "spawn"
+
+#: Environment variable selecting the multiprocessing start method.
+START_METHOD_ENV = "REPRO_MP_START"
+
+
+def start_method() -> str:
+    """The configured multiprocessing start method (``spawn`` by default)."""
+    return os.environ.get(START_METHOD_ENV, DEFAULT_START_METHOD) or (
+        DEFAULT_START_METHOD
+    )
+
+
+def resolve_workers(
+    requested: int,
+    *,
+    cpu_count: int | None = None,
+    method: str | None = None,
+    oversubscribe: bool = True,
+) -> tuple[int, str | None]:
+    """Effective worker count for a request, with a degrade reason.
+
+    Returns ``(effective, reason)``; ``reason`` is ``None`` when the
+    request is honoured and a human-readable sentence when it was degraded
+    to solo execution.  Degradation is always graceful — never an
+    exception — per the CLI contract ("warn, don't crash"):
+
+    * the configured start method (see :data:`START_METHOD_ENV`) is not
+      available on this platform → solo;
+    * ``oversubscribe=False`` (the CLI policy) and the request exceeds
+      ``os.cpu_count()`` → solo.  Library callers keep ``oversubscribe=
+      True``: tests and determinism checks legitimately run more workers
+      than cores, they just will not run any faster.
+    """
+    if requested <= 1:
+        return 1, None
+    chosen = method or start_method()
+    available = multiprocessing.get_all_start_methods()
+    if chosen not in available:
+        return 1, (
+            f"multiprocessing start method {chosen!r} is not available on "
+            f"this platform (available: {', '.join(available)}); "
+            "running the solo kernel"
+        )
+    cpus = cpu_count if cpu_count is not None else os.cpu_count() or 1
+    if not oversubscribe and requested > cpus:
+        return 1, (
+            f"requested {requested} workers but only {cpus} CPU"
+            f"{'s' if cpus != 1 else ''} available; running the solo kernel"
+        )
+    return requested, None
+
+
+@dataclasses.dataclass
+class ShardContext:
+    """Everything the sharded kernel needs to reach its input shards.
+
+    ``bound`` is the coordinator-side bound query — the original when both
+    sides were already bare columnar datasets, a re-bound one over the
+    spilled datasets otherwise.  ``worker_query`` is the filter-free
+    logical query workers re-bind locally (compiled mapping closures do
+    not cross process boundaries; the plain query dataclass does).
+    """
+
+    bound: BoundQuery
+    worker_query: SkyMapJoinQuery
+    left_path: str
+    right_path: str
+    spilled: bool
+    workdir: str
+
+    def cleanup(self) -> None:
+        """Remove the spill/scratch directory (idempotent, best-effort).
+
+        Workers may still hold mmaps of spilled columns; on POSIX the
+        pages stay valid until those handles are dropped, so removal is
+        safe at any point after the last task result was collected.
+        """
+        shutil.rmtree(self.workdir, ignore_errors=True)
+
+
+def _shard_source(
+    source, label: str, workdir: str
+) -> tuple[ColumnarFileSource, str, bool]:
+    """``(worker-readable source, its path, whether it was spilled)``."""
+    if isinstance(source, ColumnarFileSource):
+        return source, source.path, False
+    path = os.path.join(workdir, f"{label}.col")
+    write_columnar(path, source)
+    return ColumnarFileSource(path, name=source.name), path, True
+
+
+def prepare_shard_context(bound: BoundQuery) -> ShardContext:
+    """Materialise worker-readable shards for both sides of ``bound``.
+
+    Sides that are already bare columnar datasets are used zero-copy by
+    path; every other backend is spilled once into a scratch directory
+    (registered for interpreter-exit cleanup, and removed earlier by the
+    kernel's own finalize/close).  When any side was spilled the query is
+    re-bound over the spilled datasets so that phase-1 planning yields
+    lazy row-id partitions over them.
+    """
+    workdir = tempfile.mkdtemp(prefix="repro-shard-")
+    atexit.register(shutil.rmtree, workdir, ignore_errors=True)
+    worker_query = dataclasses.replace(bound.query, filters=())
+    left_src, left_path, left_spilled = _shard_source(
+        bound.left_table, "left", workdir
+    )
+    right_src, right_path, right_spilled = _shard_source(
+        bound.right_table, "right", workdir
+    )
+    spilled = left_spilled or right_spilled
+    if spilled:
+        shard_bound = worker_query.bind(
+            {
+                worker_query.left_alias: left_src,
+                worker_query.right_alias: right_src,
+            }
+        )
+    else:
+        shard_bound = bound
+    return ShardContext(
+        bound=shard_bound,
+        worker_query=worker_query,
+        left_path=left_path,
+        right_path=right_path,
+        spilled=spilled,
+        workdir=workdir,
+    )

@@ -1,0 +1,72 @@
+"""Shared, lazily-created, spawn-safe worker pools.
+
+Pools are expensive under the ``spawn`` start method (every worker is a
+fresh interpreter importing the library), so they are cached per
+``(start method, size)`` and reused across kernels, queries and tests for
+the life of the process.  Nothing here runs at import time — creating a
+pool as a module-level side effect is exactly what the ``process-hygiene``
+lint rule forbids — and every pool is built from an explicit
+:func:`multiprocessing.get_context`, never the fork-default module
+functions.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import multiprocessing.pool
+
+from repro.errors import ExecutionError
+from repro.parallel.plan import start_method
+
+#: Live pools keyed by ``(start method, worker count)``.
+_POOLS: dict[tuple[str, int], multiprocessing.pool.Pool] = {}
+
+
+def shared_pool(
+    workers: int, method: str | None = None
+) -> multiprocessing.pool.Pool:
+    """The process-wide pool for ``workers`` processes (created on demand).
+
+    ``method`` defaults to the ``REPRO_MP_START`` environment variable
+    (``spawn`` when unset).  Raises
+    :class:`~repro.errors.ExecutionError` for an unavailable start method
+    — callers that must degrade gracefully resolve the method through
+    :func:`~repro.parallel.plan.resolve_workers` first.
+    """
+    if workers < 1:
+        raise ExecutionError(f"worker pools need >= 1 process, got {workers}")
+    chosen = method or start_method()
+    if chosen not in multiprocessing.get_all_start_methods():
+        raise ExecutionError(
+            f"multiprocessing start method {chosen!r} is not available; "
+            f"available: {', '.join(multiprocessing.get_all_start_methods())}"
+        )
+    key = (chosen, workers)
+    pool = _POOLS.get(key)
+    if pool is None:
+        context = multiprocessing.get_context(chosen)
+        pool = context.Pool(processes=workers)
+        if not _POOLS:
+            atexit.register(shutdown_pools)
+        _POOLS[key] = pool
+    return pool
+
+
+def pool_count() -> int:
+    """Number of live cached pools (introspection for tests)."""
+    return len(_POOLS)
+
+
+def shutdown_pools() -> None:
+    """Terminate and forget every cached pool (idempotent).
+
+    Registered at interpreter exit; tests may call it to force fresh
+    pools.  Termination (not close/join of pending work) is correct here:
+    any un-collected speculative task results are abandoned by design.
+    """
+    pools = list(_POOLS.values())
+    _POOLS.clear()
+    for pool in pools:
+        pool.terminate()
+        pool.join()

@@ -92,28 +92,26 @@ class PassThrough:
     output_name: str
 
 
+@dataclass(eq=False, repr=False, slots=True)
 class ResultTuple:
     """One SMJ result: the joined pair plus its mapped output point.
 
     ``vector`` is the *normalised* (minimisation-space) comparison vector;
     ``mapped`` holds the raw mapped values in query orientation.
+
+    A plain slots dataclass, **picklable by contract** (the step-payload
+    protocol of :class:`~repro.core.kernel.StepReport` and the sharded
+    worker protocol both ship results across process boundaries).
+    ``eq=False`` deliberately keeps identity-based equality and hashing:
+    result bookkeeping throughout the library keys on the *object* (two
+    distinct join results may carry equal rows and vectors).
     """
 
-    __slots__ = ("left_row", "right_row", "mapped", "vector", "outputs")
-
-    def __init__(
-        self,
-        left_row: Row,
-        right_row: Row,
-        mapped: tuple[float, ...],
-        vector: tuple[float, ...],
-        outputs: dict[str, Any],
-    ) -> None:
-        self.left_row = left_row
-        self.right_row = right_row
-        self.mapped = mapped
-        self.vector = vector
-        self.outputs = outputs
+    left_row: Row
+    right_row: Row
+    mapped: tuple[float, ...]
+    vector: tuple[float, ...]
+    outputs: dict[str, Any]
 
     def key(self) -> tuple:
         """Identity key for cross-algorithm result-set comparison."""

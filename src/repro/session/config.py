@@ -45,6 +45,11 @@ class EngineConfig:
         Process partition-sized chunks through the columnar batch kernels
         (default).  ``False`` selects the per-tuple scalar path, kept as
         the reference implementation.
+    workers:
+        Worker processes for phase-2 joins (see :mod:`repro.parallel`).
+        ``1`` (default) runs the solo in-process kernel; ``> 1`` shards
+        region joins across a process pool with byte-identical output.
+        Degrades gracefully to solo when the platform cannot honour it.
     share_partitions:
         Let planning consume the session's shared
         :class:`~repro.cache.plan_cache.PlanCache` (default), so concurrent
@@ -70,9 +75,12 @@ class EngineConfig:
     seed: int = 0
     verify: bool = True
     use_vectorized: bool = True
+    workers: int = 1
     share_partitions: bool = True
 
     def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise QueryError(f"workers must be >= 1, got {self.workers}")
         if self.signature_kind not in SIGNATURE_KINDS:
             raise QueryError(
                 f"signature_kind must be one of {SIGNATURE_KINDS}, "

@@ -50,13 +50,14 @@ from repro.storage.sources.uri import open_source as _open_source_uri
 DEFAULT_ALGORITHM = "ProgXe"
 
 
-def _accepts_cache(factory) -> bool:
-    """Whether ``factory`` can receive the session's ``cache=`` keyword.
+def _accepts_keyword(factory, name: str) -> bool:
+    """Whether ``factory`` can receive the keyword argument ``name``.
 
     The built-in ProgXe variants take ``**kwargs`` and forward them to
     :class:`~repro.core.engine.ProgXeEngine`; user-registered configurable
-    factories may have narrower signatures, so the keyword is only offered
-    when a ``cache`` parameter (or a ``**kwargs`` catch-all) is visible.
+    factories may have narrower signatures, so optional keywords
+    (``cache=``, ``workers=``) are only offered when a matching parameter
+    (or a ``**kwargs`` catch-all) is visible.
     """
     try:
         signature = inspect.signature(factory)
@@ -66,11 +67,16 @@ def _accepts_cache(factory) -> bool:
         if parameter.kind is inspect.Parameter.VAR_KEYWORD:
             return True
         if (
-            parameter.name == "cache"
+            parameter.name == name
             and parameter.kind is not inspect.Parameter.VAR_POSITIONAL
         ):
             return True
     return False
+
+
+def _accepts_cache(factory) -> bool:
+    """Whether ``factory`` can receive the session's ``cache=`` keyword."""
+    return _accepts_keyword(factory, "cache")
 
 
 class Session:
@@ -276,6 +282,10 @@ class Session:
         if configurable:
             effective = config or self.config
             kwargs = effective.variant_kwargs()
+            # Narrow factories predating the sharding knob run solo rather
+            # than crash on an unexpected keyword.
+            if not _accepts_keyword(factory, "workers"):
+                kwargs.pop("workers", None)
             share = (
                 effective.share_partitions
                 if share_partitions is None

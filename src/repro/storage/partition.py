@@ -101,6 +101,16 @@ class InputPartition:
         """Whether rows are gathered from a backing source on access."""
         return self._row_source is not None
 
+    @property
+    def row_ids(self):
+        """Global row ids of a lazily-backed partition (``None`` when eager).
+
+        Shard dispatch ships these ids instead of tuples: a worker process
+        holding its own mmap of the backing columnar source gathers the
+        same rows locally.
+        """
+        return self._row_ids
+
     def observe(self, values: Sequence[float]) -> None:
         """Widen the tight box to include one row's attribute vector."""
         tl, tu = self.tight_lower, self.tight_upper

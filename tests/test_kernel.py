@@ -355,3 +355,42 @@ class TestEmitSettled:
         while not kernel.finished:
             kernel.step()
         assert kernel.peek_rank() == 0.0
+
+
+class TestPicklableContract:
+    """StepReport / KernelSnapshot are picklable-by-contract plain data."""
+
+    def test_step_report_round_trips(self, small_bound):
+        import pickle
+
+        kernel = ProgXeEngine(small_bound, VirtualClock()).kernel()
+        reports = []
+        while not kernel.finished:
+            reports.append(kernel.step())
+        assert any(r.results for r in reports)
+        for report in reports:
+            clone = pickle.loads(pickle.dumps(report))
+            assert clone.kind == report.kind
+            assert clone.region_id == report.region_id
+            assert clone.step_index == report.step_index
+            assert clone.vtime == report.vtime
+            assert clone.charges == report.charges
+            assert isinstance(clone.charges, dict)
+            assert [r.key() for r in clone.results] == [
+                r.key() for r in report.results
+            ]
+            assert [r.outputs for r in clone.results] == [
+                r.outputs for r in report.results
+            ]
+
+    def test_snapshot_round_trips_and_copies_counts(self, small_bound):
+        import pickle
+
+        kernel = ProgXeEngine(small_bound, VirtualClock()).kernel()
+        kernel.step()
+        snap = kernel.snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone == snap
+        # The counts are a concrete copy, not a live view of the clock.
+        kernel.step()
+        assert snap.clock_counts != kernel.clock.snapshot()
