@@ -68,6 +68,7 @@ from repro.core import (
     ProgXeEngine,
     QueryPlan,
     StepReport,
+    StreamingKernel,
     VerificationReport,
     explain,
     progxe,
@@ -205,6 +206,7 @@ __all__ = [
     "StepReport",
     "StreamBudget",
     "StreamStats",
+    "StreamingKernel",
     "SupplyChainWorkload",
     "SyntheticWorkload",
     "Table",

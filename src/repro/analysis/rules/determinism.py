@@ -4,7 +4,8 @@ Pause/resume equivalence, cache-shared planning and the multi-backend
 equivalence suites all assert byte-identical step reports; a single wall
 clock read or unseeded RNG in kernel/plan code breaks them silently and
 only under load.  Inside the deterministic core (``core/``, ``skyline/``,
-``query/``, ``cache/``, ``data/``):
+``query/``, ``cache/``, ``data/``, and — since the streaming delta path
+made backends part of replan decisions — ``storage/``):
 
 * wall-clock reads (``time.time``, ``time.perf_counter``,
   ``datetime.now``, ...) are banned — virtual time comes from
@@ -74,15 +75,21 @@ class DeterminismChecker(Checker):
 
     rule_id = "determinism"
     description = (
-        "core/, skyline/, query/, cache/ and data/ must be deterministic: "
-        "no wall-clock reads, undocumented RNGs, or id()-derived ordering"
+        "core/, skyline/, query/, cache/, data/ and storage/ must be "
+        "deterministic: no wall-clock reads, undocumented RNGs, or "
+        "id()-derived ordering"
     )
+    # storage/ joined the scope with streaming ingestion: delta-scan
+    # cursors and arrival polls feed replan decisions, so a wall-clock
+    # read there would make patch-vs-invalidate outcomes time-dependent
+    # (no wall-clock-driven polling in core).
     scope: ClassVar[tuple[str, ...]] = (
         "repro/core/",
         "repro/skyline/",
         "repro/query/",
         "repro/cache/",
         "repro/data/",
+        "repro/storage/",
     )
 
     def check(self, module: ParsedModule) -> Iterator[Finding]:

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.cache.store import CacheStats, PartitionKey, PartitionStore
-from repro.storage.sources.base import DataSource
+from repro.storage.sources.base import DataSource, delta_start_row
 
 
 class PlanCache:
@@ -85,15 +85,63 @@ class PlanCache:
         :attr:`~repro.storage.sources.base.DataSource.cache_token` form
         the key.
         """
+        structure, outcome, _ = self.get_or_partition_outcome(
+            partitioner, table, attributes, join_attribute, source=source
+        )
+        return structure, outcome != "miss"
+
+    def get_or_partition_outcome(
+        self,
+        partitioner,
+        table: DataSource,
+        attributes: Sequence[str],
+        join_attribute: str,
+        *,
+        source: str | None = None,
+    ) -> tuple[object, str, int]:
+        """Like :meth:`get_or_partition` but returns ``(structure, outcome,
+        delta_rows)`` with outcome ``"hit"``, ``"patched"`` or ``"miss"``
+        (``delta_rows`` is the number of appended rows a patch consumed;
+        0 for hits and misses).
+
+        ``"patched"`` is the streaming path: the store held the same
+        partitioning over an older generation of the table, the source
+        proved an append-only delta from that generation
+        (:func:`~repro.storage.sources.base.delta_start_row`), and the
+        cached structure was *extended* with the appended rows via the
+        partitioner's ``partition_delta`` instead of rebuilt — queries
+        2..N over a growing table plan in delta time.  An unprovable delta
+        (non-append mutation) invalidates the stale generation and
+        rebuilds, exactly as before.
+        """
         key = self.key_for(
             partitioner, table, attributes, join_attribute, source=source
         )
-        return self.store.get_or_build(
+        patch = getattr(partitioner, "partition_delta", None)
+        delta_rows = 0
+
+        def patcher(old_key: PartitionKey, structure: object) -> bool:
+            nonlocal delta_rows
+            if patch is None:
+                return False
+            token = (old_key.table_uid, old_key.table_version, old_key.row_count)
+            if delta_start_row(table, token) is None:
+                return False
+            patch(
+                structure, table, attributes, join_attribute,
+                since_token=token, end_row=key.row_count,
+            )
+            delta_rows = max(0, key.row_count - old_key.row_count)
+            return True
+
+        structure, outcome = self.store.get_or_patch(
             key,
-            lambda: partitioner.partition(
+            patcher=patcher,
+            builder=lambda: partitioner.partition(
                 table, attributes, join_attribute, source=source
             ),
         )
+        return structure, outcome, delta_rows
 
     def invalidate(self, table: DataSource) -> int:
         """Drop every cached partitioning of ``table``; returns the count."""

@@ -120,16 +120,24 @@ class CacheStats:
     evictions: int = 0
     invalidations: int = 0
     entries: int = 0
+    #: Append-only delta patches applied in place of a rebuild: a stale
+    #: generation was *extended* with the appended rows and re-keyed,
+    #: rather than invalidated.  Counted separately from both hits and
+    #: misses — the patched-vs-invalidated split is what proves streaming
+    #: queries 2..N reuse work instead of replanning.
+    patched: int = 0
 
     @property
     def lookups(self) -> int:
-        """Total lookups served (hits + misses)."""
-        return self.hits + self.misses
+        """Total lookups served (hits + patches + misses)."""
+        return self.hits + self.patched + self.misses
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from cache (0.0 when none yet)."""
-        return self.hits / self.lookups if self.lookups else 0.0
+        """Fraction of lookups served from cache — patches count as
+        served (0.0 when none yet)."""
+        served = self.hits + self.patched
+        return served / self.lookups if self.lookups else 0.0
 
     def as_dict(self) -> dict[str, int | float]:
         """Plain-dict form for JSON reports and CLI output."""
@@ -138,6 +146,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "patched": self.patched,
             "entries": self.entries,
             "hit_rate": round(self.hit_rate, 4),
         }
@@ -169,6 +178,7 @@ class PartitionStore:
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        self._patched = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -205,6 +215,68 @@ class PartitionStore:
         self.put(key, structure)
         return structure, False
 
+    def _find_stale(self, key: PartitionKey) -> PartitionKey | None:
+        """An entry agreeing with ``key`` on every structural field but
+        holding a different (older) table generation — the candidate for an
+        append-only patch.  Prefers the generation with the most rows; the
+        store is small (bounded LRU), so a linear scan is fine.
+        """
+        best: PartitionKey | None = None
+        for old_key in self._entries:
+            if (
+                old_key != key
+                and old_key.table_uid == key.table_uid
+                and old_key.source == key.source
+                and old_key.attributes == key.attributes
+                and old_key.join_attribute == key.join_attribute
+                and old_key.partitioner == key.partitioner
+                and old_key.backend == key.backend
+            ):
+                if best is None or old_key.row_count > best.row_count:
+                    best = old_key
+        return best
+
+    def get_or_patch(
+        self,
+        key: PartitionKey,
+        *,
+        patcher: Callable[[PartitionKey, object], bool],
+        builder: Callable[[], object],
+    ) -> tuple[object, str]:
+        """Return ``(structure, outcome)`` — outcome ``"hit"``, ``"patched"``
+        or ``"miss"``.
+
+        The streaming-aware lookup: on a key miss, scan for a stale
+        generation of the same partitioning (same table/alias/attributes/
+        partitioner, older version token) and ask ``patcher(old_key,
+        structure)`` to extend it in place with the appended rows.  On
+        success the entry is **re-keyed** to ``key`` and counted as
+        *patched* — neither a hit nor a miss.  A patcher returning False
+        (the source cannot prove an append-only delta) drops the stale
+        generation (counted as an invalidation) and falls through to a
+        plain miss + build.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry, "hit"
+        old_key = self._find_stale(key)
+        if old_key is not None:
+            stale = self._entries[old_key]
+            if patcher(old_key, stale):
+                del self._entries[old_key]
+                self._entries[key] = stale
+                self._entries.move_to_end(key)
+                self._patched += 1
+                return stale, "patched"
+            del self._entries[old_key]
+            self._invalidations += 1
+        self._misses += 1
+        structure = builder()
+        self.put(key, structure)
+        return structure, "miss"
+
     def invalidate_table(self, table: DataSource) -> int:
         """Drop every entry built over ``table`` (any version); return count.
 
@@ -232,6 +304,7 @@ class PartitionStore:
             evictions=self._evictions,
             invalidations=self._invalidations,
             entries=len(self._entries),
+            patched=self._patched,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -23,6 +23,7 @@ from repro.core.output_grid import OutputCell, OutputGrid
 from repro.core.progdetermine import ExecutionState
 from repro.core.progorder import ProgOrder, RandomOrder
 from repro.core.regions import OutputRegion
+from repro.core.streaming import StreamingKernel
 from repro.core.tuple_level import process_region
 from repro.core.variants import (
     ALGORITHMS,
@@ -43,6 +44,7 @@ __all__ = [
     "KernelSnapshot",
     "QueryPlan",
     "StepReport",
+    "StreamingKernel",
     "default_input_cells",
     "default_output_cells",
     "VerificationReport",

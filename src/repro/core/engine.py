@@ -72,6 +72,7 @@ class ProgXeEngine:
         seed: int = 0,
         verify: bool = True,
         use_vectorized: bool = True,
+        follow: bool = False,
         cache: "PlanCache | None" = None,
         workers: int = 1,
     ) -> None:
@@ -86,6 +87,18 @@ class ProgXeEngine:
             )
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if follow and pushthrough:
+            raise ValueError(
+                "follow=True is incompatible with pushthrough: push-through "
+                "pruning snapshots the inputs, so appended rows could never "
+                "reach the running query"
+            )
+        if follow and workers > 1:
+            raise ValueError(
+                "follow=True is incompatible with workers > 1: sharded "
+                "execution snapshots the inputs into per-worker columnar "
+                "slices"
+            )
         self.bound = bound
         self.clock = clock or VirtualClock()
         self.ordering = ordering
@@ -96,6 +109,7 @@ class ProgXeEngine:
         self.seed = seed
         self.verify = verify
         self.use_vectorized = use_vectorized
+        self.follow = follow
         self.input_cells = input_cells
         self.output_cells = output_cells
         self.cache = cache
@@ -179,6 +193,7 @@ class ProgXeEngine:
             verify=self.verify,
             use_vectorized=self.use_vectorized,
             cache=cache,
+            follow=self.follow,
         )
 
     @property
@@ -210,10 +225,16 @@ class ProgXeEngine:
                 "of iterating run() twice"
             )
         plan = self.plan()
-        if self._shard is not None:
+        if self.follow:
+            from repro.core.streaming import StreamingKernel
+
+            kernel: ExecutionKernel = StreamingKernel(
+                plan, stats_sink=self.stats
+            )
+        elif self._shard is not None:
             from repro.parallel.sharded import ShardedKernel
 
-            kernel: ExecutionKernel = ShardedKernel(
+            kernel = ShardedKernel(
                 plan, self._shard, workers=self.workers,
                 stats_sink=self.stats,
             )

@@ -54,6 +54,10 @@ STEP_BOOTSTRAP = "bootstrap"
 STEP_REGION = "region"
 STEP_FINALIZE = "finalize"
 STEP_IDLE = "idle"
+#: Streaming only (:class:`~repro.core.streaming.StreamingKernel`): one
+#: arrival poll — absorb appended rows (or observe none) and integrate the
+#: resulting regions.
+STEP_INGEST = "ingest"
 
 
 class _StepBoundary:

@@ -34,6 +34,7 @@ from repro.baselines.pushthrough import prune_source
 from repro.core.lookahead import run_lookahead
 from repro.core.output_grid import OutputGrid
 from repro.core.regions import OutputRegion
+from repro.errors import QueryError
 from repro.query.smj import BoundQuery
 from repro.runtime.clock import VirtualClock
 from repro.storage.grid import GridPartitioner
@@ -43,6 +44,28 @@ from repro.storage.table import Table
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.cache.plan_cache import PlanCache
+
+
+@dataclass
+class StreamSide:
+    """One input side's delta-ingestion handle, retained by a follow plan.
+
+    Everything the :class:`~repro.core.streaming.StreamingKernel` needs to
+    absorb rows appended to ``table`` after planning: the partitioner that
+    built ``structure`` (so delta passes use identical geometry), the cache
+    the build went through (``None`` when the side bypassed it), and the
+    source's :attr:`~repro.storage.sources.base.DataSource.cache_token` at
+    build time — the cursor the first arrival poll resumes from.
+    """
+
+    table: DataSource
+    attributes: tuple[str, ...]
+    join_attribute: str
+    alias: str
+    partitioner: object
+    structure: object
+    cache: "PlanCache | None"
+    token: tuple
 
 
 def default_input_cells(source_dims: int) -> int:
@@ -105,6 +128,9 @@ class QueryPlan:
     #: a second kernel would silently produce an empty result set; the
     #: kernel constructor raises instead.
     consumed: bool = False
+    #: Per-side delta-ingestion handles, retained only when the plan was
+    #: built with ``follow=True`` (streaming mode); ``None`` otherwise.
+    stream_sides: "tuple[StreamSide, StreamSide] | None" = None
 
     @classmethod
     def build(
@@ -123,6 +149,7 @@ class QueryPlan:
         verify: bool = True,
         use_vectorized: bool = True,
         cache: "PlanCache | None" = None,
+        follow: bool = False,
     ) -> "QueryPlan":
         """Run phases 0–2 and return the finished plan.
 
@@ -135,7 +162,19 @@ class QueryPlan:
         the plan's :attr:`cache_events`.  Tables replaced by push-through
         pruning are always partitioned privately — they are fresh per-query
         objects no other plan can ever share.
+
+        ``follow=True`` builds a *streaming* plan: the per-side delta
+        handles (:class:`StreamSide`) are retained on the returned plan so
+        a :class:`~repro.core.streaming.StreamingKernel` can keep absorbing
+        appended rows after planning.  Incompatible with ``pushthrough``
+        (pruning snapshots the inputs, severing them from the live source).
         """
+        if follow and pushthrough:
+            raise QueryError(
+                "follow=True is incompatible with pushthrough: push-through "
+                "pruning snapshots the inputs, so appended rows could never "
+                "reach the running query"
+            )
         clock = clock or VirtualClock()
         prune_stats: dict[str, int] = {}
         cache_events: dict[str, int] = {}
@@ -177,6 +216,31 @@ class QueryPlan:
             cache if right_table is bound.right_table else None,
         )
 
+        stream_sides = None
+        if follow:
+            stream_sides = (
+                StreamSide(
+                    table=left_table,
+                    attributes=tuple(bound.left_map_attrs),
+                    join_attribute=bound.query.join.left_attr,
+                    alias=bound.left_alias,
+                    partitioner=partitioner_left,
+                    structure=left_grid,
+                    cache=cache if left_table is bound.left_table else None,
+                    token=left_table.cache_token,
+                ),
+                StreamSide(
+                    table=right_table,
+                    attributes=tuple(bound.right_map_attrs),
+                    join_attribute=bound.query.join.right_attr,
+                    alias=bound.right_alias,
+                    partitioner=partitioner_right,
+                    structure=right_grid,
+                    cache=cache if right_table is bound.right_table else None,
+                    token=right_table.cache_token,
+                ),
+            )
+
         # Phase 2: output-space look-ahead.
         k_out = output_cells or default_output_cells(
             bound.skyline_dimension_count
@@ -194,6 +258,7 @@ class QueryPlan:
             verify=verify,
             prune_stats=prune_stats,
             cache_events=cache_events,
+            stream_sides=stream_sides,
         )
 
 
@@ -211,7 +276,12 @@ def _partition_side(
 
     Charges ``partition_op`` per row on a build (the historical phase-1
     cost) and a single ``cache_op`` on a hit, recording the outcome in
-    ``cache_events``.
+    ``cache_events``.  A *patch* — the store held the partitioning over an
+    older generation of a table that proves an append-only delta, and the
+    cached structure was extended in place — charges one ``cache_op`` plus
+    ``partition_op`` for just the appended rows, and records
+    ``partition_patched``: planning cost scales with the delta, not the
+    table.
     """
     if cache is None:
         grid = partitioner.partition(
@@ -219,17 +289,33 @@ def _partition_side(
         )
         clock.charge("partition_op", len(table))
         return grid
-    grid, hit = cache.get_or_partition(
+    invalidations_before = cache.stats().invalidations
+    grid, outcome, delta_rows = cache.get_or_partition_outcome(
         partitioner, table, attributes, join_attribute, source=source
     )
-    if hit:
+    if outcome == "hit":
         clock.charge("cache_op")
         cache_events["partition_hits"] = cache_events.get("partition_hits", 0) + 1
+    elif outcome == "patched":
+        clock.charge("cache_op")
+        if delta_rows:
+            clock.charge("partition_op", delta_rows)
+        cache_events["partition_patched"] = (
+            cache_events.get("partition_patched", 0) + 1
+        )
     else:
         clock.charge("partition_op", len(table))
         cache_events["partition_misses"] = (
             cache_events.get("partition_misses", 0) + 1
         )
+        # A miss that dropped a stale generation on the way (the source
+        # could not prove an append-only delta) is the invalidation half
+        # of the patched-vs-invalidated split.
+        dropped = cache.stats().invalidations - invalidations_before
+        if dropped:
+            cache_events["partition_invalidated"] = (
+                cache_events.get("partition_invalidated", 0) + dropped
+            )
     return grid
 
 

@@ -53,6 +53,20 @@ class ExecutionState:
         self.active_region: OutputRegion | None = None
         self.newly_discarded: list[OutputRegion] = []
         self._emissions: list[CellEntry] = []
+        #: Streaming mode: while the arrival window is open a settled cell
+        #: may be *reopened* by a region built over later-arriving rows, so
+        #: "settled with an empty cone" is not yet proof of finality.  The
+        #: streaming kernel sets this flag to buffer every emission until
+        #: :meth:`release_emissions` declares arrivals over.
+        self.hold_emissions = False
+        #: Streaming mode: delta rows falling outside a frozen input-grid
+        #: domain are clamped into edge partitions, which breaks the
+        #: coordinate-granularity argument behind the strict-upper marking
+        #: shortcut (a clamped entry's true vector may exceed its cell's
+        #: box).  With this flag the marking stage tests full dominance of
+        #: the candidate over the cell's lower corner instead — sound for
+        #: clamped entries and equivalent for unclamped ones.
+        self.careful_marking = False
         # Statistics
         self.inserted = 0
         self.discarded_on_arrival = 0
@@ -80,6 +94,8 @@ class ExecutionState:
         emittable` — settled, unmarked, not yet emitted, and with an empty
         pending cone — so it is always safe to call.
         """
+        if self.hold_emissions:
+            return
         if cell.emittable:
             cell.emitted = True
             if cell.entries:
@@ -88,6 +104,18 @@ class ExecutionState:
                 # them already).
                 self.live_entries -= len(cell.entries)
                 self._emissions.extend(cell.entries)
+
+    def release_emissions(self) -> None:
+        """End the streaming hold: emit every cell that is now final.
+
+        Called by the streaming kernel once the arrival window has closed
+        and all regions are processed — from that point the ordinary
+        emittable condition is again proof of finality, so one sweep over
+        the grid emits everything the hold deferred.
+        """
+        self.hold_emissions = False
+        for cell in self.grid.cells.values():
+            self.emit_settled(cell)
 
     # ------------------------------------------------------------------
     # the three state transitions
@@ -135,6 +163,26 @@ class ExecutionState:
             for uc in cell.cone_upper:
                 uc.pending -= 1
                 self.emit_settled(uc)
+
+    def reopen_cell(self, cell: OutputCell) -> None:
+        """Streaming: a region over newly arrived rows covers ``cell`` again.
+
+        Undoes the settle — future tuples may map here after all — and
+        restores the cone's pending counts.  Only unemitted cells can be
+        reopened; the streaming kernel's emission hold guarantees that
+        while the arrival window is open.  Marked cells stay marked (their
+        domination witness remains valid whatever arrives later).
+        """
+        if cell.emitted:
+            raise ExecutionError(
+                f"attempt to reopen emitted cell {cell!r}; "
+                "the emission guarantee is broken"
+            )
+        if cell.marked or not cell.settled:
+            return
+        cell.settled = False
+        for uc in cell.cone_upper:
+            uc.pending += 1
 
     def complete_region(self, region: OutputRegion) -> None:
         """Release the region's coverage (Algorithm 2 lines 2–5)."""
@@ -224,11 +272,16 @@ class ExecutionState:
         # granularity): anything ever falling there is dominated by the
         # newcomer — with the value-level strictness guard for boundary
         # ties.
+        careful = self.careful_marking
         for sc in cell.strict_upper:
             if sc.marked:
                 continue
             clock.charge("partition_op")
             lower = sc.lower
+            if careful:
+                if dominates(vector, lower):
+                    self.mark_cell(sc)
+                continue
             strict = False
             for v, b in zip(vector, lower):
                 if v < b:
@@ -385,9 +438,12 @@ class ExecutionState:
             unmarked = [sc for sc in cell.strict_upper if not sc.marked]
             if unmarked:
                 clock.charge("partition_op", len(unmarked))
-                surv_min = surv.min(axis=0)
                 lowers = np.asarray([sc.lower for sc in unmarked], dtype=float)
-                to_mark = (surv_min[None, :] < lowers).any(axis=1)
+                if self.careful_marking:
+                    to_mark = dominates_matrix(surv, lowers).any(axis=0)
+                else:
+                    surv_min = surv.min(axis=0)
+                    to_mark = (surv_min[None, :] < lowers).any(axis=1)
                 for sc, hit in zip(unmarked, to_mark):
                     if hit and not sc.marked:
                         self.mark_cell(sc)

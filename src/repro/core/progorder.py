@@ -89,6 +89,15 @@ class ProgOrder:
         for new_root in self.graph.remove(region):
             self._push(new_root)
 
+    def add_region(self, region: OutputRegion) -> None:
+        """Streaming: enqueue a region created after construction.
+
+        Regions built over newly arrived rows enter the elimination graph
+        edge-free (in-degree 0), so they are roots by definition and go
+        straight onto the rank queue.
+        """
+        self._push(region)
+
     def peek_rank(self) -> float:
         """Rank of the best queued region, without any queue mutation.
 
@@ -136,6 +145,15 @@ class RandomOrder:
         # Keep the graph's degrees consistent for inspection, although
         # random ordering never consults them.
         self.graph.remove(region)
+
+    def add_region(self, region: OutputRegion) -> None:
+        """Streaming: append a late region in arrival order.
+
+        The ablation's shuffle covers the initial region set; regions
+        created by arrival polls are processed in the (deterministic)
+        order they were built.
+        """
+        self._order.append(region)
 
     def peek_rank(self) -> float:
         """Random ordering carries no benefit signal; always 0."""

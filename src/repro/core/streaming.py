@@ -1,0 +1,413 @@
+"""Streaming ingestion: executing a query while its inputs keep growing.
+
+The paper's pipeline assumes the inputs are fixed at planning time.  This
+module relaxes that to **append-only arrival**: a follow query plans over
+the rows present at submission and then keeps absorbing rows appended to
+either source while it runs, producing exactly the result set a one-shot
+query over the final table contents would — the differential-replay
+contract ``tests/test_streaming.py`` checks property-style.
+
+:class:`StreamingKernel` extends the step machine with one new scheduling
+unit, the *arrival poll* (:data:`~repro.core.kernel.STEP_INGEST`): whenever
+the region queue runs dry while the arrival window is open, the kernel
+compares each side's :attr:`~repro.storage.sources.base.DataSource.cache_token`
+against the cursor of its last absorption and, on growth, extends the
+side's input partitioning in place (through the shared
+:class:`~repro.cache.plan_cache.PlanCache` when the build went through one,
+so concurrent queries keep patching a single structure).  The fresh delta
+partitions generate join work for exactly the new pairs —
+``ΔL x (R ∪ ΔR)`` and ``L x ΔR`` — as new output regions wired into the
+existing output grid, elimination graph and ordering policy.
+
+Progressive safety under arrival needs two amendments to ProgDetermine:
+
+* **Emission hold** — a settled cell is no longer provably final: a later
+  arrival can create a region covering it again (the kernel *reopens* it,
+  restoring RegCount and the cone's pending counts).  All emissions are
+  therefore buffered until :meth:`StreamingKernel.close_ingest` ends the
+  window and the last region completes, at which point one sweep
+  (:meth:`~repro.core.progdetermine.ExecutionState.release_emissions`)
+  emits everything at once.
+* **Careful marking** — delta rows outside the frozen input-grid domain
+  clamp into edge partitions, so a mapped vector may exceed its output
+  cell's box; cell-granularity marking switches to full dominance tests
+  against the target cell's lower corner
+  (:attr:`~repro.core.progdetermine.ExecutionState.careful_marking`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.kernel import (
+    STEP_BOOTSTRAP,
+    STEP_INGEST,
+    STEP_REGION,
+    ExecutionKernel,
+    _StepBoundary,
+)
+from repro.core.output_grid import OutputCell
+from repro.core.plan import QueryPlan, StreamSide
+from repro.core.regions import OutputRegion
+from repro.errors import ExecutionError
+from repro.query.smj import ResultTuple
+from repro.storage.partition import InputPartition
+from repro.storage.sources.base import delta_start_row
+
+
+class StreamingKernel(ExecutionKernel):
+    """Step machine for follow queries over append-only growing sources.
+
+    Construction requires a *follow plan* (``QueryPlan.build(...,
+    follow=True)``), which retains the per-side delta handles.  The kernel
+    behaves exactly like :class:`~repro.core.kernel.ExecutionKernel` —
+    same step protocol, pause/resume, snapshots — with two differences:
+    results surface only after the arrival window closes (the streaming
+    emission hold), and stepping an otherwise-idle kernel performs an
+    arrival poll instead of finishing.
+
+    Example::
+
+        plan = QueryPlan.build(bound, follow=True)
+        kernel = StreamingKernel(plan)
+        kernel.step()                      # bootstrap
+        table.append_row({...})            # rows arrive mid-run
+        while kernel.step().kind != "ingest":
+            pass                           # absorbed on the next poll
+        kernel.close_ingest()              # end the arrival window
+        results = list(kernel.drain())     # the full final result set
+    """
+
+    def __init__(
+        self,
+        plan: QueryPlan,
+        *,
+        stats_sink: dict | None = None,
+    ) -> None:
+        if plan.stream_sides is None:
+            raise ExecutionError(
+                "StreamingKernel requires a follow plan; build it with "
+                "QueryPlan.build(..., follow=True)"
+            )
+        super().__init__(plan, stats_sink=stats_sink)
+        self._sides: list[StreamSide] = list(plan.stream_sides)
+        #: Per-side count of structure extensions already turned into
+        #: regions.  Extensions appended by *other* followers sharing the
+        #: cached structure advance the list but not this cursor, so each
+        #: kernel integrates every delta partition exactly once.
+        self._ext_seen = [len(s.structure.extensions) for s in self._sides]
+        self._ingest_open = True
+        self._next_rid = max(self.state.regions, default=-1) + 1
+        self.polls = 0
+        self.rows_ingested = 0
+        self.regions_added = 0
+        self.cells_reopened = 0
+        self.state.hold_emissions = True
+        self.state.careful_marking = True
+
+    # ------------------------------------------------------------------
+    # the arrival window
+    # ------------------------------------------------------------------
+    @property
+    def ingest_open(self) -> bool:
+        """Whether arrival polls still absorb appended rows."""
+        return self._ingest_open
+
+    def close_ingest(self) -> None:
+        """End the arrival window.
+
+        Every row appended *before* the close is still absorbed — the
+        event loop runs one final arrival poll once its region queue dries
+        up — and fully processed; once the last region completes the
+        kernel releases the emission hold and finishes.  Idempotent.
+        """
+        self._ingest_open = False
+
+    # ------------------------------------------------------------------
+    # polling
+    # ------------------------------------------------------------------
+    def poll_deltas(self) -> int:
+        """Absorb rows appended to either side; returns the row count.
+
+        A side whose ``cache_token`` still equals the last absorbed cursor
+        is skipped outright — no scan, no cache lookup, no store-counter
+        movement — so an empty poll costs one ``queue_op`` and nothing
+        else.  Grown sides are extended through the shared cache when the
+        plan used one (keeping the patched-generation chain intact for
+        queries 2..N), privately otherwise, and the fresh partitions are
+        integrated as new output regions.
+        """
+        self.polls += 1
+        self.clock.charge("queue_op")
+        old_sides: list[list[InputPartition]] = []
+        new_sides: list[list[InputPartition]] = []
+        for i, side in enumerate(self._sides):
+            old_sides.append(self._known_partitions(i))
+            token_now = side.table.cache_token
+            if token_now == side.token:
+                new_sides.append([])
+                continue
+            self._absorb(side, token_now)
+            side.token = token_now
+            extensions = side.structure.extensions
+            new_sides.append(list(extensions[self._ext_seen[i]:]))
+            self._ext_seen[i] = len(extensions)
+        rows = sum(len(p) for parts in new_sides for p in parts)
+        if rows:
+            self.rows_ingested += rows
+            self._integrate(old_sides, new_sides)
+        return rows
+
+    def _known_partitions(self, i: int) -> list[InputPartition]:
+        """All partitions of side ``i`` already turned into regions."""
+        structure = self._sides[i].structure
+        parts = structure.partitions
+        base = list(parts.values()) if isinstance(parts, dict) else list(parts)
+        return base + list(structure.extensions[: self._ext_seen[i]])
+
+    def _absorb(self, side: StreamSide, token_now: tuple) -> None:
+        """Extend ``side``'s partitioning to cover rows up to ``token_now``."""
+        table = side.table
+        if side.cache is not None:
+            structure, outcome, delta_rows = side.cache.get_or_partition_outcome(
+                side.partitioner, table, side.attributes, side.join_attribute,
+                source=side.alias,
+            )
+            if structure is side.structure:
+                # Either another follower already patched the shared
+                # structure to the current generation (a hit) or our
+                # request just did; both leave the delta partitions on
+                # ``extensions`` for the cursor to pick up.
+                self.clock.charge("cache_op")
+                if outcome == "patched" and delta_rows:
+                    self.clock.charge("partition_op", delta_rows)
+                return
+            # The store no longer hands out our structure (evicted, or an
+            # unprovable delta forced a rebuild); patch our copy privately.
+        if delta_start_row(table, side.token) is None:
+            raise ExecutionError(
+                f"source {table.name!r} mutated non-append-only while a "
+                "follow query was running; streaming ingestion requires "
+                "append-only arrival"
+            )
+        created = side.partitioner.partition_delta(
+            side.structure, table, side.attributes, side.join_attribute,
+            since_token=side.token, end_row=token_now[2],
+        )
+        self.clock.charge("partition_op", sum(len(p) for p in created))
+
+    # ------------------------------------------------------------------
+    # integrating a delta
+    # ------------------------------------------------------------------
+    def _integrate(
+        self,
+        old_sides: list[list[InputPartition]],
+        new_sides: list[list[InputPartition]],
+    ) -> None:
+        """Create and wire the output regions the delta pairs generate.
+
+        Exactly the pairs no prior region covers: ``ΔL x (R ∪ ΔR)`` plus
+        ``L x ΔR``.  Signature join pruning applies as in the base
+        look-ahead; region- and cell-level domination pruning are skipped —
+        they are optimisations, and the base grid's premarked cells keep
+        discarding whatever falls into them.
+        """
+        bound = self.bound
+        clock = self.clock
+        old_left, old_right = old_sides
+        new_left, new_right = new_sides
+        left_attrs = self._sides[0].structure.attributes
+        right_attrs = self._sides[1].structure.attributes
+        pairs = [
+            (lp, rp) for lp in new_left for rp in old_right + new_right
+        ] + [(lp, rp) for lp in old_left for rp in new_right]
+        regions: list[OutputRegion] = []
+        for lp, rp in pairs:
+            clock.charge("partition_op")
+            if not lp.signature.may_share(rp.signature):
+                continue
+            lower, upper = bound.region_box(
+                lp.attribute_intervals(left_attrs),
+                rp.attribute_intervals(right_attrs),
+            )
+            guaranteed = lp.signature.definitely_shares(rp.signature)
+            expected = lp.signature.expected_join_size(rp.signature)
+            regions.append(
+                OutputRegion(
+                    self._next_rid, lp, rp, lower, upper, expected, guaranteed
+                )
+            )
+            self._next_rid += 1
+        if regions:
+            self._wire_regions(regions)
+
+    def _wire_regions(self, regions: list[OutputRegion]) -> None:
+        """Wire new regions into the grid, graph and ordering policy.
+
+        Mirrors :func:`~repro.core.lookahead.build_output_grid` coverage
+        semantics over the *existing* output grid (region boxes beyond its
+        domain clamp into edge cells, matching where their clamped tuples
+        will land).  Settled unmarked cells a new region covers are
+        reopened; cells activated for the first time get incremental cone
+        wiring.  New regions enter the elimination graph edge-free, so the
+        policy treats them as roots.
+        """
+        grid = self.plan.grid
+        state = self.state
+        clock = self.clock
+        new_cells: list[OutputCell] = []
+        for region in regions:
+            cmin, cmax = grid.box_cell_range(region.lower, region.upper)
+            region.cell_min, region.cell_max = cmin, cmax
+            for coords in grid.iter_coords_in_range(cmin, cmax):
+                clock.charge("partition_op")
+                fresh = coords not in grid.cells
+                cell = grid.activate(coords)
+                if fresh:
+                    new_cells.append(cell)
+                elif cell.settled and not cell.marked:
+                    state.reopen_cell(cell)
+                    self.cells_reopened += 1
+                cell.reg_count += 1
+                cell.region_ids.append(region.rid)
+                region.covered.append(cell)
+            region.unmarked_covered = sum(
+                1 for c in region.covered if not c.marked
+            )
+        if new_cells:
+            self._wire_cones(new_cells)
+        # Register every region before ranking any: the benefit function
+        # walks shared cells' region_ids, which may already name a sibling
+        # from this same batch.
+        for region in regions:
+            state.regions[region.rid] = region
+            self.graph.regions[region.rid] = region
+        for region in regions:
+            self.policy.add_region(region)
+        self.regions_added += len(regions)
+
+    def _wire_cones(self, new_cells: list[OutputCell]) -> None:
+        """Incremental dominance-cone wiring for freshly activated cells.
+
+        Replicates :meth:`~repro.core.output_grid.OutputGrid.build_cones`
+        adjacency for the new cells against the existing unmarked
+        population and among themselves.  Existing cells gaining a new
+        (necessarily unsettled) cone_lower member get ``pending += 1``;
+        the new cells' own pending counts are computed from scratch.
+        """
+        grid = self.plan.grid
+        new_coords = {c.coords for c in new_cells}
+        old = [
+            c for c in grid.cells.values()
+            if not c.marked and c.coords not in new_coords
+        ]
+        nc = np.array([c.coords for c in new_cells], dtype=np.int32)
+        if old:
+            oc = np.array([c.coords for c in old], dtype=np.int32)
+            # New and old coords are always distinct, so <= without an
+            # equality carve-out is exactly the cone relation.
+            le_no = (nc[:, None, :] <= oc[None, :, :]).all(axis=2)
+            st_no = (nc[:, None, :] + 1 <= oc[None, :, :]).all(axis=2)
+            le_on = (oc[:, None, :] <= nc[None, :, :]).all(axis=2)
+            st_on = (oc[:, None, :] + 1 <= nc[None, :, :]).all(axis=2)
+            for i, cell in enumerate(new_cells):
+                for j in np.nonzero(le_no[i])[0]:
+                    other = old[j]
+                    cell.cone_upper.append(other)
+                    other.cone_lower.append(cell)
+                    other.pending += 1
+                cell.strict_upper.extend(
+                    old[j] for j in np.nonzero(st_no[i])[0]
+                )
+            for j, other in enumerate(old):
+                for i in np.nonzero(le_on[j])[0]:
+                    cell = new_cells[i]
+                    other.cone_upper.append(cell)
+                    cell.cone_lower.append(other)
+                strict = np.nonzero(st_on[j])[0]
+                if strict.size:
+                    other.strict_upper.extend(new_cells[i] for i in strict)
+        if len(new_cells) > 1:
+            le = (nc[:, None, :] <= nc[None, :, :]).all(axis=2)
+            eq = (nc[:, None, :] == nc[None, :, :]).all(axis=2)
+            st = (nc[:, None, :] + 1 <= nc[None, :, :]).all(axis=2)
+            upper = le & ~eq
+            for i, cell in enumerate(new_cells):
+                for j in np.nonzero(upper[i])[0]:
+                    cell.cone_upper.append(new_cells[j])
+                    new_cells[j].cone_lower.append(cell)
+                cell.strict_upper.extend(
+                    new_cells[j] for j in np.nonzero(st[i])[0]
+                )
+        for cell in new_cells:
+            cell.pending = sum(
+                1 for lc in cell.cone_lower if not lc.settled
+            )
+
+    # ------------------------------------------------------------------
+    # the streaming event loop
+    # ------------------------------------------------------------------
+    def _event_loop(self) -> Iterator[ResultTuple | _StepBoundary]:
+        bound = self.bound
+        state = self.state
+        policy = self.policy
+
+        # Bootstrap parity with the base kernel: the sweep runs, but the
+        # emission hold suppresses output (a cell settled by look-ahead
+        # may yet be reopened by an arrival).
+        for cell in self.plan.grid.cells.values():
+            if cell.settled and not cell.marked:
+                state.emit_settled(cell)
+        yield _StepBoundary(STEP_BOOTSTRAP, None)
+
+        while True:
+            region = policy.next_region()
+            if region is None:
+                if self._ingest_open:
+                    # Queue dry but the window is open: one arrival poll is
+                    # the scheduling unit.  The poll always charges the
+                    # clock, so a live follow query stays steppable.
+                    self.poll_deltas()
+                    yield _StepBoundary(STEP_INGEST, None)
+                    continue
+                # Window closed: a final poll catches rows appended before
+                # the close that no open-window poll observed (the common
+                # append -> close -> drain pattern).  Absorbed rows create
+                # regions, so loop back to process them.
+                if self.poll_deltas():
+                    yield _StepBoundary(STEP_INGEST, None)
+                    continue
+                break
+            if region.done:
+                continue
+            for _vector, lrow, rrow, mapped in self._process(region):
+                yield bound.make_result(lrow, rrow, mapped)
+            region.processed = True
+            self.regions_processed += 1
+            state.complete_region(region)
+            for _vector, lrow, rrow, mapped in state.drain_emissions():
+                yield bound.make_result(lrow, rrow, mapped)
+            policy.on_region_done(region)
+            for discarded in state.drain_discarded():
+                policy.on_region_done(discarded)
+            yield _StepBoundary(STEP_REGION, region.rid)
+
+        # The window is closed and every region is done: the ordinary
+        # emittable condition is proof of finality again — release.
+        state.release_emissions()
+        for _vector, lrow, rrow, mapped in state.drain_emissions():
+            yield bound.make_result(lrow, rrow, mapped)
+        self._finalize()
+
+    def _finalize(self) -> None:
+        super()._finalize()
+        self.stats.update(
+            {
+                "polls": self.polls,
+                "rows_ingested": self.rows_ingested,
+                "regions_added": self.regions_added,
+                "cells_reopened": self.cells_reopened,
+            }
+        )

@@ -215,9 +215,18 @@ class DeadlineGuard:
     limit is crossed.  Cancellation — not a budget stop — because a
     timeout is the *server* revoking service, and must free the admission
     slot even for a query paused under backpressure.
+
+    For a *follow* query (``follow=True``) expiry instead closes the
+    arrival window (:meth:`ScheduledQuery.close_ingest
+    <repro.session.scheduler.ScheduledQuery.close_ingest>`): the timeout
+    bounds how long the server keeps ingesting, but rows already absorbed
+    are still fully processed and the query completes normally.
     """
 
-    __slots__ = ("handle", "wall_limit", "vtime_limit", "_wall_start")
+    __slots__ = (
+        "handle", "wall_limit", "vtime_limit", "follow", "_wall_start",
+        "_ingest_closed",
+    )
 
     def __init__(
         self,
@@ -225,11 +234,14 @@ class DeadlineGuard:
         *,
         wall_limit: float | None,
         vtime_limit: float | None,
+        follow: bool = False,
     ) -> None:
         self.handle = handle
         self.wall_limit = wall_limit
         self.vtime_limit = vtime_limit
+        self.follow = follow
         self._wall_start = time.perf_counter()
+        self._ingest_closed = False
 
     def expired(self, now: float | None = None) -> str | None:
         """The timeout reason if a limit is crossed, else ``None``."""
@@ -251,9 +263,17 @@ class DeadlineGuard:
         return None
 
     def enforce(self, now: float | None = None) -> bool:
-        """Cancel the query through the scheduler if a limit is crossed."""
+        """Cancel (or, for follow queries, close) on a crossed limit."""
         reason = self.expired(now)
         if reason is None or self.handle.finished:
             return False
+        if self.follow:
+            # Close the arrival window once; the query then drains its
+            # absorbed rows to natural completion instead of being killed.
+            if self._ingest_closed:
+                return False
+            self._ingest_closed = True
+            self.handle.close_ingest()
+            return True
         self.handle.cancel(reason)
         return True

@@ -499,6 +499,7 @@ class QueryServer:
             handle,
             wall_limit=policy.wall_limit(request.timeout_wall_seconds),
             vtime_limit=policy.vtime_limit(request.timeout_vtime),
+            follow=request.follow,
         )
 
     async def _stream(self, served: ServedQuery, writer) -> None:

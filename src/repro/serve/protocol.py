@@ -56,6 +56,13 @@ _FLOAT_FIELDS = (
     "timeout_wall_seconds",
 )
 _INT_FIELDS = ("max_results", "max_comparisons", "progress_every")
+_BOOL_FIELDS = ("follow",)
+
+#: Query-string spellings accepted for boolean request fields.
+_BOOL_STRINGS = {
+    "true": True, "1": True, "yes": True, "on": True,
+    "false": False, "0": False, "no": False, "off": False,
+}
 
 
 @dataclass(frozen=True)
@@ -81,6 +88,13 @@ class QueryRequest:
         Admission-layer timeouts: when exceeded, the server *cancels* the
         query through the scheduler (state ``cancelled``, reason naming
         the timeout).  Server-side policy ceilings clamp these.
+    follow:
+        Streaming ingestion: keep the query's arrival window open so rows
+        appended to its source tables while it runs are absorbed (see
+        :attr:`repro.session.config.EngineConfig.follow`).  A follow query
+        only completes when its window closes — give it a timeout (the
+        server then *closes the window* rather than cancelling, so every
+        absorbed row is still fully processed) or close it explicitly.
     format:
         ``"ndjson"`` (default) or ``"sse"``.
     progress_every:
@@ -113,6 +127,7 @@ class QueryRequest:
     max_wall_seconds: float | None = None
     timeout_wall_seconds: float | None = None
     timeout_vtime: float | None = None
+    follow: bool = False
     format: str = "ndjson"
     progress_every: int = 0
     client: str | None = None
@@ -168,6 +183,8 @@ class QueryRequest:
             kwargs[field] = _coerce(mapping.get(field), float, field)
         for field in _INT_FIELDS:
             kwargs[field] = _coerce(mapping.get(field), int, field)
+        for field in _BOOL_FIELDS:
+            kwargs[field] = _coerce_bool(mapping.get(field), field)
         if kwargs.get("progress_every") is None:
             kwargs["progress_every"] = 0
         if isinstance(kwargs.get("config"), str):
@@ -201,7 +218,7 @@ class QueryRequest:
         applies.  Invalid preset names or override values surface as
         :class:`~repro.errors.ProtocolError`.
         """
-        if self.preset is None and self.config is None:
+        if self.preset is None and self.config is None and not self.follow:
             return None
         try:
             base = (
@@ -211,11 +228,27 @@ class QueryRequest:
             )
             if self.config:
                 base = base.with_options(**dict(self.config))
+            if self.follow:
+                base = base.with_options(follow=True)
             return base
         except TypeError as exc:
             raise ProtocolError(f"invalid engine config override: {exc}") from None
         except Exception as exc:  # QueryError from validation
             raise ProtocolError(str(exc)) from None
+
+
+def _coerce_bool(value: Any, field: str) -> bool:
+    """Coerce a boolean request field; query-string spellings accepted."""
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str) and value.lower() in _BOOL_STRINGS:
+        return _BOOL_STRINGS[value.lower()]
+    raise ProtocolError(
+        f"request field {field!r} must be a boolean "
+        f"(or one of {sorted(_BOOL_STRINGS)}), got {value!r}"
+    )
 
 
 def _coerce(

@@ -89,6 +89,7 @@ class QueryBuilder:
         self._preferences: list[Preference] = []
         self._filters: list[FilterCondition] = []
         self._passthrough: list[PassThrough] = []
+        self._follow = False
 
     # ------------------------------------------------------------------
     # sources
@@ -283,6 +284,19 @@ class QueryBuilder:
     # ------------------------------------------------------------------
     # execution sugar
     # ------------------------------------------------------------------
+    def follow(self, value: bool = True) -> "QueryBuilder":
+        """Execute in streaming (*follow*) mode.
+
+        The query stays open after planning and absorbs rows appended to
+        its source tables while it runs; close the arrival window with
+        :meth:`~repro.session.stream.ResultStream.close_ingest` to let it
+        finish.  Applied by :meth:`execute` on top of whatever engine
+        config is in effect (see
+        :attr:`~repro.session.config.EngineConfig.follow`).
+        """
+        self._follow = value
+        return self
+
     def execute(self, **kwargs):
         """Bind and execute through the owning session; see
         :meth:`~repro.session.service.Session.execute` for keywords."""
@@ -291,6 +305,15 @@ class QueryBuilder:
                 "builder is not attached to a session; use Session.query() "
                 "or bind() + run_algorithm()"
             )
+        if self._follow:
+            from repro.session.config import EngineConfig
+
+            config = kwargs.pop("config", None)
+            if config is None:
+                config = self._session.config
+            elif isinstance(config, str):
+                config = EngineConfig.preset(config)
+            kwargs["config"] = config.with_options(follow=True)
         return self._session.execute(self.bind(), **kwargs)
 
     def _need_sources(self, method: str) -> None:

@@ -45,6 +45,12 @@ class EngineConfig:
         Process partition-sized chunks through the columnar batch kernels
         (default).  ``False`` selects the per-tuple scalar path, kept as
         the reference implementation.
+    follow:
+        Streaming ingestion: keep the query open after planning and absorb
+        rows appended to its source tables while it runs (see
+        :class:`~repro.core.streaming.StreamingKernel`).  Incompatible with
+        ``pushthrough`` (pruning snapshots the inputs) and ``workers > 1``
+        (shards snapshot their columnar slices).
     workers:
         Worker processes for phase-2 joins (see :mod:`repro.parallel`).
         ``1`` (default) runs the solo in-process kernel; ``> 1`` shards
@@ -75,12 +81,25 @@ class EngineConfig:
     seed: int = 0
     verify: bool = True
     use_vectorized: bool = True
+    follow: bool = False
     workers: int = 1
     share_partitions: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise QueryError(f"workers must be >= 1, got {self.workers}")
+        if self.follow and self.pushthrough:
+            raise QueryError(
+                "follow=True is incompatible with pushthrough: push-through "
+                "pruning snapshots the inputs, so appended rows could never "
+                "reach the running query"
+            )
+        if self.follow and self.workers > 1:
+            raise QueryError(
+                "follow=True is incompatible with workers > 1: sharded "
+                "execution snapshots the inputs into per-worker columnar "
+                "slices"
+            )
         if self.signature_kind not in SIGNATURE_KINDS:
             raise QueryError(
                 f"signature_kind must be one of {SIGNATURE_KINDS}, "

@@ -201,6 +201,34 @@ class ScheduledQuery:
         if not self.finished:
             self._cancel_reason = reason
 
+    def close_ingest(self) -> None:
+        """Close a *follow* query's arrival window so it can complete.
+
+        Streaming queries (``EngineConfig(follow=True)``) poll their source
+        tables between regions and never finish while the window is open;
+        closing it lets the scheduler drive them to natural completion —
+        already-absorbed rows are still fully processed.  Unlike
+        :meth:`cancel`, the query terminates ``COMPLETED`` with its full,
+        verified result set.  Raises :class:`~repro.errors.QueryError` for
+        a non-follow query; a no-op once the query is finished.
+        """
+        if self.finished:
+            return
+        if self._stepper is None:
+            # Not yet dispatched: force the kernel into existence so the
+            # close request has something to land on.
+            self.state = RUNNING
+            self._stepper = QueryScheduler._make_stepper(
+                self.algorithm, self.clock
+            )
+        close = getattr(self._stepper, "close_ingest", None)
+        if close is None:
+            raise QueryError(
+                f"query {self.name!r} is not a follow query; submit with "
+                "EngineConfig(follow=True) to stream arrivals"
+            )
+        close()
+
     def stats(self) -> StreamStats:
         """Progressiveness snapshot, comparable to a solo stream's."""
         return StreamStats.capture(

@@ -282,10 +282,12 @@ class Session:
         if configurable:
             effective = config or self.config
             kwargs = effective.variant_kwargs()
-            # Narrow factories predating the sharding knob run solo rather
-            # than crash on an unexpected keyword.
+            # Narrow factories predating the sharding/streaming knobs run
+            # solo rather than crash on an unexpected keyword.
             if not _accepts_keyword(factory, "workers"):
                 kwargs.pop("workers", None)
+            if not _accepts_keyword(factory, "follow"):
+                kwargs.pop("follow", None)
             share = (
                 effective.share_partitions
                 if share_partitions is None

@@ -265,6 +265,41 @@ class ResultStream:
         if self._state == PENDING:
             self._finalize(CANCELLED, reason)
 
+    def close_ingest(self) -> None:
+        """Close a *follow* query's arrival window so it can finish.
+
+        Streaming executions (``EngineConfig(follow=True)``) keep polling
+        their source tables for appended rows and never complete on their
+        own; calling this ends the arrival window — already-absorbed rows
+        are still fully processed, then the stream completes.  Raises
+        :class:`~repro.errors.QueryError` when the underlying execution is
+        not a follow query.  Safe to call repeatedly; a no-op once the
+        stream is finished.
+        """
+        if self.finished:
+            return
+        kernel = getattr(self.algorithm, "execution_kernel", None)
+        if kernel is None:
+            # Lazy pull hasn't started the engine yet: force the kernel
+            # into existence and adopt its drain generator so iteration
+            # continues from it (run() would try to build a second kernel).
+            kernel_fn = getattr(self.algorithm, "kernel", None)
+            if kernel_fn is None:
+                raise QueryError(
+                    f"{self.name!r} is not a follow query: the algorithm "
+                    "exposes no resumable kernel"
+                )
+            kernel = kernel_fn()
+            self._gen = kernel.drain()
+            self._state = RUNNING
+        close = getattr(kernel, "close_ingest", None)
+        if close is None:
+            raise QueryError(
+                f"{self.name!r} is not a follow query; execute with "
+                "EngineConfig(follow=True) to stream arrivals"
+            )
+        close()
+
     # ------------------------------------------------------------------
     # callbacks (chainable)
     # ------------------------------------------------------------------

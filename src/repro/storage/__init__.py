@@ -25,6 +25,7 @@ from repro.storage.sources import (
     FilteredSource,
     InMemorySource,
     SQLiteSource,
+    delta_start_row,
     describe_source,
     is_data_source,
     is_source_uri,
@@ -55,6 +56,7 @@ __all__ = [
     "Schema",
     "Table",
     "build_signature",
+    "delta_start_row",
     "describe_source",
     "is_data_source",
     "is_source_uri",

@@ -30,7 +30,18 @@ from repro.storage.sources.base import DEFAULT_SCAN_BATCH, DataSource, Row
 
 
 class InputGrid:
-    """The grid over one input relation: cells, bounds and lookup."""
+    """The grid over one input relation: cells, bounds and lookup.
+
+    ``partitions`` holds the cells of the base build (keyed by grid
+    coordinates); ``extensions`` holds the partitions created by
+    append-only delta passes (:meth:`GridPartitioner.partition_delta`) in
+    arrival order.  Extensions are **never merged** into base cells — each
+    delta forms fresh partitions, so consumers that already joined the
+    base cells can pick up exactly the new work by remembering how many
+    extensions they have seen.  Iteration chains both, so a full rebuild
+    consumer (a new query planning over a patched cached grid) sees every
+    row exactly once.
+    """
 
     __slots__ = (
         "source",
@@ -40,6 +51,7 @@ class InputGrid:
         "maxs",
         "widths",
         "partitions",
+        "extensions",
     )
 
     def __init__(
@@ -60,6 +72,7 @@ class InputGrid:
             for lo, hi in zip(mins, maxs)
         )
         self.partitions: dict[tuple[int, ...], InputPartition] = {}
+        self.extensions: list[InputPartition] = []
 
     def cell_of(self, values: Sequence[float]) -> tuple[int, ...]:
         """Grid coordinates of an attribute-value vector.
@@ -88,15 +101,22 @@ class InputGrid:
 
     @property
     def partition_count(self) -> int:
-        """Number of non-empty cells."""
-        return len(self.partitions)
+        """Number of non-empty cells (base cells + delta extensions)."""
+        return len(self.partitions) + len(self.extensions)
 
     def total_rows(self) -> int:
-        """Total rows across all cells."""
-        return sum(len(p) for p in self.partitions.values())
+        """Total rows across all cells (base cells + delta extensions)."""
+        return sum(len(p) for p in self.partitions.values()) + sum(
+            len(p) for p in self.extensions
+        )
 
     def __iter__(self):
-        return iter(self.partitions.values())
+        return _chain_partitions(self.partitions.values(), self.extensions)
+
+
+def _chain_partitions(*groups):
+    for group in groups:
+        yield from group
 
 
 class GridPartitioner:
@@ -239,6 +259,93 @@ class GridPartitioner:
                 table, np.concatenate(chunks)
             )
         return grid
+
+    def partition_delta(
+        self,
+        grid: InputGrid,
+        table: DataSource,
+        attributes: Sequence[str],
+        join_attribute: str,
+        *,
+        since_token: tuple,
+        end_row: int | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH,
+    ) -> list[InputPartition]:
+        """Extend ``grid`` in place with the rows appended since ``since_token``.
+
+        The streaming patch pass: geometry is **frozen** (the base build's
+        mins/widths; out-of-domain arrivals clamp into edge cells while
+        tight boxes still observe the true values, so derived output
+        regions stay sound), and the delta rows form *fresh* partitions
+        appended to ``grid.extensions`` — never merged into existing cells,
+        which is what lets a running kernel add join work for exactly the
+        new rows.  ``since_token`` must be a token for which the source
+        proves an append-only delta (callers gate on
+        :func:`~repro.storage.sources.base.delta_start_row`); ``end_row``
+        bounds the pass against rows committed *after* the poll captured
+        its target token (externally written SQLite tables can grow
+        mid-scan).  Returns the created partitions, in creation order.
+        """
+        attr_idx = table.schema.indices(attributes)
+        table.schema.index(join_attribute)  # validate early
+        lazy = bool(getattr(table, "prefers_lazy_rows", False))
+        d = len(attr_idx)
+        k = self.cells_per_dim
+        lows = np.asarray(grid.mins)
+        widths = np.asarray(grid.widths)
+        created: list[InputPartition] = []
+        new_parts: dict[tuple[int, ...], InputPartition] = {}
+        lazy_chunks: dict[tuple[int, ...], list[np.ndarray]] = {}
+        for batch in table.scan_batches(
+            batch_size, columns=attributes, key_column=join_attribute,
+            with_rows=not lazy, since_version=since_token,
+        ):
+            take = len(batch)
+            if end_row is not None:
+                if batch.offset >= end_row:
+                    break
+                take = min(take, end_row - batch.offset)
+            m = batch.matrix(attr_idx)[:take]
+            coords_mat = ((m - lows) / widths).astype(np.int64)
+            np.clip(coords_mat, 0, k - 1, out=coords_mat)
+            flat = coords_mat[:, 0].copy()
+            for j in range(1, d):
+                flat *= k
+                flat += coords_mat[:, j]
+            order = np.argsort(flat, kind="stable")
+            sorted_flat = flat[order]
+            uniq, first_pos = np.unique(flat, return_index=True)
+            keys = batch.join_keys
+            rows = batch.rows
+            for u in uniq[np.argsort(first_pos, kind="stable")]:
+                lo_i = np.searchsorted(sorted_flat, u, side="left")
+                hi_i = np.searchsorted(sorted_flat, u, side="right")
+                members = order[lo_i:hi_i]  # ascending: scan order kept
+                coords = tuple(int(c) for c in coords_mat[members[0]])
+                part = new_parts.get(coords)
+                if part is None:
+                    lower, upper = grid.cell_bounds(coords)
+                    part = InputPartition(grid.source, coords, lower, upper)
+                    part.signature = self._new_signature()
+                    new_parts[coords] = part
+                    grid.extensions.append(part)
+                    created.append(part)
+                sub = m[members]
+                part.observe_bounds(
+                    sub.min(axis=0).tolist(), sub.max(axis=0).tolist()
+                )
+                sig = part.signature
+                for i in members:
+                    sig.add(keys[i])
+                if lazy:
+                    lazy_chunks.setdefault(coords, []).append(
+                        batch.global_ids(members)
+                    )
+                else:
+                    part.add_rows(rows[i] for i in members)
+        for coords, chunks in lazy_chunks.items():
+            new_parts[coords].set_lazy_rows(table, np.concatenate(chunks))
+        return created
 
 
 def project_rows(rows: Sequence[Row], indices: Sequence[int]) -> list[tuple[float, ...]]:

@@ -36,25 +36,37 @@ from repro.storage.sources.base import DEFAULT_SCAN_BATCH, DataSource, Row
 
 
 class QuadTreeIndex:
-    """The quad-tree over one input relation; iterates non-empty leaves."""
+    """The quad-tree over one input relation; iterates non-empty leaves.
+
+    ``partitions`` holds the base build's leaves; ``extensions`` holds
+    leaves created by append-only delta passes
+    (:meth:`QuadTreePartitioner.partition_delta`) in arrival order — a
+    small side-tree per delta, never merged into existing leaves, so a
+    running consumer picks up exactly the new work while iteration (base
+    then extensions) still covers every row exactly once.
+    """
 
     def __init__(self, source: str, attributes: tuple[str, ...]) -> None:
         self.source = source
         self.attributes = attributes
         self.partitions: list[InputPartition] = []
+        self.extensions: list[InputPartition] = []
         self.depth_used = 0
 
     @property
     def partition_count(self) -> int:
-        """Number of non-empty leaves."""
-        return len(self.partitions)
+        """Number of non-empty leaves (base leaves + delta extensions)."""
+        return len(self.partitions) + len(self.extensions)
 
     def total_rows(self) -> int:
-        """Total rows across leaves."""
-        return sum(len(p) for p in self.partitions)
+        """Total rows across leaves (base leaves + delta extensions)."""
+        return sum(len(p) for p in self.partitions) + sum(
+            len(p) for p in self.extensions
+        )
 
     def __iter__(self) -> Iterator[InputPartition]:
-        return iter(self.partitions)
+        yield from self.partitions
+        yield from self.extensions
 
 
 class QuadTreePartitioner:
@@ -158,6 +170,76 @@ class QuadTreePartitioner:
         builder.split(np.arange(len(values), dtype=np.intp), lower, upper,
                       depth=0, path=())
         return index
+
+    def partition_delta(
+        self,
+        index: QuadTreeIndex,
+        table: DataSource,
+        attributes: Sequence[str],
+        join_attribute: str,
+        *,
+        since_token: tuple,
+        end_row: int | None = None,
+        batch_size: int = DEFAULT_SCAN_BATCH,
+    ) -> list[InputPartition]:
+        """Extend ``index`` in place with the rows appended since ``since_token``.
+
+        The streaming patch pass: the delta rows get their own small
+        side-tree (bounded by the *delta's* bounding box) whose leaves are
+        appended to ``index.extensions`` — existing leaves are never
+        touched.  Leaf paths are prefixed with a unique negative
+        generation marker so they can never collide with base-tree paths.
+        ``end_row`` bounds the pass against rows committed after the poll
+        captured its token.  Returns the created leaves.
+        """
+        attr_idx = table.schema.indices(attributes)
+        table.schema.index(join_attribute)  # validate early
+        lazy = bool(getattr(table, "prefers_lazy_rows", False))
+
+        value_chunks: list[np.ndarray] = []
+        keys: list[Any] = []
+        rows: list[Row] | None = None if lazy else []
+        id_chunks: list[np.ndarray] = []
+        for batch in table.scan_batches(
+            batch_size, columns=attributes, key_column=join_attribute,
+            with_rows=not lazy, since_version=since_token,
+        ):
+            take = len(batch)
+            if end_row is not None:
+                if batch.offset >= end_row:
+                    break
+                take = min(take, end_row - batch.offset)
+            value_chunks.append(batch.matrix(attr_idx)[:take])
+            keys.extend(batch.join_keys[:take])
+            if lazy:
+                id_chunks.append(batch.global_ids()[:take])
+            else:
+                assert rows is not None
+                rows.extend(batch.rows[:take])
+        if not value_chunks:
+            return []
+        values = np.vstack(value_chunks)
+        if not len(values):
+            return []
+        row_ids = np.concatenate(id_chunks) if lazy else None
+
+        mins = values.min(axis=0)
+        maxs = values.max(axis=0)
+        lower = tuple(float(m) for m in mins)
+        upper = tuple(
+            float(hi) if hi > lo else float(lo) + 1.0
+            for lo, hi in zip(mins, maxs)
+        )
+        side = QuadTreeIndex(index.source, tuple(attributes))
+        builder = _TreeBuilder(
+            self, side, values, keys, rows, row_ids, table if lazy else None
+        )
+        generation = -(len(index.extensions) + 1)
+        builder.split(np.arange(len(values), dtype=np.intp), lower, upper,
+                      depth=0, path=(generation,))
+        index.extensions.extend(side.partitions)
+        index.depth_used = max(index.depth_used, side.depth_used)
+        return side.partitions
 
 
 class _TreeBuilder:

@@ -14,6 +14,7 @@ from repro.storage.sources.base import (
     DEFAULT_SCAN_BATCH,
     DataSource,
     Row,
+    delta_start_row,
     describe_source,
     is_data_source,
     rows_of,
@@ -38,6 +39,7 @@ __all__ = [
     "Row",
     "SCHEMES",
     "SQLiteSource",
+    "delta_start_row",
     "describe_source",
     "is_data_source",
     "is_source_uri",

@@ -50,6 +50,17 @@ Optional capabilities, discovered by ``getattr``:
 ``apply_filters(conditions)``
     Predicate push-down: return an equivalent source with the filter
     conditions applied (SQLite translates them to ``WHERE`` clauses).
+``delta_start_row(token)`` + ``scan_batches(..., since_version=token)``
+    Append-only delta scans for streaming ingestion.  ``delta_start_row``
+    takes a prior ``cache_token`` and returns the global row position
+    where the appended suffix starts **iff the source can prove** every
+    row before it is unchanged since the token was taken (same uid, no
+    non-append mutation in between); ``None`` means the delta cannot be
+    proven and callers must fall back to invalidation.  Passing the token
+    as ``since_version=`` to ``scan_batches`` then streams only that
+    suffix, with batch offsets still in *global* row positions.  Use the
+    module-level :func:`delta_start_row` helper rather than calling the
+    method directly — it handles sources without the capability.
 """
 
 from __future__ import annotations
@@ -144,6 +155,38 @@ def is_data_source(obj: object) -> bool:
         and hasattr(obj, "scan_batches")
         and hasattr(obj, "cache_token")
     )
+
+
+def delta_start_row(source: "DataSource", token: tuple | None) -> "int | None":
+    """Global row position where the append-only delta since ``token`` starts.
+
+    ``token`` is a ``cache_token`` captured earlier from (a source sharing
+    identity with) ``source``.  Returns the first row index of the suffix
+    appended since then **iff the source proves** all rows before it are
+    unchanged — same uid and no non-append mutation in between — so a
+    consumer holding state built over ``rows[:start]`` may extend it with
+    ``rows[start:]`` instead of rebuilding.  ``None`` (also for sources
+    without the capability, or a ``None`` token) means the delta cannot be
+    proven and the caller must fall back to full invalidation.
+
+    Example::
+
+        token = table.cache_token
+        table.extend_rows(new_rows)
+        delta_start_row(table, token)   # == row count at token time
+        table.touch()                   # non-append mutation
+        delta_start_row(table, table.cache_token)  # still fine (empty delta)
+    """
+    probe = getattr(source, "delta_start_row", None)
+    if probe is None or token is None:
+        return None
+    start = probe(token)
+    if start is None:
+        return None
+    start = int(start)
+    if not 0 <= start <= len(source):
+        return None
+    return start
 
 
 def rows_of(source: "DataSource") -> list[Row]:

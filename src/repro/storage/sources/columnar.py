@@ -331,6 +331,106 @@ class ColumnarFileSource:
         self._bump += 1
         return self
 
+    def refresh(self) -> "ColumnarFileSource":
+        """Re-read ``meta.json`` and drop cached memmaps.
+
+        Call after the on-disk dataset grew (:meth:`append_rows` from this
+        or another handle); memory-mapped column views are re-opened
+        lazily at the new length on next access.
+        """
+        with open(os.path.join(self.path, "meta.json")) as f:
+            meta = json.load(f)
+        self._count = int(meta["count"])
+        self._columns = {}
+        return self
+
+    def append_rows(self, rows: Iterable[Sequence[Any]]) -> "ColumnarFileSource":
+        """Append rows to the on-disk dataset in place; returns ``self``.
+
+        Column files are opened in append mode and utf8 offsets continue
+        from the current blob size, so every pre-existing byte stays where
+        it was — which is exactly what lets :meth:`delta_start_row` prove
+        an append-only delta from the file-stat version token (old files
+        still present, sizes only grew).  ``meta.json``'s count is
+        rewritten last and the handle :meth:`refresh`-es itself.
+
+        Validation stages first: a width mismatch anywhere leaves the
+        dataset untouched, and an empty iterable is a no-op (no version
+        change).
+        """
+        staged = []
+        for row in rows:
+            t = tuple(row)
+            if len(t) != len(self.schema):
+                raise SchemaError(
+                    f"row {t!r} has {len(t)} values but schema "
+                    f"{list(self.schema.columns)} has {len(self.schema)} columns"
+                )
+            staged.append(t)
+        if not staged:
+            return self
+        for i, kind in enumerate(self.kinds):
+            names = _column_filenames(i, self.schema.columns[i], kind)
+            paths = [os.path.join(self.path, n) for n in names]
+            values = [t[i] for t in staged]
+            if kind == "f8":
+                with open(paths[0], "ab") as f:
+                    np.asarray(values, dtype="<f8").tofile(f)
+            else:
+                pos = os.path.getsize(paths[1])
+                offsets = np.empty(len(values), dtype="<i8")
+                chunks = []
+                for j, value in enumerate(values):
+                    data = str(value).encode("utf-8")
+                    chunks.append(data)
+                    pos += len(data)
+                    offsets[j] = pos
+                with open(paths[0], "ab") as f:
+                    offsets.tofile(f)
+                with open(paths[1], "ab") as f:
+                    f.write(b"".join(chunks))
+        meta_path = os.path.join(self.path, "meta.json")
+        with open(meta_path) as f:
+            meta = json.load(f)
+        meta["count"] = int(meta["count"]) + len(staged)
+        with open(meta_path, "w") as f:
+            json.dump(meta, f, indent=1)
+        return self.refresh()
+
+    def delta_start_row(self, token: tuple) -> "int | None":
+        """Append-only delta start for ``token``, or ``None`` if unprovable.
+
+        Provable iff the token names this dataset, its manual-bump counter
+        matches, and every column file the token observed still exists
+        with a size **no smaller** than it had then — the append path only
+        ever grows files in place, so shrinkage or disappearance means a
+        rewrite and the prefix cannot be trusted.  ``meta.json`` is
+        exempt (appends rewrite it).  Prefer the module-level
+        :func:`~repro.storage.sources.base.delta_start_row` dispatcher.
+        """
+        if not isinstance(token, tuple) or len(token) != 3:
+            return None
+        uid, version, count = token
+        if uid != self.uid or not isinstance(count, int):
+            return None
+        if not 0 <= count <= self._count:
+            return None
+        if not isinstance(version, tuple) or len(version) != 2:
+            return None
+        old_stats, old_bump = version
+        if old_bump != self._bump:
+            return None
+        current_sizes = {
+            entry: st_size for entry, _, st_size in self.version[0]
+        }
+        for entry, _, size in old_stats:
+            if entry == "meta.json":
+                continue
+            current = current_sizes.get(entry)
+            if current is None or current < size:
+                return None
+        return count
+
     def describe(self) -> str:
         """One-line backend description (CLI ``serve`` prints this)."""
         return f"columnar(mmap:{self.path})"
@@ -380,10 +480,24 @@ class ColumnarFileSource:
         columns: Sequence[str] = (),
         key_column: str | None = None,
         with_rows: bool = True,
+        since_version: tuple | None = None,
     ) -> Iterator[ColumnBatch]:
-        """Stream the dataset; only touched columns are read from disk."""
+        """Stream the dataset; only touched columns are read from disk.
+
+        ``since_version`` (a prior :attr:`cache_token`) restricts the scan
+        to the appended suffix; batch offsets stay global row positions.
+        """
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        first = 0
+        if since_version is not None:
+            start_row = self.delta_start_row(since_version)
+            if start_row is None:
+                raise ValueError(
+                    f"source {self.name!r} cannot prove an append-only delta "
+                    f"since {since_version!r}"
+                )
+            first = start_row
         indices = self.schema.indices(columns)
         key_index = self.schema.index(key_column) if key_column else None
         width = len(self.schema)
@@ -393,7 +507,7 @@ class ColumnarFileSource:
                     f"column {self.schema.columns[i]!r} is utf8; only numeric "
                     "columns can be materialised as float arrays"
                 )
-        for start in range(0, self._count, batch_size):
+        for start in range(first, self._count, batch_size):
             stop = min(start + batch_size, self._count)
             arrays = {
                 i: np.asarray(self._column(i)[start:stop], dtype=float)

@@ -45,7 +45,7 @@ class InMemorySource:
         source.append_row((3, 8.25))   # validated; bumps the version token
     """
 
-    __slots__ = ("name", "schema", "rows", "_uid", "_version")
+    __slots__ = ("name", "schema", "rows", "_uid", "_version", "_append_barrier")
 
     kind = "memory"
 
@@ -57,6 +57,9 @@ class InMemorySource:
         self.rows: list[Row] = []
         self._uid = next(_SOURCE_UIDS)
         self._version = 0
+        # Version of the last *non-append* mutation: tokens older than this
+        # cannot prove an append-only delta (see ``delta_start_row``).
+        self._append_barrier = 0
         for row in rows:
             self.rows.append(self._validated(row))
 
@@ -123,10 +126,34 @@ class InMemorySource:
 
         Use after editing ``source.rows`` in place (same cardinality), so
         partition caches keyed on :attr:`cache_token` stop serving grids
-        built over the old values.
+        built over the old values.  Also raises the append barrier: prefix
+        rows may have changed, so tokens from before the touch can no
+        longer prove an append-only delta.
         """
         self._version += 1
+        self._append_barrier = self._version
         return self
+
+    def delta_start_row(self, token: tuple) -> "int | None":
+        """Append-only delta start for ``token``, or ``None`` if unprovable.
+
+        Provable iff the token names this source, its version falls in the
+        window ``[last non-append mutation, now]``, and its row count does
+        not exceed the current one — then every row before ``token``'s
+        count is untouched and the delta is exactly ``rows[count:]``.
+        Prefer the module-level
+        :func:`~repro.storage.sources.base.delta_start_row` dispatcher.
+        """
+        if not isinstance(token, tuple) or len(token) != 3:
+            return None
+        uid, version, count = token
+        if uid != self._uid or not isinstance(version, int) or not isinstance(count, int):
+            return None
+        if not self._append_barrier <= version <= self._version:
+            return None
+        if not 0 <= count <= len(self.rows):
+            return None
+        return count
 
     # ------------------------------------------------------------------
     # access
@@ -163,6 +190,9 @@ class InMemorySource:
         """
         self._uid = ("derived", base.uid, fingerprint)  # type: ignore[assignment]
         self._version = base.version
+        # Rows were freshly (re)built: only tokens from this same derived
+        # generation onwards can prove append-only deltas.
+        self._append_barrier = self._version
         return self
 
     def head(self, n: int = 5) -> list[Row]:
@@ -193,20 +223,32 @@ class InMemorySource:
         columns: Sequence[str] = (),
         key_column: str | None = None,
         with_rows: bool = True,
+        since_version: tuple | None = None,
     ):
         """Yield :class:`~repro.storage.column_batch.ColumnBatch` slices.
 
         Rows are always attached (they already live in RAM — slicing is
         free), so ``with_rows`` is accepted for protocol symmetry only.
+        ``since_version`` (a prior :attr:`cache_token`) restricts the scan
+        to the appended suffix; batch offsets stay global row positions.
         """
         from repro.storage.column_batch import ColumnBatch
 
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        first = 0
+        if since_version is not None:
+            start_row = self.delta_start_row(since_version)
+            if start_row is None:
+                raise ValueError(
+                    f"source {self.name!r} cannot prove an append-only delta "
+                    f"since {since_version!r}"
+                )
+            first = start_row
         indices = self.schema.indices(columns)
         key_index = self.schema.index(key_column) if key_column else None
         width = len(self.schema)
-        for start in range(0, len(self.rows), batch_size):
+        for start in range(first, len(self.rows), batch_size):
             batch = ColumnBatch(
                 self.rows[start:start + batch_size],
                 width,

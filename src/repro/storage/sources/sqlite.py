@@ -68,6 +68,15 @@ class SQLiteSource:
         An arbitrary ``SELECT`` whose result set becomes the relation.
     name:
         Relation name; defaults to the table name (or ``"sqlite"``).
+    append_only:
+        Declare that the underlying table only ever receives appends
+        (``INSERT`` of new rows, never ``UPDATE``/``DELETE``/reorder) for
+        as long as this handle is used.  Under that promise
+        :meth:`delta_start_row` can prove append-only deltas *across*
+        version-token changes — including commits by other connections
+        seen only through ``PRAGMA data_version`` — which is what lets a
+        streaming query follow an externally written table.  Without the
+        flag a changed version token always falls back to invalidation.
 
     Table-backed sources scan ``ORDER BY rowid`` so the row order is stable
     whatever access path SQLite chooses (WITHOUT ROWID tables fall back to
@@ -93,8 +102,10 @@ class SQLiteSource:
         table: str | None = None,
         query: str | None = None,
         name: str | None = None,
+        append_only: bool = False,
         _where: tuple = (),
     ) -> None:
+        self.append_only = bool(append_only)
         if (table is None) == (query is None):
             raise BindingError("SQLiteSource needs exactly one of table= or query=")
         if isinstance(database, sqlite3.Connection):
@@ -186,6 +197,32 @@ class SQLiteSource:
         self._bump += 1
         return self
 
+    def delta_start_row(self, token: tuple) -> "int | None":
+        """Append-only delta start for ``token``, or ``None`` if unprovable.
+
+        With an unchanged version token the delta is trivially empty
+        (provided the row count also matches — a mismatch means something
+        slipped past the version counters and is never trusted).  Across
+        version changes the proof needs the constructor's ``append_only``
+        promise: SQLite's counters say *that* the database changed, not
+        *how*, so only the caller's declaration makes the prefix
+        trustworthy.  Prefer the module-level
+        :func:`~repro.storage.sources.base.delta_start_row` dispatcher.
+        """
+        if not isinstance(token, tuple) or len(token) != 3:
+            return None
+        uid, version, count = token
+        if uid != self.uid or not isinstance(count, int) or count < 0:
+            return None
+        current = len(self)
+        if count > current:
+            return None
+        if version == self.version:
+            return count if count == current else None
+        if not self.append_only:
+            return None
+        return count
+
     def describe(self) -> str:
         """One-line backend description (CLI ``serve`` prints this)."""
         target = self.table if self.table else "<query>"
@@ -224,6 +261,7 @@ class SQLiteSource:
             table=self.table,
             query=None if self.table else self._select[len("SELECT * FROM ("):-1],
             name=self.name,
+            append_only=self.append_only,
             _where=tuple(pushed),
         )
         source.database = self.database
@@ -261,19 +299,35 @@ class SQLiteSource:
         columns: Sequence[str] = (),
         key_column: str | None = None,
         with_rows: bool = True,
+        since_version: tuple | None = None,
     ) -> Iterator[ColumnBatch]:
         """Stream the relation with ``fetchmany``; one batch resident at a time.
 
         SQLite hands us row tuples either way, so ``with_rows`` is accepted
-        for protocol symmetry only.
+        for protocol symmetry only.  ``since_version`` (a prior
+        :attr:`cache_token`) restricts the scan to the appended suffix via
+        ``OFFSET`` on the stable ``ORDER BY rowid`` scan; batch offsets
+        stay global row positions.
         """
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        first = 0
+        if since_version is not None:
+            start_row = self.delta_start_row(since_version)
+            if start_row is None:
+                raise ValueError(
+                    f"source {self.name!r} cannot prove an append-only delta "
+                    f"since {since_version!r}"
+                )
+            first = start_row
         indices = self.schema.indices(columns)
         key_index = self.schema.index(key_column) if key_column else None
         width = len(self.schema)
-        cursor = self.connection.execute(self._sql(), self._params())
-        offset = 0
+        sql = self._sql()
+        if first:
+            sql += f" LIMIT -1 OFFSET {int(first)}"
+        cursor = self.connection.execute(sql, self._params())
+        offset = first
         while True:
             rows = cursor.fetchmany(batch_size)
             if not rows:

@@ -321,7 +321,7 @@ class TestSessionSharing:
         assert stream.stats().partition_cache is None
         assert session.plan_cache.stats().lookups == 0
 
-    def test_mutation_invalidates_cached_partitions(self):
+    def test_append_patches_cached_partitions(self):
         workload = SyntheticWorkload(
             distribution="independent", n=100, d=2, sigma=0.05, seed=9
         )
@@ -330,8 +330,9 @@ class TestSessionSharing:
         session.execute(bound).drain()
         assert session.plan_cache.stats().misses == 2
 
-        # Mutate the left table through the version-bumping API: the next
-        # query must re-partition (miss), not read stale grids.
+        # Append through the version-bumping API: the source proves an
+        # append-only delta, so the next query *patches* the cached grid
+        # with the new row instead of rebuilding it.
         left = bound.left_table
         row = list(left.rows[0])
         row[0] = -1  # fresh id
@@ -339,11 +340,43 @@ class TestSessionSharing:
         stream = session.execute(bound)
         stream.drain()
         assert stream.stats().partition_cache == {
-            "partition_hits": 1, "partition_misses": 1
+            "partition_hits": 1, "partition_patched": 1
         }
+        stats = session.plan_cache.stats()
+        assert stats.patched == 1 and stats.invalidations == 0
 
-        # The fresh partitioning sees the appended row: equal to a fully
+        # The patched partitioning sees the appended row: equal to a fully
         # private run over the mutated table.
+        private = Session(config=EngineConfig(share_partitions=False))
+        check = private.execute(bound)
+        check.drain()
+        assert [r.key() for r in stream.results] == [
+            r.key() for r in check.results
+        ]
+
+    def test_nonappend_mutation_invalidates_cached_partitions(self):
+        workload = SyntheticWorkload(
+            distribution="independent", n=100, d=2, sigma=0.05, seed=9
+        )
+        session = self.make_session(workload)
+        bound = workload.bound()
+        session.execute(bound).drain()
+
+        # An in-place edit (touch) raises the append barrier: no delta is
+        # provable, so the next query re-partitions (miss), not patches.
+        left = bound.left_table
+        left.rows[0] = tuple([-1] + list(left.rows[0])[1:])
+        left.touch()
+        stream = session.execute(bound)
+        stream.drain()
+        assert stream.stats().partition_cache == {
+            "partition_hits": 1,
+            "partition_misses": 1,
+            "partition_invalidated": 1,
+        }
+        stats = session.plan_cache.stats()
+        assert stats.patched == 0 and stats.invalidations == 1
+
         private = Session(config=EngineConfig(share_partitions=False))
         check = private.execute(bound)
         check.drain()

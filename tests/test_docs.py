@@ -40,6 +40,7 @@ EXAMPLE_REQUIRED = [
     "AlgorithmRegistry",
     "ProgXeEngine",
     "ExecutionKernel",
+    "StreamingKernel",
     "QueryPlan",
     "PlanCache",
     "PartitionStore",

@@ -42,6 +42,7 @@ from repro.storage.sources import (
     FilteredSource,
     InMemorySource,
     SQLiteSource,
+    delta_start_row,
     is_data_source,
     is_source_uri,
     open_source,
@@ -705,3 +706,164 @@ def test_cli_source_flags(tmp_path, capsys):
     assert out.count("columnar(mmap:") >= 4  # printed per query
     with pytest.raises(SystemExit):
         main(["run", "-n", "80", "--source", "X=columnar:nope"])
+
+
+# ----------------------------------------------------------------------
+# delta-scan conformance: the streaming-ingestion contract
+# ----------------------------------------------------------------------
+NEW_ROWS_A = [("r5", "J3", 3.5, 18.0), ("r6", "J1", 6.0, 9.5)]
+NEW_ROWS_B = [("r7", "J2", 0.75, 27.0)]
+
+#: Backends with the append-only delta capability (``delta_start_row`` +
+#: ``scan_batches(since_version=...)``).
+DELTA_BACKENDS = ["memory", "table", "columnar", "sqlite"]
+
+
+def make_delta_source(backend: str, tmp_path):
+    """``(source, append, mutate)`` for the delta conformance suite.
+
+    ``append`` adds rows through the backend's own append path; ``mutate``
+    performs a non-append (in-place) mutation, or is ``None`` where the
+    backend's constructor promise rules those out (sqlite with
+    ``append_only=True``).
+    """
+    if backend in ("memory", "table"):
+        src = make_source(backend, tmp_path)
+        return src, src.extend_rows, src.touch
+    if backend == "columnar":
+        src = make_source(backend, tmp_path)
+        return src, src.append_rows, src.touch
+    if backend == "sqlite":
+        db = tmp_path / "delta.sqlite"
+        conn = sqlite3.connect(db)
+        SQLiteSource.write_table(conn, "R", (COLUMNS, ROWS))
+        conn.close()
+        src = SQLiteSource(db, table="R", append_only=True)
+
+        def append(rows, src=src):
+            for row in rows:
+                src.execute("INSERT INTO R VALUES (?, ?, ?, ?)", row)
+            src.connection.commit()
+
+        return src, append, None
+    raise AssertionError(backend)
+
+
+def delta_rows_and_spans(src, token, batch_size=2):
+    """Rows + ``(offset, length)`` spans of a ``since_version`` scan."""
+    rows, spans = [], []
+    for batch in src.scan_batches(batch_size, since_version=token):
+        rows.extend(tuple(r) for r in batch.rows)
+        spans.append((batch.offset, len(batch.rows)))
+    return rows, spans
+
+
+@pytest.mark.parametrize("backend", DELTA_BACKENDS)
+class TestDeltaScanConformance:
+    """Every delta-capable backend satisfies the same since_version contract."""
+
+    def test_empty_delta_is_a_noop(self, backend, tmp_path):
+        src, _, _ = make_delta_source(backend, tmp_path)
+        token = src.cache_token
+        assert delta_start_row(src, token) == len(src)
+        assert list(src.scan_batches(since_version=token)) == []
+
+    def test_deltas_compose(self, backend, tmp_path):
+        """since token0 == A+B; since token1 == B; offsets stay global."""
+        src, append, _ = make_delta_source(backend, tmp_path)
+        base = len(src)
+        token0 = src.cache_token
+        append(NEW_ROWS_A)
+        token1 = src.cache_token
+        append(NEW_ROWS_B)
+
+        assert delta_start_row(src, token0) == base
+        assert delta_start_row(src, token1) == base + len(NEW_ROWS_A)
+
+        rows0, spans0 = delta_rows_and_spans(src, token0)
+        assert rows0 == NEW_ROWS_A + NEW_ROWS_B
+        rows1, spans1 = delta_rows_and_spans(src, token1)
+        assert rows1 == NEW_ROWS_B
+
+        # Batch offsets are global row positions, contiguous from the
+        # delta start — a consumer can extend prefix state in place.
+        for spans, start in ((spans0, base), (spans1, base + len(NEW_ROWS_A))):
+            position = start
+            for offset, length in spans:
+                assert offset == position
+                position += length
+            assert position == len(src)
+
+    def test_version_tokens_are_monotone(self, backend, tmp_path):
+        """Each append yields a fresh token, row counts strictly grow, and
+        every earlier token still proves its delta from the latest state."""
+        src, append, _ = make_delta_source(backend, tmp_path)
+        tokens = [src.cache_token]
+        append(NEW_ROWS_A)
+        tokens.append(src.cache_token)
+        append(NEW_ROWS_B)
+        tokens.append(src.cache_token)
+
+        counts = [t[2] for t in tokens]
+        assert counts == [len(ROWS), len(ROWS) + 2, len(ROWS) + 3]
+        assert len(set(tokens)) == len(tokens)
+        assert all(t[0] == tokens[0][0] for t in tokens)  # stable uid
+        for token, count in zip(tokens, counts):
+            assert delta_start_row(src, token) == count
+
+    def test_empty_append_changes_nothing(self, backend, tmp_path):
+        src, append, _ = make_delta_source(backend, tmp_path)
+        token = src.cache_token
+        append([])
+        assert src.cache_token == token
+        assert delta_start_row(src, token) == len(src)
+
+    def test_foreign_token_is_rejected(self, backend, tmp_path):
+        """A token from a different source identity can never prove a delta."""
+        src, _, _ = make_delta_source(backend, tmp_path)
+        other = Table.from_rows("R", COLUMNS, ROWS)
+        assert delta_start_row(src, other.cache_token) is None
+        assert delta_start_row(src, None) is None
+
+
+class TestDeltaFallback:
+    """Non-append mutations must fall back to full invalidation."""
+
+    @pytest.mark.parametrize("backend", ["memory", "table", "columnar"])
+    def test_non_append_mutation_breaks_the_proof(self, backend, tmp_path):
+        src, append, mutate = make_delta_source(backend, tmp_path)
+        token = src.cache_token
+        append(NEW_ROWS_A)
+        assert delta_start_row(src, token) == len(ROWS)
+        mutate()  # in-place mutation: the prefix is no longer trusted
+        assert delta_start_row(src, token) is None
+        with pytest.raises(ValueError, match="append-only"):
+            list(src.scan_batches(since_version=token))
+        # A token captured *after* the mutation proves deltas again.
+        fresh = src.cache_token
+        append(NEW_ROWS_B)
+        assert delta_start_row(src, fresh) == len(ROWS) + len(NEW_ROWS_A)
+
+    def test_sqlite_without_promise_falls_back(self, tmp_path):
+        """Any version change on a plain SQLiteSource is unprovable: SQL
+        can mutate in place, so only the ``append_only=True`` constructor
+        promise lets the proof survive."""
+        db = tmp_path / "plain.sqlite"
+        conn = sqlite3.connect(db)
+        SQLiteSource.write_table(conn, "R", (COLUMNS, ROWS))
+        conn.close()
+        src = SQLiteSource(db, table="R")  # no append-only promise
+        token = src.cache_token
+        src.execute("INSERT INTO R VALUES (?, ?, ?, ?)", NEW_ROWS_A[0])
+        src.connection.commit()
+        assert delta_start_row(src, token) is None
+
+    def test_sqlite_append_only_promise_keeps_proving(self, tmp_path):
+        src, append, _ = make_delta_source("sqlite", tmp_path)
+        token = src.cache_token
+        append(NEW_ROWS_A)
+        assert delta_start_row(src, token) == len(ROWS)
+
+    def test_source_without_capability_returns_none(self, tmp_path):
+        filtered = make_source("filtered-columnar", tmp_path)
+        assert delta_start_row(filtered, filtered.cache_token) is None
