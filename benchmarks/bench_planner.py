@@ -1,0 +1,177 @@
+"""Benchmark: the cost-based planner against hand-configured sweeps.
+
+Three claims, all asserted unconditionally on every run:
+
+* **Result identity** — every configuration in the sweep, the planner's
+  ``auto`` choice included, emits exactly the same result set.  Planning
+  is advisory, never semantic.
+
+* **Auto is near-optimal** — per workload, the planner-driven engine's
+  total virtual time lands within **1.25×** of the best hand-tuned
+  configuration in the sweep, without having seen the workload before
+  (cold statistics, no feedback).
+
+* **Misconfiguration hurts** — per workload, the worst configuration in
+  the same sweep costs at least **2×** the planner's choice.  This is
+  the gap that makes choosing well worth automating: a fixed default
+  granularity that wins on one distribution loses on another.
+
+The sweep crosses grid granularities 1–16 with quadtree partitioning at
+two leaf capacities, over the paper's three correlation regimes
+(independent, correlated, anticorrelated — §VI-A).  Everything runs on
+the deterministic virtual clock, so the ratios reproduce exactly on any
+machine.
+
+Results land in ``BENCH_planner.json`` at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_planner.py          # full
+    PYTHONPATH=src python benchmarks/bench_planner.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.core.engine import ProgXeEngine
+from repro.data.workloads import SyntheticWorkload
+from repro.planner import Planner
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_planner.json"
+SEED = 20100301  # shared with the figure benches
+
+#: The hand-configured sweep: sensible choices and misconfigurations
+#: alike.  (config label, engine kwargs.)
+SWEEP = [
+    ("grid/cells=1", {"partitioning": "grid", "input_cells": 1}),
+    ("grid/cells=2", {"partitioning": "grid", "input_cells": 2}),
+    ("grid/cells=4", {"partitioning": "grid", "input_cells": 4}),
+    ("grid/cells=8", {"partitioning": "grid", "input_cells": 8}),
+    ("grid/cells=16", {"partitioning": "grid", "input_cells": 16}),
+    ("quadtree/leaf=16", {"partitioning": "quadtree", "leaf_capacity": 16}),
+    ("quadtree/leaf=64", {"partitioning": "quadtree", "leaf_capacity": 64}),
+]
+
+#: Auto must land within this factor of the best sweep entry.
+NEAR_OPTIMAL = 1.25
+#: The worst sweep entry must cost at least this factor over auto.
+MISCONFIG_GAP = 2.0
+
+
+def run_engine(bound, **kwargs):
+    """Run to completion; return (sorted result keys, total vtime)."""
+    engine = ProgXeEngine(bound, **kwargs)
+    keys = sorted(result.key() for result in engine.run())
+    return keys, engine.clock.now()
+
+
+def race(workload: SyntheticWorkload) -> dict:
+    """One workload: the full sweep vs a cold planner-driven run."""
+    auto_keys, auto_vtime = run_engine(
+        workload.bound(), planner=Planner()
+    )
+    decision_engine = ProgXeEngine(workload.bound(), planner=Planner())
+    for _ in decision_engine.run():
+        pass
+    decision = decision_engine.plan_decision
+    assert decision is not None
+
+    sweep = {}
+    for label, kwargs in SWEEP:
+        keys, vtime = run_engine(workload.bound(), **kwargs)
+        assert keys == auto_keys, (
+            f"{workload.distribution}: {label} and auto disagree on the "
+            f"result set ({len(keys)} vs {len(auto_keys)} results)"
+        )
+        sweep[label] = vtime
+
+    best_label = min(sweep, key=sweep.get)
+    worst_label = max(sweep, key=sweep.get)
+    near = auto_vtime / sweep[best_label]
+    gap = sweep[worst_label] / auto_vtime
+    assert near <= NEAR_OPTIMAL, (
+        f"{workload.distribution}: auto vtime {auto_vtime:.0f} is "
+        f"{near:.3f}x the best sweep entry {best_label} "
+        f"({sweep[best_label]:.0f}); the gate is {NEAR_OPTIMAL}x"
+    )
+    assert gap >= MISCONFIG_GAP, (
+        f"{workload.distribution}: worst sweep entry {worst_label} "
+        f"({sweep[worst_label]:.0f}) is only {gap:.3f}x auto "
+        f"({auto_vtime:.0f}); the gate is {MISCONFIG_GAP}x"
+    )
+    return {
+        "distribution": workload.distribution,
+        "n": workload.n,
+        "d": workload.d,
+        "results": len(auto_keys),
+        "auto": {
+            "vtime": auto_vtime,
+            "partitioning": decision.partitioning,
+            "input_cells": decision.input_cells,
+            "batch_size": decision.batch_size,
+        },
+        "sweep_vtime": sweep,
+        "best": best_label,
+        "worst": worst_label,
+        "auto_over_best": round(near, 4),
+        "worst_over_auto": round(gap, 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI scale: smaller workloads, same gates")
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_independent, n_other = 280, 160
+    else:
+        n_independent, n_other = 400, 300
+    workloads = [
+        SyntheticWorkload(distribution="independent", n=n_independent,
+                          d=2, sigma=0.05, seed=SEED),
+        SyntheticWorkload(distribution="correlated", n=n_other,
+                          d=2, sigma=0.05, seed=SEED),
+        SyntheticWorkload(distribution="anticorrelated", n=n_other,
+                          d=2, sigma=0.05, seed=SEED),
+    ]
+    races = [race(workload) for workload in workloads]
+
+    payload = {
+        "benchmark": "planner",
+        "smoke": args.smoke,
+        "seed": SEED,
+        "gates": {
+            "near_optimal": NEAR_OPTIMAL,
+            "misconfig_gap": MISCONFIG_GAP,
+        },
+        "claims": [
+            "every sweep configuration and auto emit the same result set",
+            f"auto vtime is within {NEAR_OPTIMAL}x of the best sweep "
+            "entry per workload",
+            f"the worst sweep entry costs >= {MISCONFIG_GAP}x auto per "
+            "workload",
+        ],
+        "workloads": races,
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    for row in races:
+        print(f"{row['distribution']:>15}: auto={row['auto']['vtime']:.0f} "
+              f"({row['auto']['partitioning']}/"
+              f"cells={row['auto']['input_cells']}) "
+              f"best={row['best']} x{row['auto_over_best']} "
+              f"worst={row['worst']} x{row['worst_over_auto']}")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

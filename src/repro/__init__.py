@@ -65,18 +65,27 @@ from repro.core import (
     ExecutionKernel,
     ExplainReport,
     KernelSnapshot,
+    PlanningReport,
     ProgXeEngine,
     QueryPlan,
     StepReport,
     StreamingKernel,
     VerificationReport,
     explain,
+    explain_estimates,
     progxe,
     progxe_no_order,
     progxe_plus,
     progxe_plus_no_order,
     trace,
     verify_results,
+)
+from repro.planner import (
+    CostModel,
+    PlanDecision,
+    Planner,
+    SourceStatistics,
+    StatisticsStore,
 )
 from repro.data import (
     RefinementWorkload,
@@ -163,6 +172,7 @@ __all__ = [
     "ChainJoin",
     "ComparisonReport",
     "Const",
+    "CostModel",
     "EngineConfig",
     "ExecutionError",
     "ExecutionKernel",
@@ -182,6 +192,9 @@ __all__ = [
     "PartitionKey",
     "PartitionStore",
     "PlanCache",
+    "PlanDecision",
+    "Planner",
+    "PlanningReport",
     "Preference",
     "ProgXeEngine",
     "ProgressRecorder",
@@ -203,6 +216,8 @@ __all__ = [
     "SchedulerConfig",
     "SkylineSortMergeJoin",
     "SortedAccessJoin",
+    "SourceStatistics",
+    "StatisticsStore",
     "StepReport",
     "StreamBudget",
     "StreamStats",
@@ -225,6 +240,7 @@ __all__ = [
     "default_registry",
     "dominates",
     "explain",
+    "explain_estimates",
     "highest",
     "lowest",
     "parse_query",

@@ -53,6 +53,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -516,10 +517,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    from repro.core.explain import explain
+    from repro.core.explain import explain, explain_estimates
 
-    bound = _workload(args).bound()
-    print(explain(bound).render(top=args.top))
+    workload = _workload(args)
+    if args.no_run:
+        if args.format == "json":
+            print("--format json requires the estimate report", file=sys.stderr)
+            return 2
+        print(explain(workload.bound()).render(top=args.top))
+        return 0
+    report = explain_estimates(workload.bound())
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+    print(explain(workload.bound()).render(top=args.top))
+    print()
+    print(report.render())
     return 0
 
 
@@ -748,11 +761,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.set_defaults(fn=_cmd_generate)
 
     p_explain = sub.add_parser(
-        "explain", help="show the ProgXe plan for a workload (no execution)"
+        "explain",
+        help="show the ProgXe plan plus the cost-based planner's "
+        "estimate-vs-actual report",
     )
     _add_workload_args(p_explain)
     p_explain.add_argument("--top", type=int, default=10,
                            help="regions to list, by rank")
+    p_explain.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="estimate report output format",
+    )
+    p_explain.add_argument(
+        "--no-run", action="store_true",
+        help="plan-only dry run: skip execution and the estimate report",
+    )
     p_explain.set_defaults(fn=_cmd_explain)
 
     p_algos = sub.add_parser("algorithms", help="list registered algorithms")

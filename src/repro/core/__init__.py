@@ -4,7 +4,15 @@ from repro.core.benefit import progressive_count, region_benefit, region_cardina
 from repro.core.cost import kung_alpha, region_cost
 from repro.core.elimination_graph import EliminationGraph
 from repro.core.engine import ProgXeEngine
-from repro.core.explain import ExecutionTrace, ExplainReport, explain, trace
+from repro.core.explain import (
+    EstimateRow,
+    ExecutionTrace,
+    ExplainReport,
+    PlanningReport,
+    explain,
+    explain_estimates,
+    trace,
+)
 from repro.core.kernel import ExecutionKernel, KernelSnapshot, StepReport
 from repro.core.plan import QueryPlan, default_input_cells, default_output_cells
 from repro.core.verify import (
@@ -37,11 +45,13 @@ from repro.core.variants import (
 __all__ = [
     "ALGORITHMS",
     "EliminationGraph",
+    "EstimateRow",
     "ExecutionKernel",
     "ExecutionState",
     "ExecutionTrace",
     "ExplainReport",
     "KernelSnapshot",
+    "PlanningReport",
     "QueryPlan",
     "StepReport",
     "StreamingKernel",
@@ -49,6 +59,7 @@ __all__ = [
     "default_output_cells",
     "VerificationReport",
     "explain",
+    "explain_estimates",
     "trace",
     "true_skyline_keys",
     "verify_results",

@@ -40,6 +40,7 @@ from repro.storage.signatures import SIGNATURE_KINDS
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.cache.plan_cache import PlanCache
+    from repro.planner.choose import PlanDecision, Planner
 
 
 class ProgXeEngine:
@@ -75,6 +76,8 @@ class ProgXeEngine:
         follow: bool = False,
         cache: "PlanCache | None" = None,
         workers: int = 1,
+        batch_size: int | None = None,
+        planner: "Planner | None" = None,
     ) -> None:
         if partitioning not in ("grid", "quadtree"):
             raise ValueError(
@@ -87,6 +90,8 @@ class ProgXeEngine:
             )
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if follow and pushthrough:
             raise ValueError(
                 "follow=True is incompatible with pushthrough: push-through "
@@ -113,6 +118,8 @@ class ProgXeEngine:
         self.input_cells = input_cells
         self.output_cells = output_cells
         self.cache = cache
+        self.batch_size = batch_size
+        self.planner = planner
         if workers > 1:
             from repro.parallel.plan import resolve_workers
 
@@ -149,7 +156,12 @@ class ProgXeEngine:
             config = EngineConfig()
         elif isinstance(config, str):
             config = EngineConfig.preset(config)
-        return cls(bound, clock, **config.engine_kwargs())
+        kwargs = config.engine_kwargs()
+        if config.planner:
+            from repro.planner.choose import Planner
+
+            kwargs["planner"] = Planner()
+        return cls(bound, clock, **kwargs)
 
     # ------------------------------------------------------------------
     # the plan / kernel layering
@@ -194,6 +206,8 @@ class ProgXeEngine:
             use_vectorized=self.use_vectorized,
             cache=cache,
             follow=self.follow,
+            batch_size=self.batch_size,
+            planner=self.planner,
         )
 
     @property
@@ -207,6 +221,19 @@ class ProgXeEngine:
         if self._plan is None:
             return {}
         return dict(self._plan.cache_events)
+
+    @property
+    def plan_decision(self) -> "PlanDecision | None":
+        """The cost-based planner's decision for this engine's plan.
+
+        ``None`` before planning or when the engine was built without a
+        ``planner``.  After a full run the decision also carries the
+        execution actuals (join cardinality, skyline size) next to the
+        planner's estimates — the EXPLAIN estimate-vs-actual source.
+        """
+        if self._plan is None:
+            return None
+        return self._plan.decision
 
     def kernel(self) -> ExecutionKernel:
         """Plan the query and return its resumable execution kernel.

@@ -190,6 +190,151 @@ class ExecutionTrace:
         return "\n".join(lines)
 
 
+@dataclass
+class EstimateRow:
+    """One metric's estimate-vs-actual comparison."""
+
+    metric: str
+    estimated: float
+    actual: float | None
+
+    @property
+    def relative_error(self) -> float | None:
+        """``(estimated - actual) / max(|actual|, 1)``; ``None`` pre-run."""
+        if self.actual is None:
+            return None
+        return (self.estimated - self.actual) / max(abs(self.actual), 1.0)
+
+
+@dataclass
+class PlanningReport:
+    """The cost-based EXPLAIN: what the planner chose, and how well.
+
+    Produced by :func:`explain_estimates`, which plans **and executes**
+    the query with a planner so every estimated quantity has an observed
+    counterpart.  ``rows`` carry the relative error of each estimate —
+    the visibility that makes mis-estimates debuggable and testable.
+
+    Example::
+
+        report = explain_estimates(workload.bound())
+        print(report.render())
+        report.to_dict()["rows"]    # machine-readable estimate/actual pairs
+    """
+
+    partitioning: str
+    input_cells: int
+    batch_size: int
+    filter_strategy: str
+    workers_suggested: int
+    corrected: bool
+    pinned: tuple[str, ...]
+    rows: list[EstimateRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable estimate-vs-actual table."""
+        lines = [
+            "cost-based plan",
+            f"  partitioning:    {self.partitioning}",
+            f"  input cells:     {self.input_cells}",
+            f"  batch size:      {self.batch_size}",
+            f"  filter strategy: {self.filter_strategy}",
+            f"  workers hint:    {self.workers_suggested}",
+            f"  feedback:        "
+            f"{'corrected by prior run' if self.corrected else 'cold (first run)'}",
+        ]
+        if self.pinned:
+            lines.append(f"  pinned by caller: {', '.join(self.pinned)}")
+        lines += [
+            "",
+            f"  {'metric':<18} {'estimated':>12} {'actual':>12} {'rel.err':>9}",
+        ]
+        for row in self.rows:
+            actual = "-" if row.actual is None else f"{row.actual:>12.0f}"
+            error = (
+                "-"
+                if row.relative_error is None
+                else f"{row.relative_error:>+8.1%}"
+            )
+            lines.append(
+                f"  {row.metric:<18} {row.estimated:>12.1f} {actual:>12} "
+                f"{error:>9}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the CLI's ``--format json``)."""
+        return {
+            "partitioning": self.partitioning,
+            "input_cells": self.input_cells,
+            "batch_size": self.batch_size,
+            "filter_strategy": self.filter_strategy,
+            "workers_suggested": self.workers_suggested,
+            "corrected": self.corrected,
+            "pinned": list(self.pinned),
+            "rows": [
+                {
+                    "metric": row.metric,
+                    "estimated": row.estimated,
+                    "actual": row.actual,
+                    "relative_error": row.relative_error,
+                }
+                for row in self.rows
+            ],
+        }
+
+
+def explain_estimates(
+    bound: BoundQuery,
+    *,
+    planner=None,
+    config=None,
+) -> PlanningReport:
+    """Plan with the cost-based planner, execute, compare estimates.
+
+    Runs ``bound`` to completion through a planner-driven engine and
+    returns the :class:`PlanningReport` pairing every planner estimate
+    (rows scanned, partition fanout, output regions, join cardinality,
+    skyline size) with the observed value and its relative error.
+
+    ``planner`` defaults to a fresh :class:`~repro.planner.choose.Planner`
+    (pass a session's to reuse its statistics); ``config`` is an optional
+    :class:`~repro.session.EngineConfig` whose non-default knobs are
+    honoured as pinned.
+
+    Example::
+
+        report = explain_estimates(workload.bound())
+        {r.metric: r.relative_error for r in report.rows}
+    """
+    from repro.planner.choose import Planner
+
+    if planner is None:
+        planner = Planner()
+    kwargs = {}
+    if config is not None:
+        kwargs = config.engine_kwargs()
+        kwargs.pop("follow", None)
+    engine = ProgXeEngine(bound, planner=planner, **kwargs)
+    for _ in engine.run():
+        pass
+    decision = engine.plan_decision
+    assert decision is not None  # planner-driven by construction
+    return PlanningReport(
+        partitioning=decision.partitioning,
+        input_cells=decision.input_cells,
+        batch_size=decision.batch_size,
+        filter_strategy=decision.filter_strategy,
+        workers_suggested=decision.workers,
+        corrected=decision.estimates.corrected,
+        pinned=decision.pinned,
+        rows=[
+            EstimateRow(metric=metric, estimated=estimated, actual=actual)
+            for metric, estimated, actual in decision.comparison()
+        ],
+    )
+
+
 def trace(engine: ProgXeEngine) -> ExecutionTrace:
     """Run ``engine`` to completion, recording the region schedule.
 

@@ -39,7 +39,7 @@ from repro.core.plan import QueryPlan
 from repro.core.progdetermine import ExecutionState
 from repro.core.progorder import ProgOrder, RandomOrder
 from repro.core.regions import OutputRegion
-from repro.core.tuple_level import process_region
+from repro.core.tuple_level import DEFAULT_BATCH_SIZE, process_region
 from repro.errors import ExecutionError
 from repro.query.smj import ResultTuple
 
@@ -177,6 +177,7 @@ class ExecutionKernel:
         self.clock = plan.clock
         self.verify = plan.verify
         self.use_vectorized = plan.use_vectorized
+        self.batch_size = plan.batch_size or DEFAULT_BATCH_SIZE
         self.stats: dict = stats_sink if stats_sink is not None else {}
         self.stats.update(plan.prune_stats)
 
@@ -441,7 +442,8 @@ class ExecutionKernel:
         cascades) is shared.
         """
         return process_region(
-            self.state, region, use_vectorized=self.use_vectorized
+            self.state, region, use_vectorized=self.use_vectorized,
+            batch_size=self.batch_size,
         )
 
     def _finalize(self) -> None:
@@ -464,4 +466,14 @@ class ExecutionKernel:
                 "peak_buffered": state.peak_live_entries,
             }
         )
+        decision = self.plan.decision
+        if decision is not None:
+            # Close the planner's feedback loop: the actual join
+            # cardinality (one join_result charge per pair) and skyline
+            # size flow back into the statistics store, so the next plan
+            # over the same tables starts from observed numbers.
+            decision.record_run_actuals(
+                join_rows=self.clock.count("join_result"),
+                skyline_size=self.results_emitted,
+            )
         self._status = FINISHED

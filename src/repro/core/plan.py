@@ -44,6 +44,7 @@ from repro.storage.table import Table
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.cache.plan_cache import PlanCache
+    from repro.planner.choose import PlanDecision, Planner
 
 
 @dataclass
@@ -131,6 +132,14 @@ class QueryPlan:
     #: Per-side delta-ingestion handles, retained only when the plan was
     #: built with ``follow=True`` (streaming mode); ``None`` otherwise.
     stream_sides: "tuple[StreamSide, StreamSide] | None" = None
+    #: Vectorized flush threshold for tuple-level processing; ``None``
+    #: keeps :data:`~repro.core.tuple_level.DEFAULT_BATCH_SIZE`.
+    batch_size: int | None = None
+    #: The cost-based planner's :class:`~repro.planner.choose.PlanDecision`
+    #: when the plan was built with ``planner=``; ``None`` otherwise.
+    #: Carries every estimate plus the actuals recorded during build and
+    #: at kernel finalize (the EXPLAIN estimate-vs-actual source).
+    decision: "PlanDecision | None" = None
 
     @classmethod
     def build(
@@ -150,6 +159,8 @@ class QueryPlan:
         use_vectorized: bool = True,
         cache: "PlanCache | None" = None,
         follow: bool = False,
+        batch_size: int | None = None,
+        planner: "Planner | None" = None,
     ) -> "QueryPlan":
         """Run phases 0–2 and return the finished plan.
 
@@ -168,6 +179,14 @@ class QueryPlan:
         a :class:`~repro.core.streaming.StreamingKernel` can keep absorbing
         appended rows after planning.  Incompatible with ``pushthrough``
         (pruning snapshots the inputs, severing them from the live source).
+
+        ``planner`` hands knob selection to a cost-based
+        :class:`~repro.planner.choose.Planner`: it fills every knob the
+        caller left at its default (partitioner kind, grid granularity,
+        vectorized batch size, filter push-down strategy) from statistics,
+        records its estimates on the plan's :attr:`decision`, and the build
+        writes the plan-time actuals back onto the decision for the EXPLAIN
+        estimate-vs-actual report.
         """
         if follow and pushthrough:
             raise QueryError(
@@ -178,6 +197,25 @@ class QueryPlan:
         clock = clock or VirtualClock()
         prune_stats: dict[str, int] = {}
         cache_events: dict[str, int] = {}
+
+        decision = None
+        if planner is not None:
+            decision = planner.decide(
+                bound,
+                partitioning=partitioning,
+                input_cells=input_cells,
+                batch_size=batch_size,
+                use_vectorized=use_vectorized,
+            )
+            partitioning = decision.partitioning
+            input_cells = decision.input_cells
+            batch_size = decision.batch_size
+            if leaf_capacity is None:
+                leaf_capacity = decision.leaf_capacity
+            if decision.filter_strategy != "auto":
+                rebind = getattr(bound, "with_filter_strategy", None)
+                if rebind is not None:
+                    bound = rebind(decision.filter_strategy)
 
         # Phase 0: (optional) skyline partial push-through.
         left_table, right_table = _pruned_tables(
@@ -247,6 +285,15 @@ class QueryPlan:
         )
         regions, grid = run_lookahead(bound, left_grid, right_grid, k_out, clock)
 
+        if decision is not None:
+            decision.record_plan_actuals(
+                rows_left=len(left_table),
+                rows_right=len(right_table),
+                left_partitions=left_grid.partition_count,
+                right_partitions=right_grid.partition_count,
+                regions=len(regions),
+            )
+
         return cls(
             bound=bound,
             clock=clock,
@@ -259,6 +306,8 @@ class QueryPlan:
             prune_stats=prune_stats,
             cache_events=cache_events,
             stream_sides=stream_sides,
+            batch_size=batch_size,
+            decision=decision,
         )
 
 

@@ -37,7 +37,6 @@ from repro.core.kernel import ExecutionKernel
 from repro.core.output_grid import CellEntry
 from repro.core.plan import QueryPlan
 from repro.core.regions import OutputRegion
-from repro.core.tuple_level import DEFAULT_BATCH_SIZE
 from repro.parallel.plan import ShardContext
 from repro.parallel.pool import shared_pool
 from repro.parallel.worker import RegionResult, RegionTask, run_region_task
@@ -197,8 +196,9 @@ class ShardedKernel(ExecutionKernel):
     def _commit_vectorized(self, result: RegionResult) -> Iterator[CellEntry]:
         """Replay the vectorized path's batch boundaries slice by slice.
 
-        The solo path flushes whenever the pending pair buffer reaches
-        :data:`~repro.core.tuple_level.DEFAULT_BATCH_SIZE` *after* a whole
+        The solo path flushes whenever the pending pair buffer reaches the
+        plan's batch size (:data:`~repro.core.tuple_level
+        .DEFAULT_BATCH_SIZE` unless a planner chose one) *after* a whole
         probe-row group was appended; re-deriving those boundaries from
         ``group_sizes`` reproduces the identical ``insert_batch`` calls,
         hence identical marking cascades and emission order.
@@ -208,7 +208,7 @@ class ShardedKernel(ExecutionKernel):
         pos = 0
         for size in result.group_sizes:
             pos += size
-            if pos - start >= DEFAULT_BATCH_SIZE:
+            if pos - start >= self.batch_size:
                 state.insert_batch(
                     result.vectors[start:pos],
                     result.lrows[start:pos],

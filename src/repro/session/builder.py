@@ -90,6 +90,7 @@ class QueryBuilder:
         self._filters: list[FilterCondition] = []
         self._passthrough: list[PassThrough] = []
         self._follow = False
+        self._auto = False
 
     # ------------------------------------------------------------------
     # sources
@@ -297,6 +298,19 @@ class QueryBuilder:
         self._follow = value
         return self
 
+    def auto(self, value: bool = True) -> "QueryBuilder":
+        """Let the cost-based planner pick the engine knobs.
+
+        Sugar for executing with ``EngineConfig(planner=True)`` (the
+        ``"auto"`` preset): the session's shared
+        :class:`~repro.planner.choose.Planner` chooses partitioner,
+        granularity, batch size and filter strategy from statistics, and
+        the run's actuals feed back for the next query.  Applied by
+        :meth:`execute` on top of whatever engine config is in effect.
+        """
+        self._auto = value
+        return self
+
     def execute(self, **kwargs):
         """Bind and execute through the owning session; see
         :meth:`~repro.session.service.Session.execute` for keywords."""
@@ -305,7 +319,7 @@ class QueryBuilder:
                 "builder is not attached to a session; use Session.query() "
                 "or bind() + run_algorithm()"
             )
-        if self._follow:
+        if self._follow or self._auto:
             from repro.session.config import EngineConfig
 
             config = kwargs.pop("config", None)
@@ -313,7 +327,12 @@ class QueryBuilder:
                 config = self._session.config
             elif isinstance(config, str):
                 config = EngineConfig.preset(config)
-            kwargs["config"] = config.with_options(follow=True)
+            overrides = {}
+            if self._follow:
+                overrides["follow"] = True
+            if self._auto:
+                overrides["planner"] = True
+            kwargs["config"] = config.with_options(**overrides)
         return self._session.execute(self.bind(), **kwargs)
 
     def _need_sources(self, method: str) -> None:

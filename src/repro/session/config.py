@@ -56,6 +56,18 @@ class EngineConfig:
         ``1`` (default) runs the solo in-process kernel; ``> 1`` shards
         region joins across a process pool with byte-identical output.
         Degrades gracefully to solo when the platform cannot honour it.
+    batch_size:
+        Vectorized flush threshold for tuple-level processing; ``None``
+        keeps :data:`~repro.core.tuple_level.DEFAULT_BATCH_SIZE`.
+    planner:
+        Hand every knob left at its default to the cost-based
+        :class:`~repro.planner.choose.Planner` (the ``"auto"`` preset):
+        statistics pick the partitioner, granularity, batch size and
+        filter strategy, and post-run actuals feed back into the planner.
+        Not an engine keyword as-is: the session (or
+        ``ProgXeEngine.from_config``) resolves the flag into the
+        ``planner`` object it hands the engine, so estimates and feedback
+        accumulate in one place per session.
     share_partitions:
         Let planning consume the session's shared
         :class:`~repro.cache.plan_cache.PlanCache` (default), so concurrent
@@ -83,11 +95,17 @@ class EngineConfig:
     use_vectorized: bool = True
     follow: bool = False
     workers: int = 1
+    batch_size: int | None = None
+    planner: bool = False
     share_partitions: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise QueryError(f"workers must be >= 1, got {self.workers}")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise QueryError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
         if self.follow and self.pushthrough:
             raise QueryError(
                 "follow=True is incompatible with pushthrough: push-through "
@@ -123,10 +141,12 @@ class EngineConfig:
 
         ``share_partitions`` is session-level policy (it selects whether a
         shared cache object is passed at all), so it is not part of the
-        engine keyword surface.
+        engine keyword surface — and neither is the ``planner`` *flag*:
+        the session resolves it into the shared ``Planner`` object it
+        hands the engine.
         """
         kwargs = asdict(self)
-        del kwargs["share_partitions"]
+        del kwargs["share_partitions"], kwargs["planner"]
         return kwargs
 
     def variant_kwargs(self) -> dict:
@@ -161,13 +181,16 @@ class EngineConfig:
 #: Named presets: the paper's default setup, the push-through "+" variant,
 #: a memory-lean setup (bloom signatures, quadtree partitioning that adapts
 #: to skew), a production profile that skips the end-of-run verification,
-#: and the scalar reference path (per-tuple kernels, for oracle comparison).
+#: the scalar reference path (per-tuple kernels, for oracle comparison),
+#: and ``auto`` — the cost-based planner chooses partitioner, granularity,
+#: batch size and filter strategy from statistics.
 PRESETS: dict[str, EngineConfig] = {
     "default": EngineConfig(),
     "progressive-plus": EngineConfig(pushthrough=True),
     "low-memory": EngineConfig(signature_kind="bloom", partitioning="quadtree"),
     "production": EngineConfig(pushthrough=True, verify=False),
     "scalar-reference": EngineConfig(use_vectorized=False),
+    "auto": EngineConfig(planner=True),
 }
 
 
@@ -229,6 +252,17 @@ class SchedulerConfig:
         queries over the same tables partition their inputs once.
         ``False`` forces private planning for every query this scheduler
         admits, regardless of the engine config.
+    cache_aware_admission:
+        Fill free admission slots by **table affinity** instead of strict
+        submission order: among the waiting queries, prefer the one whose
+        estimated table footprint (planner metadata, no scan) overlaps
+        most with the tables already admitted, so co-scheduled queries hit
+        the shared partition cache instead of thrashing it.  Ties — and
+        the first slot — still go to the oldest submission, and only
+        queries *within* the waiting set can be reordered, so admission
+        remains starvation-free (every waiting query's overlap with the
+        admitted set can only grow as its peers run).  Off by default:
+        strict submission order is the historical contract.
 
     Example::
 
@@ -245,6 +279,7 @@ class SchedulerConfig:
     starvation_rounds: int | None = None
     record_interleaving: bool = True
     share_partitions: bool = True
+    cache_aware_admission: bool = False
 
     def __post_init__(self) -> None:
         if self.policy not in SCHEDULING_POLICIES:

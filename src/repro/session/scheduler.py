@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import AsyncIterator, Iterator, Sequence
+from typing import AsyncIterator, Iterator, Mapping, Sequence
 
 from repro.core.kernel import STEP_FINALIZE, StepReport
 from repro.errors import QueryError
@@ -131,12 +131,16 @@ class ScheduledQuery:
         algorithm,
         clock: VirtualClock,
         budget: StreamBudget | None,
+        table_footprint: Mapping | None = None,
     ) -> None:
         self.qid = qid
         self.name = name
         self.algorithm = algorithm
         self.clock = clock
         self.budget = budget
+        #: Estimated bytes per table uid this query reads (planner
+        #: metadata, no scan) — the cache-aware admission overlap signal.
+        self.table_footprint: dict = dict(table_footprint or {})
         self.recorder = ProgressRecorder(clock)
         self.results: list[ResultTuple] = []
         self.state = PENDING
@@ -393,6 +397,9 @@ class QueryScheduler:
         self.global_vtime = 0.0
         #: Dispatch-order record of the interleaving.
         self.interleaving = InterleaveRecorder()
+        #: Admission slots filled out of submission order for table
+        #: affinity (only moves with ``cache_aware_admission``).
+        self.admission_reorders = 0
 
     # ------------------------------------------------------------------
     # admission
@@ -441,10 +448,34 @@ class QueryScheduler:
             algorithm=instance,
             clock=clock,
             budget=budget,
+            table_footprint=self._table_footprint(instance),
         )
         self._queries.append(handle)
         self._rotation.append(handle)
         return handle
+
+    def _table_footprint(self, instance) -> dict:
+        """Estimated bytes per table uid the query reads (no scan).
+
+        Keys are the (filtered) source uids — the same identities the
+        partition cache keys on, so overlap here predicts shared-partition
+        hits.  Sizes come from the session planner's
+        :meth:`~repro.planner.choose.Planner.table_footprint` metadata
+        estimate.  Empty for non-engine algorithms (no ``bound``).
+        """
+        bound = getattr(instance, "bound", None)
+        if bound is None:
+            return {}
+        footprint: dict = {}
+        for source in (
+            getattr(bound, "left_table", None),
+            getattr(bound, "right_table", None),
+        ):
+            uid = getattr(source, "uid", None)
+            if uid is None:
+                continue
+            footprint[uid] = self.session.planner.table_footprint(source)
+        return footprint
 
     @property
     def queries(self) -> list[ScheduledQuery]:
@@ -611,15 +642,46 @@ class QueryScheduler:
                 if not query.paused:
                     runnable.append(query)
         if limit is None or held < limit:
-            for query in live:
-                if query.admitted:
-                    continue
+            waiting = [q for q in live if not q.admitted]
+            use_affinity = (
+                self.config.cache_aware_admission
+                and limit is not None
+                and len(waiting) > 1
+            )
+            first_fill = True
+            while waiting and (limit is None or held < limit):
+                query = waiting[0]
+                if use_affinity and not first_fill:
+                    # Affinity fill: prefer the waiting query whose table
+                    # footprint overlaps the admitted set most — but only
+                    # after the oldest waiting query took the first slot
+                    # of this decision, so admission stays starvation-free
+                    # (a freed slot always goes FIFO before affinity).
+                    admitted_uids = {
+                        uid
+                        for q in live
+                        if q.admitted
+                        for uid in q.table_footprint
+                    }
+
+                    def overlap(q: ScheduledQuery) -> float:
+                        return sum(
+                            size
+                            for uid, size in q.table_footprint.items()
+                            if uid in admitted_uids
+                        )
+
+                    best = max(waiting, key=lambda q: (overlap(q), -q.qid))
+                    if overlap(best) > 0:
+                        query = best
+                if query is not waiting[0]:
+                    self.admission_reorders += 1
+                waiting.remove(query)
+                first_fill = False
                 query.admitted = True
                 held += 1
                 if not query.paused:
                     runnable.append(query)
-                if limit is not None and held >= limit:
-                    break
         self._rotation = live
         return runnable
 

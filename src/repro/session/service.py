@@ -102,6 +102,12 @@ class Session:
         sharing per query/config with ``EngineConfig(share_partitions=
         False)`` or per scheduler with ``SchedulerConfig(share_partitions=
         False)``.
+    planner:
+        Shared cost-based :class:`~repro.planner.choose.Planner` used by
+        queries executed with ``EngineConfig(planner=True)`` (the
+        ``"auto"`` preset) and by cache-aware scheduler admission.
+        Defaults to a lazily created per-session planner, so statistics
+        and run feedback accumulate across this session's queries.
 
     Example::
 
@@ -118,6 +124,7 @@ class Session:
         config: EngineConfig | None = None,
         clock_weights: Mapping[str, float] | None = None,
         plan_cache: PlanCache | None = None,
+        planner=None,
     ) -> None:
         self.registry = (
             registry if registry is not None else default_registry().copy()
@@ -125,7 +132,23 @@ class Session:
         self.config = config or EngineConfig()
         self.clock_weights = dict(clock_weights) if clock_weights else None
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self._planner = planner
         self._tables: dict[str, DataSource] = {}
+
+    @property
+    def planner(self):
+        """The session's shared cost-based planner (created lazily).
+
+        One :class:`~repro.planner.choose.Planner` per session, so source
+        statistics and post-run feedback accumulate across queries — the
+        second ``"auto"`` query over a table plans with the first one's
+        observed cardinalities.
+        """
+        if self._planner is None:
+            from repro.planner.choose import Planner
+
+            self._planner = Planner()
+        return self._planner
 
     # ------------------------------------------------------------------
     # tables / sources
@@ -295,6 +318,13 @@ class Session:
             )
             if share and _accepts_cache(factory):
                 kwargs["cache"] = self.plan_cache
+            if not _accepts_keyword(factory, "batch_size"):
+                kwargs.pop("batch_size", None)
+            if effective.planner and _accepts_keyword(factory, "planner"):
+                # The config carries a flag; the session resolves it into
+                # its shared planner object, so statistics and feedback
+                # accumulate across this session's queries.
+                kwargs["planner"] = self.planner
             instance = factory(bound, clock, **kwargs)
         else:
             instance = factory(bound, clock)

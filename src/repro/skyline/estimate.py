@@ -34,7 +34,7 @@ def expected_skyline_size(n: float, d: int) -> float:
     return max(1.0, math.log(n) ** (d - 1) / math.factorial(d - 1))
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=4096)
 def harmonic(n: int) -> float:
     """The ``n``-th harmonic number ``H_n``."""
     if n < 0:
@@ -57,6 +57,8 @@ def expected_maxima_harmonic(n: int, d: int) -> float:
         raise ValueError(f"dimensions must be >= 1, got {d}")
     if n <= 0:
         return 0.0
+    if d == 1:
+        return 1.0  # the single minimum
     row = [harmonic(k) for k in range(n + 1)]  # H(k, 1)
     for _ in range(d - 2):
         acc = 0.0
@@ -65,6 +67,4 @@ def expected_maxima_harmonic(n: int, d: int) -> float:
             acc += row[k] / k
             nxt[k] = acc
         row = nxt
-    if d == 1:
-        return 1.0  # the single minimum
     return row[n]

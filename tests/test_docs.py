@@ -46,6 +46,12 @@ EXAMPLE_REQUIRED = [
     "PartitionStore",
     "CacheStats",
     "Table",
+    "Planner",
+    "PlanDecision",
+    "StatisticsStore",
+    "SourceStatistics",
+    "CostModel",
+    "PlanningReport",
 ]
 
 #: Same contract for the serving edge (checked against ``repro.serve``).

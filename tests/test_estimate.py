@@ -59,6 +59,15 @@ class TestHarmonic:
     def test_d1_single_minimum(self):
         assert expected_maxima_harmonic(50, 1) == 1.0
 
+    def test_d1_skips_the_harmonic_table(self):
+        # The d == 1 early return must not build (or populate) the O(n)
+        # harmonic row — huge n should answer instantly from the shortcut.
+        assert expected_maxima_harmonic(50_000_000, 1) == 1.0
+
+    def test_harmonic_cache_is_bounded(self):
+        info = harmonic.cache_info()
+        assert info.maxsize is not None  # never an unbounded lru_cache
+
     def test_empty_input(self):
         assert expected_maxima_harmonic(0, 3) == 0.0
 

@@ -1,0 +1,516 @@
+"""Tests for the statistics-driven cost-based planner (:mod:`repro.planner`).
+
+The planner's contract has three layers, each tested here:
+
+1. **Statistics** — one sampled scan per source, cached by ``cache_token``;
+   streaming appends only *patch* the summary, any other change rebuilds it.
+2. **Cost model** — estimates (fanout, join cardinality, skyline size) are
+   sane and monotone in the obvious directions.
+3. **Decisions are advisory, never semantic** — a planner-driven engine
+   produces byte-identical results to a hand-configured engine with the
+   same knobs, across storage backends, partitioners and the vectorized
+   switch; and the same final result set as any other configuration.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import make_bound, oracle_skyline_keys
+from repro.core.engine import ProgXeEngine
+from repro.core.explain import explain_estimates
+from repro.data.workloads import SyntheticWorkload
+from repro.planner import (
+    BATCH_SIZE_CANDIDATES,
+    GRANULARITY_CANDIDATES,
+    CostModel,
+    Planner,
+    StatisticsStore,
+    collect_statistics,
+)
+from repro.planner.choose import SKEW_THRESHOLD
+from repro.query.smj import FilterCondition
+from repro.session.config import EngineConfig, SchedulerConfig
+from repro.session.service import Session
+from repro.storage.sources.sqlite import SQLiteSource
+from repro.storage.table import Table
+
+
+def small_table(n: int = 64, name: str = "R") -> Table:
+    rows = [
+        (f"{name}{i}", i % 8, float(i), float(n - i)) for i in range(n)
+    ]
+    return Table(name, ["id", "jkey", "a0", "a1"], rows)
+
+
+# ----------------------------------------------------------------------
+# statistics collection
+# ----------------------------------------------------------------------
+class TestStatistics:
+    def test_one_pass_summary_covers_all_columns(self):
+        table = small_table(64)
+        stats = collect_statistics(table)
+        assert stats.row_count == 64
+        assert set(stats.columns) == {"id", "jkey", "a0", "a1"}
+        a0 = stats.column("a0")
+        assert a0.minimum == 0.0 and a0.maximum == 63.0
+        assert sum(a0.histogram) == 64
+
+    def test_ndv_counts_join_key_cardinality(self):
+        stats = collect_statistics(small_table(64))
+        assert stats.key_ndv("jkey") == pytest.approx(8.0)
+
+    def test_non_numeric_columns_get_distinct_only_summary(self):
+        stats = collect_statistics(small_table(16))
+        ids = stats.column("id")
+        assert not ids.numeric
+        assert ids.ndv(16) == pytest.approx(16.0)
+
+    def test_equality_selectivity_uses_ndv(self):
+        stats = collect_statistics(small_table(64))
+        cond = FilterCondition("R", "jkey", "=", 3)
+        sel = stats.selectivity([cond])
+        assert sel == pytest.approx(1 / 8, rel=0.01)
+
+    def test_range_selectivity_uses_histogram(self):
+        stats = collect_statistics(small_table(64))
+        half = stats.selectivity([FilterCondition("R", "a0", "<=", 31.0)])
+        assert 0.4 <= half <= 0.6
+        everything = stats.selectivity([FilterCondition("R", "a0", "<=", 63.0)])
+        assert everything == pytest.approx(1.0)
+
+    def test_selectivity_is_clamped_to_a_floor(self):
+        stats = collect_statistics(small_table(64))
+        none = stats.selectivity([FilterCondition("R", "a0", "<", -5.0)])
+        assert none >= 1e-4
+
+
+# ----------------------------------------------------------------------
+# the statistics store: cache, patch, rebuild
+# ----------------------------------------------------------------------
+class TestCorrelation:
+    def table_with(self, pair, n: int = 256) -> Table:
+        rows = [(f"R{i}", i % 8, *pair(i, n)) for i in range(n)]
+        return Table("R", ["id", "jkey", "a0", "a1"], rows)
+
+    def test_signed_correlation_tracks_linear_dependence(self):
+        up = collect_statistics(
+            self.table_with(lambda i, n: (float(i), float(2 * i)))
+        )
+        down = collect_statistics(
+            self.table_with(lambda i, n: (float(i), float(n - i)))
+        )
+        flat = collect_statistics(
+            self.table_with(lambda i, n: (float(i), float(i * 31 % n)))
+        )
+        assert up.correlation("a0", "a1") == pytest.approx(1.0)
+        assert down.correlation("a0", "a1") == pytest.approx(-1.0)
+        assert abs(flat.correlation("a0", "a1")) < 0.3
+
+    def test_correlation_is_zero_when_undefined(self):
+        stats = collect_statistics(
+            self.table_with(lambda i, n: (float(i), 5.0))
+        )
+        assert stats.correlation("a0", "a1") == 0.0  # constant column
+        assert stats.correlation("a0", "missing") == 0.0
+        assert stats.correlation("a0", "a0") == 1.0
+
+    def test_streaming_patch_folds_moments(self):
+        store = StatisticsStore()
+        table = self.table_with(lambda i, n: (float(i), float(i)), n=32)
+        store.for_source(table)
+        table.extend_rows([("R99", 3, 99.0, 99.0)])
+        patched = store.for_source(table)
+        assert store.counters().patches == 1
+        assert patched.moment_count == 33
+        assert patched.correlation("a0", "a1") == pytest.approx(1.0)
+
+    def test_correlated_fanout_shrinks_toward_diagonal(self):
+        stats = collect_statistics(
+            self.table_with(lambda i, n: (float(i), float(i)))
+        )
+        model = CostModel()
+        independent = model.partition_fanout(stats, ("a0", "a1"), 8)
+        diagonal = model.partition_fanout(
+            stats, ("a0", "a1"), 8, correlation=1.0
+        )
+        assert diagonal < independent
+        assert diagonal == pytest.approx(independent**0.5)
+
+    def test_anticorrelation_defeats_pruning_in_the_model(self):
+        model = CostModel()
+        shared = dict(
+            rows_left=300, rows_right=300, fanout_left=8.0,
+            fanout_right=8.0, join_rows=4500.0, dims=2,
+        )
+        fine = model.plan_cost(**shared)
+        defeated = model.plan_cost(**shared, correlation=-1.0)
+        assert defeated > fine  # keep -> 1: nothing prunes early
+
+
+class TestStatisticsStore:
+    def test_unchanged_source_is_a_cache_hit(self):
+        store = StatisticsStore()
+        table = small_table()
+        first = store.for_source(table)
+        second = store.for_source(table)
+        assert second is first
+        counters = store.counters()
+        assert (counters.hits, counters.rebuilds) == (1, 1)
+
+    def test_append_patches_instead_of_rebuilding(self):
+        store = StatisticsStore()
+        table = small_table(32)
+        store.for_source(table)
+        table.extend_rows([("R99", 3, 99.0, -1.0)])
+        patched = store.for_source(table)
+        counters = store.counters()
+        assert counters.patches == 1
+        assert counters.rebuilds == 1  # only the initial collection
+        assert patched.row_count == 33
+        assert patched.column("a0").maximum == 99.0
+
+    def test_non_append_change_rebuilds(self):
+        store = StatisticsStore()
+        table = small_table(32)
+        store.for_source(table)
+        table.touch()  # version bump with no provable append suffix
+        store.for_source(table)
+        counters = store.counters()
+        assert counters.rebuilds == 2
+        assert counters.patches == 0
+
+    def test_invalidate_forces_recollection(self):
+        store = StatisticsStore()
+        table = small_table(32)
+        store.for_source(table)
+        store.invalidate(table)
+        assert store.cached(table) is None
+        store.for_source(table)
+        assert store.counters().rebuilds == 2
+
+
+# ----------------------------------------------------------------------
+# cost model
+# ----------------------------------------------------------------------
+class TestCostModel:
+    def test_fanout_grows_with_granularity_but_never_exceeds_rows(self):
+        stats = collect_statistics(small_table(64))
+        model = CostModel()
+        fanouts = [
+            model.partition_fanout(stats, ("a0", "a1"), cells)
+            for cells in GRANULARITY_CANDIDATES
+        ]
+        assert fanouts == sorted(fanouts)
+        assert all(f <= 64 for f in fanouts)
+
+    def test_join_cardinality_matches_uniform_equijoin(self):
+        left = collect_statistics(small_table(64, "R"))
+        right = collect_statistics(small_table(64, "T"))
+        model = CostModel()
+        estimate = model.join_cardinality(
+            left, right, "jkey", "jkey", rows_left=64, rows_right=64
+        )
+        # 64 * 64 / ndv(8): the classical System-R estimate.
+        assert estimate == pytest.approx(512.0, rel=0.05)
+
+    def test_scan_cost_constants_rank_backends(self):
+        model = CostModel()
+        assert model.scan_cost("memory") < model.scan_cost("columnar")
+        assert model.scan_cost("columnar") < model.scan_cost("sqlite")
+        assert model.scan_cost("unheard-of-backend") > 0
+
+    def test_calibrated_costs_are_cached_per_process(self):
+        from repro.planner.cost import calibrated_scan_costs
+
+        first = calibrated_scan_costs()
+        second = calibrated_scan_costs()
+        assert first is second
+        assert first["memory"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# decisions
+# ----------------------------------------------------------------------
+class TestPlannerDecisions:
+    def test_decision_fields_are_valid_knobs(self):
+        bound = make_bound(n=120, d=2, seed=3)
+        decision = Planner().decide(bound)
+        assert decision.partitioning in ("grid", "quadtree")
+        assert decision.input_cells in GRANULARITY_CANDIDATES
+        assert decision.batch_size in BATCH_SIZE_CANDIDATES
+        assert decision.workers >= 1
+        assert decision.estimates.costs  # every candidate was scored
+        assert decision.pinned == ()
+
+    def test_pinned_knobs_are_honoured_not_chosen(self):
+        bound = make_bound(n=80, d=2, seed=3)
+        decision = Planner().decide(
+            bound, partitioning="quadtree", input_cells=5, batch_size=96
+        )
+        assert decision.partitioning == "quadtree"
+        assert decision.input_cells == 5
+        assert decision.batch_size == 96
+        assert set(decision.pinned) == {
+            "partitioning", "input_cells", "batch_size",
+        }
+
+    def test_skewed_join_keys_select_quadtree(self):
+        bound = make_bound(n=300, d=2, seed=3, skew=6.0)
+        planner = Planner()
+        decision = planner.decide(bound)
+        skew = decision.estimates.skew
+        assert decision.partitioning == (
+            "quadtree" if skew >= SKEW_THRESHOLD else "grid"
+        )
+
+    def test_feedback_corrects_the_second_decision(self):
+        bound = SyntheticWorkload(n=150, d=2, seed=9).bound()
+        planner = Planner()
+        engine = ProgXeEngine(bound, planner=planner)
+        for _ in engine.run():
+            pass
+        first = engine.plan_decision
+        assert not first.estimates.corrected
+        actual_join = first.actuals["join_rows"]
+
+        second = planner.decide(bound)
+        assert second.estimates.corrected
+        assert second.estimates.join_rows == pytest.approx(actual_join)
+
+    def test_every_estimate_gets_an_actual_after_a_run(self):
+        report = explain_estimates(SyntheticWorkload(n=100, d=2).bound())
+        assert len(report.rows) == 5
+        for row in report.rows:
+            assert row.actual is not None
+            assert row.relative_error is not None
+        exact = {r.metric: r for r in report.rows}
+        assert exact["rows scanned"].relative_error == 0.0
+
+    def test_table_footprint_prefers_cached_statistics(self):
+        planner = Planner()
+        table = small_table(64)
+        coarse = planner.table_footprint(table)
+        assert coarse > 0
+        planner.statistics.for_source(table)
+        assert planner.table_footprint(table) > 0
+
+
+# ----------------------------------------------------------------------
+# engine / session / config wiring
+# ----------------------------------------------------------------------
+class TestWiring:
+    def test_engine_from_auto_preset_records_a_decision(self):
+        bound = make_bound(n=100, d=2, seed=21)
+        engine = ProgXeEngine.from_config(
+            bound, config=EngineConfig.preset("auto")
+        )
+        assert engine.plan_decision is None  # not planned yet
+        results = list(engine.run())
+        decision = engine.plan_decision
+        assert decision is not None
+        assert results and decision.actuals["skyline_size"] == len(results)
+
+    def test_session_auto_config_shares_one_planner(self):
+        workload = SyntheticWorkload(n=100, d=2, seed=21)
+        session = Session().register_tables(workload.tables())
+        bound = workload.query().bind(
+            {a: session.table(a) for a in ("R", "T")}
+        )
+        session.execute(bound, config="auto").drain()
+        # The session planner saw the run: feedback exists for the query.
+        counters = session.planner.statistics.counters()
+        assert counters.feedback_entries == 1
+        session.execute(bound, config="auto").drain()
+        assert session.planner.statistics.counters().hits >= 2
+
+    def test_builder_auto_matches_default_result_set(self):
+        workload = SyntheticWorkload(n=120, d=2, seed=4)
+        session = Session().register_tables(workload.tables())
+
+        def query():
+            q = (
+                session.query()
+                .from_tables("R", "T")
+                .join_on("R.jkey = T.jkey")
+            )
+            for i in range(2):
+                q = q.map(f"x{i}", f"R.a{i} + T.b{i}")
+            return q.preferring("LOWEST(x0)", "LOWEST(x1)")
+
+        auto = {r.key() for r in query().auto().execute().drain()}
+        plain = {r.key() for r in query().execute().drain()}
+        assert auto == plain
+
+    def test_explicit_batch_size_flows_to_the_kernel(self):
+        bound = make_bound(n=80, d=2, seed=5)
+        engine = ProgXeEngine(bound, batch_size=64)
+        kernel = engine.kernel()
+        assert kernel.batch_size == 64
+
+    def test_planner_filter_strategy_respects_result_identity(self):
+        import dataclasses
+
+        workload = SyntheticWorkload(n=90, d=2, seed=17)
+        tables = workload.tables()
+        query = dataclasses.replace(
+            workload.query(),
+            filters=(FilterCondition("R", "a0", "<=", 80.0),),
+        )
+
+        def sqlite_bound():
+            conn = sqlite3.connect(":memory:")
+            sources = {
+                alias: SQLiteSource.write_table(conn, alias, table)
+                for alias, table in tables.items()
+            }
+            return query.bind(sources)
+
+        pushed = sqlite_bound().with_filter_strategy("push")
+        streamed = sqlite_bound().with_filter_strategy("stream")
+        keys_pushed = [r.key() for r in ProgXeEngine(pushed).run()]
+        keys_streamed = [r.key() for r in ProgXeEngine(streamed).run()]
+        assert keys_pushed == keys_streamed
+
+
+# ----------------------------------------------------------------------
+# cache-aware admission
+# ----------------------------------------------------------------------
+class TestCacheAwareAdmission:
+    def _run(self, *, cache_aware: bool):
+        from repro.cache.plan_cache import PlanCache
+
+        workload_a = SyntheticWorkload(n=80, d=2, seed=31)
+        workload_b = SyntheticWorkload(
+            n=80, d=2, seed=32, left_alias="U", right_alias="V"
+        )
+        session = Session(plan_cache=PlanCache(max_entries=2))
+        bound_a = workload_a.bound()
+        bound_b = workload_b.bound()
+        config = SchedulerConfig(
+            max_active=2, cache_aware_admission=cache_aware
+        )
+        scheduler = session.scheduler(config)
+        handles = [
+            scheduler.submit(bound_a),
+            scheduler.submit(bound_b),
+            scheduler.submit(bound_a),
+            scheduler.submit(bound_b),
+        ]
+        for _ in scheduler.run():
+            pass
+        results = [[r.key() for r in h.results] for h in handles]
+        return session.plan_cache.stats(), scheduler, results
+
+    def test_affinity_raises_partition_hits_without_changing_results(self):
+        fifo_stats, fifo_sched, fifo_results = self._run(cache_aware=False)
+        aff_stats, aff_sched, aff_results = self._run(cache_aware=True)
+        assert fifo_sched.admission_reorders == 0
+        assert aff_sched.admission_reorders > 0
+        assert aff_stats.hits > fifo_stats.hits
+        # Admission order is a performance decision only.
+        assert sorted(map(tuple, aff_results)) == sorted(
+            map(tuple, fifo_results)
+        )
+
+    def test_flag_off_is_the_default(self):
+        assert SchedulerConfig().cache_aware_admission is False
+
+
+# ----------------------------------------------------------------------
+# planner transparency: byte-identical to the same knobs by hand
+# ----------------------------------------------------------------------
+def _bound_for_backend(backend: str, workload: SyntheticWorkload):
+    tables = workload.tables()
+    if backend == "memory":
+        return workload.query().bind(tables)
+    conn = sqlite3.connect(":memory:")
+    sources = {
+        alias: SQLiteSource.write_table(conn, alias, table)
+        for alias, table in tables.items()
+    }
+    return workload.query().bind(sources)
+
+
+def _drain_reports(engine: ProgXeEngine):
+    """Step to completion, normalising reports into comparable tuples.
+
+    ``ResultTuple`` keeps identity equality by design, so each result is
+    projected onto its (row-identity, vector) value form.
+    """
+    kernel = engine.kernel()
+    reports = []
+    while not kernel.finished:
+        report = kernel.step()
+        reports.append(
+            (
+                report.kind,
+                report.region_id,
+                report.step_index,
+                report.vtime,
+                report.vtime_delta,
+                report.charges,
+                report.finished,
+                tuple((r.key(), r.vector) for r in report.results),
+            )
+        )
+    return reports
+
+
+@given(
+    backend=st.sampled_from(["memory", "sqlite"]),
+    partitioning=st.sampled_from(["grid", "quadtree"]),
+    use_vectorized=st.booleans(),
+    seed=st.integers(0, 1_000),
+)
+@settings(max_examples=8, deadline=None)
+def test_planner_is_transparent_over_backends(
+    backend, partitioning, use_vectorized, seed
+):
+    """A planner-driven run == a hand-configured run with the same knobs."""
+    workload = SyntheticWorkload(n=60, d=2, sigma=0.1, seed=seed)
+    planned_engine = ProgXeEngine(
+        _bound_for_backend(backend, workload),
+        planner=Planner(),
+        partitioning=partitioning,
+        use_vectorized=use_vectorized,
+    )
+    planned_reports = _drain_reports(planned_engine)
+    decision = planned_engine.plan_decision
+    assert decision is not None
+
+    manual_engine = ProgXeEngine(
+        _bound_for_backend(backend, workload),
+        use_vectorized=use_vectorized,
+        **decision.engine_overrides(),
+    )
+    manual_reports = _drain_reports(manual_engine)
+    assert planned_reports == manual_reports  # byte-identical step stream
+
+    keys = [key for report in planned_reports for key, _vec in report[-1]]
+    assert set(keys) == oracle_skyline_keys(workload.bound())
+
+
+def test_planner_is_transparent_over_columnar(tmp_path):
+    from repro.storage import ColumnarFileSource, write_columnar
+
+    workload = SyntheticWorkload(n=60, d=2, sigma=0.1, seed=77)
+    tables = workload.tables()
+
+    def bound():
+        sources = {}
+        for alias, table in tables.items():
+            path = tmp_path / f"{alias}.col"
+            if not path.exists():
+                write_columnar(path, table, name=alias)
+            sources[alias] = ColumnarFileSource(path, name=alias)
+        return workload.query().bind(sources)
+
+    planned = ProgXeEngine(bound(), planner=Planner())
+    planned_reports = _drain_reports(planned)
+    manual = ProgXeEngine(bound(), **planned.plan_decision.engine_overrides())
+    assert _drain_reports(manual) == planned_reports
